@@ -1,0 +1,1 @@
+bin/jigsaw_sim.ml: Arg Array Cmd Cmdliner Fattree Filename Format List Out_channel Printf Sched String Term Trace

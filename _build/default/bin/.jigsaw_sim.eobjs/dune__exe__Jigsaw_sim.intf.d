@@ -1,0 +1,1 @@
+bin/jigsaw_sim.mli:

@@ -1,0 +1,1 @@
+bin/trace_gen.ml: Arg Cmd Cmdliner Filename Format List String Term Trace

@@ -1,0 +1,161 @@
+(* jigsaw-sim: run one scheduling simulation from the command line.
+
+   Examples:
+     jigsaw-sim --trace Thunder --sched Jigsaw
+     jigsaw-sim --trace Synth-16 --sched all --scenario 10%
+     jigsaw-sim --swf my_trace.swf --radix 18 --sched Jigsaw --table2 *)
+
+open Cmdliner
+
+let run preset swf radix sched scenario seed window jobs full table2 series =
+  let entry =
+    match (preset, swf) with
+    | Some name, None -> (
+        match Trace.Presets.by_name ~full name with
+        | Some e -> e
+        | None ->
+            Format.eprintf "unknown trace %s; known: %s@." name
+              (String.concat ", "
+                 (List.map
+                    (fun (e : Trace.Presets.entry) -> e.workload.name)
+                    (Trace.Presets.all ~full)));
+            exit 1)
+    | None, Some path -> (
+        match Trace.Swf.load ~name:(Filename.basename path) ~system_nodes:0 path with
+        | Ok w -> { Trace.Presets.workload = w; cluster_radix = radix }
+        | Error m ->
+            Format.eprintf "cannot load %s: %s@." path m;
+            exit 1)
+    | Some _, Some _ ->
+        Format.eprintf "--trace and --swf are mutually exclusive@.";
+        exit 1
+    | None, None ->
+        Format.eprintf "one of --trace or --swf is required@.";
+        exit 1
+  in
+  let workload =
+    match jobs with
+    | Some n -> Trace.Workload.truncate entry.workload n
+    | None -> entry.workload
+  in
+  let scenario =
+    match scenario with
+    | "None" -> Trace.Scenario.No_speedup
+    | "V2" -> Trace.Scenario.V2
+    | "Random" -> Trace.Scenario.Random
+    | s -> (
+        (* accept "10" or "10%" *)
+        let s =
+          if String.length s > 0 && s.[String.length s - 1] = '%' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        match int_of_string_opt s with
+        | Some x -> Trace.Scenario.Fixed x
+        | None ->
+            Format.eprintf "unknown scenario %s (None|5%%|10%%|20%%|V2|Random)@." s;
+            exit 1)
+  in
+  let allocs =
+    if sched = "all" then Sched.Allocator.all
+    else
+      match Sched.Allocator.by_name sched with
+      | Some a -> [ a ]
+      | None ->
+          Format.eprintf "unknown scheduler %s (Baseline|LC+S|LC|Jigsaw|LaaS|TA|all)@." sched;
+          exit 1
+  in
+  Format.printf "trace: %a@." Trace.Workload.pp_summary
+    (Trace.Workload.summarize workload);
+  Format.printf "cluster: %a; scenario %s; backfill window %d@.@."
+    Fattree.Topology.pp
+    (Fattree.Topology.of_radix entry.cluster_radix)
+    (Trace.Scenario.name scenario) window;
+  List.iter
+    (fun alloc ->
+      let cfg =
+        {
+          Sched.Simulator.allocator = alloc;
+          radix = entry.cluster_radix;
+          scenario;
+          scenario_seed = seed;
+          backfill_window = window;
+          backfill = window > 0;
+        }
+      in
+      let m = Sched.Simulator.run cfg workload in
+      Format.printf "%a@." Sched.Metrics.pp_row m;
+      if table2 then begin
+        let h = m.inst_hist in
+        Format.printf
+          "  instantaneous utilization: >=98:%d  95-97:%d  90-95:%d  80-90:%d  60-80:%d  <=60:%d@."
+          h.(5) h.(4) h.(3) h.(2) h.(1) h.(0)
+      end;
+      match series with
+      | None -> ()
+      | Some path ->
+          let file = Printf.sprintf "%s.%s.csv" path alloc.name in
+          Out_channel.with_open_text file (fun oc ->
+              Printf.fprintf oc "time,utilization\n";
+              Array.iter
+                (fun (t, u) -> Printf.fprintf oc "%.3f,%.5f\n" t u)
+                m.series);
+          Format.printf "  utilization series -> %s@." file)
+    allocs
+
+let cmd =
+  let preset =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"NAME"
+           ~doc:"Preset trace name (Table 1): Synth-16/22/28, Thunder, Atlas, Aug/Sep/Oct/Nov-Cab.")
+  in
+  let swf =
+    Arg.(value & opt (some file) None & info [ "swf" ] ~docv:"FILE"
+           ~doc:"Load a trace in Standard Workload Format instead of a preset.")
+  in
+  let radix =
+    Arg.(value & opt int 18 & info [ "radix" ] ~docv:"K"
+           ~doc:"Cluster switch radix for --swf traces (presets carry their own).")
+  in
+  let sched =
+    Arg.(value & opt string "Jigsaw" & info [ "sched" ] ~docv:"SCHEME"
+           ~doc:"Scheduler: Baseline, LC+S, Jigsaw, LaaS, TA, or 'all'.")
+  in
+  let scenario =
+    Arg.(value & opt string "None" & info [ "scenario" ] ~docv:"S"
+           ~doc:"Isolation speed-up scenario: None, 5%, 10%, 20%, V2, Random.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "scenario-seed" ] ~docv:"N"
+           ~doc:"Seed for randomized scenarios (V2, Random).")
+  in
+  let window =
+    Arg.(value & opt int 50 & info [ "window" ] ~docv:"N"
+           ~doc:"EASY backfilling lookahead window (paper uses 50); 0 disables backfilling (plain FIFO).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+           ~doc:"Truncate the trace to its first N jobs.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Use paper-scale preset traces (slow).")
+  in
+  let table2 =
+    Arg.(value & flag & info [ "table2" ]
+           ~doc:"Also print the instantaneous-utilization histogram.")
+  in
+  let series =
+    Arg.(value & opt (some string) None & info [ "series" ] ~docv:"PREFIX"
+           ~doc:"Dump the utilization time series to PREFIX.<scheme>.csv.")
+  in
+  let term =
+    Term.(
+      const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
+      $ jobs $ full $ table2 $ series)
+  in
+  Cmd.v
+    (Cmd.info "jigsaw-sim" ~version:"1.0.0"
+       ~doc:"Trace-driven fat-tree scheduling simulation (Jigsaw, HPDC'21)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/backfill_demo.ml: Format List Sched Trace

@@ -1,0 +1,1 @@
+examples/backfill_demo.mli:

@@ -1,0 +1,1 @@
+examples/compare_schedulers.ml: Array Format List Printf Sched Sys Trace

@@ -1,0 +1,1 @@
+examples/fragmentation_map.ml: Alloc Array Fattree Format List Render Sched Sim State Topology Trace

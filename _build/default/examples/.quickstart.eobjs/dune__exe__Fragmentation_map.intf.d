@@ -1,0 +1,1 @@
+examples/fragmentation_map.mli:

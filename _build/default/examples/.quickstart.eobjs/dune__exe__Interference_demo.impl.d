@@ -1,0 +1,1 @@
+examples/interference_demo.ml: Alloc Array Congestion Dmodk Fattree Format Fun Greedy Jigsaw Jigsaw_core List Partition Rearrange Routing Sim State Topology

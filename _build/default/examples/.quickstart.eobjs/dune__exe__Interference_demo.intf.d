@@ -1,0 +1,1 @@
+examples/interference_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conditions Fattree Format Jigsaw Jigsaw_core List Partition Routing State Topology Xgft

@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Alloc Array Fattree State Topology

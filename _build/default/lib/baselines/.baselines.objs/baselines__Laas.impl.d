@@ -1,0 +1,1 @@
+lib/baselines/laas.ml: Fattree Jigsaw_core State

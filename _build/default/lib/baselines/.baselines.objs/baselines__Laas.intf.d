@@ -1,0 +1,1 @@
+lib/baselines/laas.mli: Fattree Jigsaw_core

@@ -1,0 +1,1 @@
+lib/baselines/ta.mli: Fattree

@@ -1,0 +1,20 @@
+open Fattree
+
+let get_allocation st ~job ~size =
+  if size <= 0 || State.total_free_nodes st < size then None
+  else begin
+    let topo = State.topo st in
+    let num = Topology.num_nodes topo in
+    let nodes = Array.make size (-1) in
+    let found = ref 0 in
+    let n = ref 0 in
+    while !found < size && !n < num do
+      if State.node_free st !n then begin
+        nodes.(!found) <- !n;
+        incr found
+      end;
+      incr n
+    done;
+    if !found < size then None
+    else Some (Alloc.nodes_only ~job ~size nodes)
+  end

@@ -1,0 +1,11 @@
+(** The traditional, unconstrained scheduler's placement policy.
+
+    Nodes are allocated first-fit anywhere on the machine with no regard
+    for the network: exactly what production schedulers do today.
+    Utilization is maximal, but jobs share links (the interference the
+    paper sets out to eliminate; see [Routing.Congestion]). *)
+
+val get_allocation :
+  Fattree.State.t -> job:int -> size:int -> Fattree.Alloc.t option
+(** First [size] free nodes in id order, as a nodes-only allocation;
+    [None] if fewer than [size] nodes are free. *)

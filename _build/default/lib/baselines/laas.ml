@@ -1,0 +1,20 @@
+open Fattree
+
+(* LaaS's two-level conditions (equal nodes per leaf plus a remainder
+   leaf over a common L2 set) are the ones Jigsaw shares — Algorithm 1's
+   footnote: "As LaaS shares a few conditions with Jigsaw, its algorithm
+   is similar up to here [the two-level search]".  So a job that fits in
+   one pod is placed exactly as Jigsaw would place it, with no padding.
+   Only allocations spanning pods go through LaaS's reduction to two
+   levels, which makes leaves atomic and rounds the request up. *)
+let get_allocation ?budget st ~job ~size =
+  if size <= 0 || State.total_free_nodes st < size then None
+  else begin
+    match
+      Jigsaw_core.Jigsaw.get_allocation ?budget ~two_level_only:true st ~job
+        ~size
+    with
+    | Some _ as ok -> ok
+    | None ->
+        Jigsaw_core.Jigsaw.get_allocation_whole_leaves ?budget st ~job ~size
+  end

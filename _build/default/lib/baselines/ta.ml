@@ -1,0 +1,170 @@
+open Fattree
+
+let classify topo size =
+  if size <= Topology.m1 topo then `Small
+  else if size <= Topology.nodes_per_pod topo then `Medium
+  else `Large
+
+(* Leaf-sized jobs: first leaf with enough free nodes.  Such jobs use no
+   uplinks, so they may share a leaf with any other job's nodes. *)
+let alloc_small st ~job ~size =
+  let topo = State.topo st in
+  let rec go leaf =
+    if leaf >= Topology.num_leaves topo then None
+    else if State.free_nodes_on_leaf st leaf >= size then begin
+      let first = Topology.leaf_first_node topo leaf in
+      let slots = Jigsaw_core.Mask.take_lowest (State.free_slot_mask st leaf) size in
+      let nodes = Array.map (fun s -> first + s) (Jigsaw_core.Mask.to_array slots) in
+      Some (Alloc.nodes_only ~job ~size nodes)
+    end
+    else go (leaf + 1)
+  in
+  go 0
+
+(* A leaf whose uplinks are implicitly claimable: no other pod- or
+   machine-scale job has reserved them. *)
+let leaf_links_free st leaf =
+  let topo = State.topo st in
+  State.leaf_up_mask st ~leaf ~demand:1.0 = Jigsaw_core.Mask.full (Topology.m1 topo)
+
+let leaf_cables topo leaf =
+  Array.init (Topology.m1 topo) (fun i ->
+      Topology.leaf_l2_cable topo ~leaf ~l2_index:i)
+
+let take_leaf_nodes st leaf take =
+  let topo = State.topo st in
+  let first = Topology.leaf_first_node topo leaf in
+  let slots = Jigsaw_core.Mask.take_lowest (State.free_slot_mask st leaf) take in
+  Array.map (fun s -> first + s) (Jigsaw_core.Mask.to_array slots)
+
+(* Pod-sized jobs: packed into one pod, on leaves whose uplinks no other
+   pod/machine-scale job has reserved.  Every touched leaf's uplinks are
+   reserved whole (the implicit link fragmentation of Figure 2, center) —
+   leftover nodes on those leaves remain usable, but only by leaf-sized
+   jobs. *)
+let alloc_medium st ~job ~size =
+  let topo = State.topo st in
+  let m2 = Topology.m2 topo in
+  let rec go pod =
+    if pod >= Topology.pods topo then None
+    else begin
+      let eligible =
+        List.filter_map
+          (fun l ->
+            let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
+            let free = State.free_nodes_on_leaf st leaf in
+            if free > 0 && leaf_links_free st leaf then Some (leaf, free)
+            else None)
+          (List.init m2 Fun.id)
+      in
+      let total = List.fold_left (fun acc (_, f) -> acc + f) 0 eligible in
+      if total >= size then begin
+        (* Pack into as few leaves as possible (fullest first) so the
+           implicit link reservation touches the fewest uplinks. *)
+        let eligible =
+          List.sort (fun (_, a) (_, b) -> compare b a) eligible
+        in
+        let nodes = ref [] and cables = ref [] and left = ref size in
+        List.iter
+          (fun (leaf, free) ->
+            if !left > 0 then begin
+              let take = min free !left in
+              nodes := Array.to_list (take_leaf_nodes st leaf take) @ !nodes;
+              cables := Array.to_list (leaf_cables topo leaf) @ !cables;
+              left := !left - take
+            end)
+          eligible;
+        Some
+          (Alloc.exclusive ~job ~size
+             ~nodes:(Array.of_list (List.sort compare !nodes))
+             ~leaf_cables:(Array.of_list (List.sort compare !cables))
+             ~l2_cables:[||])
+      end
+      else go (pod + 1)
+    end
+  in
+  go 0
+
+(* A pod whose links no other pod/machine-scale job has reserved. *)
+let pod_links_free st pod =
+  let topo = State.topo st in
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+  let ok = ref true in
+  for l = 0 to m2 - 1 do
+    if not (leaf_links_free st (Topology.leaf_of_coords topo ~pod ~leaf:l)) then
+      ok := false
+  done;
+  for i = 0 to m1 - 1 do
+    let l2 = Topology.l2_of_coords topo ~pod ~index:i in
+    if State.l2_up_mask st ~l2 ~demand:1.0 <> Jigsaw_core.Mask.full m2 then
+      ok := false
+  done;
+  !ok
+
+let pod_free_nodes st pod =
+  let topo = State.topo st in
+  let m2 = Topology.m2 topo in
+  let acc = ref 0 in
+  for l = 0 to m2 - 1 do
+    acc := !acc + State.free_nodes_on_leaf st (Topology.leaf_of_coords topo ~pod ~leaf:l)
+  done;
+  !acc
+
+(* Machine-spanning jobs: whole pods whose links are unreserved; every
+   link of every chosen pod is reserved.  Leftover nodes in the last pod
+   remain usable only by leaf-sized jobs. *)
+let alloc_large st ~job ~size =
+  let topo = State.topo st in
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+  let pods =
+    List.filter
+      (fun p -> pod_links_free st p && pod_free_nodes st p > 0)
+      (List.init (Topology.pods topo) Fun.id)
+  in
+  (* First-fit: accumulate pods until the job fits. *)
+  let rec pick chosen got = function
+    | _ when got >= size -> Some (List.rev chosen)
+    | [] -> None
+    | p :: rest -> pick (p :: chosen) (got + pod_free_nodes st p) rest
+  in
+  match pick [] 0 pods with
+  | None -> None
+  | Some chosen ->
+      let nodes = ref [] and lc = ref [] and l2c = ref [] and left = ref size in
+      List.iter
+        (fun pod ->
+          for l = 0 to m2 - 1 do
+            let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
+            if !left > 0 then begin
+              let take = min (State.free_nodes_on_leaf st leaf) !left in
+              if take > 0 then
+                nodes := Array.to_list (take_leaf_nodes st leaf take) @ !nodes;
+              left := !left - take
+            end;
+            lc := Array.to_list (leaf_cables topo leaf) @ !lc
+          done;
+          for i = 0 to m1 - 1 do
+            let l2 = Topology.l2_of_coords topo ~pod ~index:i in
+            for j = 0 to m2 - 1 do
+              l2c := Topology.l2_spine_cable topo ~l2 ~spine_index:j :: !l2c
+            done
+          done)
+        chosen;
+      Some
+        (Alloc.exclusive ~job ~size
+           ~nodes:(Array.of_list (List.sort compare !nodes))
+           ~leaf_cables:(Array.of_list (List.sort compare !lc))
+           ~l2_cables:(Array.of_list (List.sort compare !l2c)))
+
+let get_allocation st ~job ~size =
+  if
+    size <= 0
+    || size > Topology.num_nodes (State.topo st)
+    || State.total_free_nodes st < size
+  then None
+  else begin
+    match classify (State.topo st) size with
+    | `Small -> alloc_small st ~job ~size
+    | `Medium -> alloc_medium st ~job ~size
+    | `Large -> alloc_large st ~job ~size
+  end

@@ -1,0 +1,30 @@
+(** Topology-aware (TA) scheduling [Jain et al. 2017, Pollard et al.
+    2018].
+
+    TA never allocates links explicitly; instead its node-placement rules
+    exclude any placement in which two jobs could conceivably contend
+    under an arbitrary (minimal) routing:
+
+    - a job that fits within a leaf ([size <= m1]) {e must} be placed on
+      a single leaf (the external fragmentation of Figure 2, right); its
+      traffic never leaves the leaf switch, so it may share a leaf with
+      any other job's nodes;
+    - a job that fits within a pod is packed into a single pod, onto
+      leaves whose uplinks no other pod- or machine-scale job has
+      reserved; every uplink of every leaf it touches is implicitly
+      reserved whole (the internal link fragmentation of Figure 2,
+      center), leaving the leaves' leftover nodes usable only by
+      leaf-sized jobs;
+    - a larger job takes whole pods with unreserved links, reserving
+      every link in them.
+
+    We make the implicit reservations explicit by claiming the reserved
+    cables outright, so TA's fragmentation flows through the same
+    resource accounting as every other scheduler. *)
+
+val get_allocation :
+  Fattree.State.t -> job:int -> size:int -> Fattree.Alloc.t option
+(** First-fit allocation under the rules above, or [None]. *)
+
+val classify : Fattree.Topology.t -> int -> [ `Small | `Medium | `Large ]
+(** The size class the rules assign to a request. *)

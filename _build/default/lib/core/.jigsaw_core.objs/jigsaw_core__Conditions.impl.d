@@ -1,0 +1,1 @@
+lib/core/conditions.ml: Array Fattree Format List Partition Printf Result Topology

@@ -1,0 +1,1 @@
+lib/core/conditions.mli: Fattree Partition

@@ -1,0 +1,1 @@
+lib/core/jigsaw.ml: Array Fattree List Mask Option Partition Search Shapes State Topology

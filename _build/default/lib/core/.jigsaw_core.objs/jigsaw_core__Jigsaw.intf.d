@@ -1,0 +1,1 @@
+lib/core/jigsaw.mli: Fattree Partition

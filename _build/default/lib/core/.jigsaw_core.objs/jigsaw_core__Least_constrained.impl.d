@@ -1,0 +1,1 @@
+lib/core/least_constrained.ml: Array Fattree List Mask Partition Search Shapes State Topology

@@ -1,0 +1,1 @@
+lib/core/least_constrained.mli: Fattree Partition

@@ -1,0 +1,1 @@
+lib/core/mask.ml: Array List

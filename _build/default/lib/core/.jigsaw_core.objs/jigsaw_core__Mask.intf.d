@@ -1,0 +1,1 @@
+lib/core/mask.mli:

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Alloc Array Fattree Format List String Topology

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Fattree List Mask Option Partition Shapes State Topology

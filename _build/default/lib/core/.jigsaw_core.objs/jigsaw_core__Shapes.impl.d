@@ -1,0 +1,1 @@
+lib/core/shapes.ml: Fattree Format Topology

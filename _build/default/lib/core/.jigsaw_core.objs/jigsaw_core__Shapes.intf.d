@@ -1,0 +1,1 @@
+lib/core/shapes.mli: Fattree Format

@@ -1,0 +1,42 @@
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let full n = (1 lsl n) - 1
+let mem mask i = mask land (1 lsl i) <> 0
+
+let to_list mask =
+  let rec go m acc =
+    if m = 0 then List.rev acc
+    else begin
+      let lsb = m land -m in
+      let rec idx v acc = if v = 1 then acc else idx (v lsr 1) (acc + 1) in
+      go (m land (m - 1)) (idx lsb 0 :: acc)
+    end
+  in
+  go mask []
+
+let of_list l = List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 l
+let of_array a = Array.fold_left (fun acc i -> acc lor (1 lsl i)) 0 a
+let to_array mask = Array.of_list (to_list mask)
+
+let take_lowest mask k =
+  if popcount mask < k then invalid_arg "Mask.take_lowest: not enough bits";
+  let rec go m taken acc =
+    if taken = k then acc
+    else begin
+      let lsb = m land -m in
+      go (m land (m - 1)) (taken + 1) (acc lor lsb)
+    end
+  in
+  go mask 0 0
+
+let take_preferring mask ~prefer k =
+  if popcount mask < k then invalid_arg "Mask.take_preferring: not enough bits";
+  let preferred = mask land prefer in
+  let from_pref = min k (popcount preferred) in
+  let first = take_lowest preferred from_pref in
+  let rest = take_lowest (mask land lnot preferred) (k - from_pref) in
+  first lor rest
+
+let subset a ~of_ = a land lnot of_ = 0

@@ -1,0 +1,32 @@
+(** Small-integer bitmask helpers.
+
+    Allocation search state is kept as OCaml-int bitmasks over switch
+    indices (at most [m1] or [m2] bits — 14 for the largest radix-28
+    clusters in the paper, always well under the 63 available). *)
+
+val popcount : int -> int
+val full : int -> int
+(** [full n] is the mask with bits [0 .. n-1] set. *)
+
+val mem : int -> int -> bool
+(** [mem mask i] tests bit [i]. *)
+
+val to_list : int -> int list
+(** Set bit indices, ascending. *)
+
+val of_list : int list -> int
+val of_array : int array -> int
+val to_array : int -> int array
+
+val take_lowest : int -> int -> int
+(** [take_lowest mask k] is the mask of the [k] lowest set bits of [mask].
+    Raises [Invalid_argument] if [mask] has fewer than [k] bits. *)
+
+val take_preferring : int -> prefer:int -> int -> int
+(** [take_preferring mask ~prefer k] picks [k] bits of [mask], drawing
+    from [mask land prefer] first (lowest-first), then from the rest of
+    [mask].  Raises [Invalid_argument] if [mask] has fewer than [k]
+    bits. *)
+
+val subset : int -> of_:int -> bool
+(** [subset a ~of_:b] is true iff every bit of [a] is set in [b]. *)

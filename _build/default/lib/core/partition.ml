@@ -1,0 +1,136 @@
+open Fattree
+
+type leaf_alloc = { leaf : int; nodes : int array; l2_indices : int array }
+
+type tree_alloc = {
+  pod : int;
+  full_leaves : leaf_alloc array;
+  rem_leaf : leaf_alloc option;
+  spine_sets : (int * int array) array;
+}
+
+type t = {
+  job : int;
+  size : int;
+  full_trees : tree_alloc array;
+  rem_tree : tree_alloc option;
+}
+
+type kind = Two_level | Three_level
+
+let all_trees p =
+  match p.rem_tree with
+  | None -> Array.to_list p.full_trees
+  | Some r -> Array.to_list p.full_trees @ [ r ]
+
+let kind p =
+  let trees = all_trees p in
+  let no_spines =
+    List.for_all (fun tr -> Array.length tr.spine_sets = 0) trees
+  in
+  if List.length trees = 1 && no_spines then Two_level else Three_level
+
+let leaves p =
+  let of_tree tr =
+    match tr.rem_leaf with
+    | None -> Array.to_list tr.full_leaves
+    | Some r -> Array.to_list tr.full_leaves @ [ r ]
+  in
+  Array.of_list (List.concat_map of_tree (all_trees p))
+
+let node_count p =
+  Array.fold_left (fun acc la -> acc + Array.length la.nodes) 0 (leaves p)
+
+let nodes p =
+  let ls = leaves p in
+  let all = Array.concat (List.map (fun la -> la.nodes) (Array.to_list ls)) in
+  Array.sort compare all;
+  all
+
+let pods_used p =
+  List.sort_uniq compare (List.map (fun tr -> tr.pod) (all_trees p))
+
+let first_full_leaf p =
+  let rec find = function
+    | [] -> None
+    | tr :: rest ->
+        if Array.length tr.full_leaves > 0 then Some tr.full_leaves.(0)
+        else find rest
+  in
+  find (all_trees p)
+
+let n_l p =
+  match first_full_leaf p with
+  | Some la -> Array.length la.nodes
+  | None -> invalid_arg "Partition.n_l: no full leaf"
+
+let l2_index_set p =
+  match first_full_leaf p with
+  | Some la -> Array.copy la.l2_indices
+  | None -> invalid_arg "Partition.l2_index_set: no full leaf"
+
+let to_alloc topo p ~bw =
+  let nodes = nodes p in
+  let leaf_cables = ref [] in
+  Array.iter
+    (fun la ->
+      Array.iter
+        (fun i ->
+          leaf_cables :=
+            Topology.leaf_l2_cable topo ~leaf:la.leaf ~l2_index:i :: !leaf_cables)
+        la.l2_indices)
+    (leaves p);
+  let l2_cables = ref [] in
+  List.iter
+    (fun tr ->
+      Array.iter
+        (fun (i, spines) ->
+          let l2 = Topology.l2_of_coords topo ~pod:tr.pod ~index:i in
+          Array.iter
+            (fun j ->
+              l2_cables :=
+                Topology.l2_spine_cable topo ~l2 ~spine_index:j :: !l2_cables)
+            spines)
+        tr.spine_sets)
+    (all_trees p);
+  let arr l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  {
+    Alloc.job = p.job;
+    size = p.size;
+    nodes;
+    leaf_cables = arr !leaf_cables;
+    l2_cables = arr !l2_cables;
+    bw;
+  }
+
+let pp_int_array ppf a =
+  Format.fprintf ppf "[%s]"
+    (String.concat "," (Array.to_list (Array.map string_of_int a)))
+
+let pp_leaf ppf la =
+  Format.fprintf ppf "leaf %d: nodes %a -> L2 %a" la.leaf pp_int_array la.nodes
+    pp_int_array la.l2_indices
+
+let pp_tree ppf tr =
+  Format.fprintf ppf "@[<v 2>pod %d:" tr.pod;
+  Array.iter (fun la -> Format.fprintf ppf "@,%a" pp_leaf la) tr.full_leaves;
+  (match tr.rem_leaf with
+  | Some la -> Format.fprintf ppf "@,rem %a" pp_leaf la
+  | None -> ());
+  Array.iter
+    (fun (i, s) -> Format.fprintf ppf "@,L2[%d] -> spines %a" i pp_int_array s)
+    tr.spine_sets;
+  Format.fprintf ppf "@]"
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v 2>partition job=%d size=%d (%s):" p.job p.size
+    (match kind p with Two_level -> "two-level" | Three_level -> "three-level");
+  Array.iter (fun tr -> Format.fprintf ppf "@,%a" pp_tree tr) p.full_trees;
+  (match p.rem_tree with
+  | Some tr -> Format.fprintf ppf "@,remainder %a" pp_tree tr
+  | None -> ());
+  Format.fprintf ppf "@]"

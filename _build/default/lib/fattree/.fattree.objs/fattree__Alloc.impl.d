@@ -1,0 +1,1 @@
+lib/fattree/alloc.ml: Array Format Int Set

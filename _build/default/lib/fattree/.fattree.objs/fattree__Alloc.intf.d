@@ -1,0 +1,1 @@
+lib/fattree/alloc.mli: Format

@@ -1,0 +1,1 @@
+lib/fattree/clos.ml: Topology

@@ -1,0 +1,1 @@
+lib/fattree/clos.mli: Topology

@@ -1,0 +1,1 @@
+lib/fattree/render.ml: Alloc Array Char Format Hashtbl List State String Topology

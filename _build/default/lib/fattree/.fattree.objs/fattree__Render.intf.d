@@ -1,0 +1,1 @@
+lib/fattree/render.mli: Alloc Format State Topology

@@ -1,0 +1,1 @@
+lib/fattree/state.ml: Alloc Array Float Int Printf Set Sim Topology

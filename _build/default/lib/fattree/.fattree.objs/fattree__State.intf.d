@@ -1,0 +1,1 @@
+lib/fattree/state.mli: Alloc Sim Topology

@@ -1,0 +1,1 @@
+lib/fattree/topology.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/fattree/topology.mli: Format

@@ -1,0 +1,1 @@
+lib/fattree/xgft.ml: Array Format String Topology

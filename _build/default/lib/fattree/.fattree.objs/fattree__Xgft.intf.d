@@ -1,0 +1,1 @@
+lib/fattree/xgft.mli: Format Topology

@@ -1,0 +1,30 @@
+type t = {
+  job : int;
+  size : int;
+  nodes : int array;
+  leaf_cables : int array;
+  l2_cables : int array;
+  bw : float;
+}
+
+let nodes_only ~job ~size nodes =
+  { job; size; nodes; leaf_cables = [||]; l2_cables = [||]; bw = 1.0 }
+
+let exclusive ~job ~size ~nodes ~leaf_cables ~l2_cables =
+  { job; size; nodes; leaf_cables; l2_cables; bw = 1.0 }
+
+let node_count a = Array.length a.nodes
+let padding a = node_count a - a.size
+
+let disjoint a b =
+  let module IS = Set.Make (Int) in
+  let set arr = IS.of_list (Array.to_list arr) in
+  let inter x y = not (IS.is_empty (IS.inter x y)) in
+  (not (inter (set a.nodes) (set b.nodes)))
+  && (not (inter (set a.leaf_cables) (set b.leaf_cables)))
+  && not (inter (set a.l2_cables) (set b.l2_cables))
+
+let pp ppf a =
+  Format.fprintf ppf "alloc(job=%d, size=%d, nodes=%d, leaf-cables=%d, l2-cables=%d, bw=%g)"
+    a.job a.size (Array.length a.nodes) (Array.length a.leaf_cables)
+    (Array.length a.l2_cables) a.bw

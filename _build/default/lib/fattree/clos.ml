@@ -1,0 +1,39 @@
+type stage = In_leaf | In_l2 | Spine_stage | Out_l2 | Out_leaf
+
+let stage_index = function
+  | In_leaf -> 1
+  | In_l2 -> 2
+  | Spine_stage -> 3
+  | Out_l2 -> 4
+  | Out_leaf -> 5
+
+let stage_width t = function
+  | In_leaf | Out_leaf -> Topology.num_leaves t
+  | In_l2 | Out_l2 -> Topology.num_l2 t
+  | Spine_stage -> Topology.num_spines t
+
+let center_network t ~stage ~pos =
+  match stage with
+  | In_leaf | Out_leaf -> None
+  | In_l2 | Out_l2 ->
+      if pos < 0 || pos >= Topology.num_l2 t then
+        invalid_arg "Clos.center_network: position out of range"
+      else Some (Topology.l2_index_in_pod t pos)
+  | Spine_stage ->
+      if pos < 0 || pos >= Topology.num_spines t then
+        invalid_arg "Clos.center_network: position out of range"
+      else Some (Topology.spine_group t pos)
+
+let input_of_node t n =
+  if n < 0 || n >= Topology.num_nodes t then
+    invalid_arg "Clos.input_of_node: node out of range"
+  else n
+
+let output_of_node = input_of_node
+
+let leaf_of_input t pos = Topology.node_leaf t pos
+
+let crossing_stages t ~src ~dst =
+  if Topology.node_leaf t src = Topology.node_leaf t dst then 0
+  else if Topology.node_pod t src = Topology.node_pod t dst then 2
+  else 4

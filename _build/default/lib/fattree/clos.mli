@@ -1,0 +1,53 @@
+(** The unfolded (Clos) view of a three-level fat-tree.
+
+    Paper Figure 4: every node of the folded tree appears twice — as an
+    input on the left and an output on the right — and each switch level
+    becomes a {e stage}; a three-level fat-tree unfolds into a five-stage
+    Clos network
+
+    {v inputs -> leaves -> L2 -> spines -> L2 -> leaves -> outputs v}
+
+    with the center three stages forming [m1] disjoint three-stage Clos
+    networks (the center networks T*_i the rearrangeability proof routes
+    through).  This module provides the coordinate system of that view:
+    stages, positions within stages, and the center-network index of
+    every middle-stage element.  [Routing.Rearrange] is the algorithmic
+    user; the view itself is exposed for tests, diagnostics and
+    visualization. *)
+
+type stage =
+  | In_leaf  (** Stage 1: leaves on the input side. *)
+  | In_l2  (** Stage 2: L2 switches, input side. *)
+  | Spine_stage  (** Stage 3: spines (the fold line). *)
+  | Out_l2  (** Stage 4: L2 switches, output side. *)
+  | Out_leaf  (** Stage 5: leaves on the output side. *)
+
+val stage_index : stage -> int
+(** 1 to 5, left to right. *)
+
+val stage_width : Topology.t -> stage -> int
+(** Number of switches in the stage ([m2*m3] for leaf stages, [m1*m3]
+    for L2 stages, [m1*m2] for the spine stage). *)
+
+val center_network : Topology.t -> stage:stage -> pos:int -> int option
+(** [center_network t ~stage ~pos] is the index [i] of the center
+    three-stage network (equivalently, the spine group / L2 index / T*_i)
+    that the switch at [pos] of [stage] belongs to; [None] for the leaf
+    stages, which feed every center network. *)
+
+val input_of_node : Topology.t -> int -> int
+(** Position of a node on the input side (equals the node id — inputs
+    are ordered as the nodes are). *)
+
+val output_of_node : Topology.t -> int -> int
+(** Position of a node on the output side (also the node id). *)
+
+val leaf_of_input : Topology.t -> int -> int
+(** The stage-1 switch (global leaf id) an input position feeds. *)
+
+val crossing_stages : Topology.t -> src:int -> dst:int -> int
+(** How many stages a flow from [src] to [dst] traverses in the folded
+    network's minimal route: 0 within a leaf, 2 within a pod (up to L2
+    and back), 4 across pods (up to a spine and back).  The Clos view
+    always shows 5 stages; this is the folded-path depth used by the
+    routing modules. *)

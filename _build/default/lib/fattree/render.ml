@@ -1,0 +1,83 @@
+type owner_fn = int -> int option
+
+let owners_of_allocs allocs =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (a : Alloc.t) -> Array.iter (fun n -> Hashtbl.replace tbl n a.job) a.nodes)
+    allocs;
+  fun n -> Hashtbl.find_opt tbl n
+
+let job_char job =
+  let digits = "0123456789abcdefghijklmnopqrstuvwxyz" in
+  digits.[job mod String.length digits]
+
+let node_map ?owners topo st ppf () =
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+  for pod = 0 to Topology.m3 topo - 1 do
+    Format.fprintf ppf "pod %2d " pod;
+    for l = 0 to m2 - 1 do
+      let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
+      Format.fprintf ppf "[";
+      for s = 0 to m1 - 1 do
+        let n = Topology.leaf_first_node topo leaf + s in
+        let c =
+          if State.node_free st n then '.'
+          else
+            match owners with
+            | None -> '#'
+            | Some f -> ( match f n with Some j -> job_char j | None -> '#')
+        in
+        Format.fprintf ppf "%c" c
+      done;
+      Format.fprintf ppf "]"
+    done;
+    Format.fprintf ppf "@."
+  done
+
+let capacity_char remaining =
+  if remaining >= 0.999 then '-'
+  else if remaining <= 0.001 then 'x'
+  else Char.chr (Char.code '0' + max 1 (min 9 (int_of_float (remaining *. 10.0))))
+
+let link_map topo st ppf () =
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+  for pod = 0 to Topology.m3 topo - 1 do
+    Format.fprintf ppf "pod %2d up:" pod;
+    for l = 0 to m2 - 1 do
+      let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
+      Format.fprintf ppf " ";
+      for i = 0 to m1 - 1 do
+        let c = Topology.leaf_l2_cable topo ~leaf ~l2_index:i in
+        Format.fprintf ppf "%c" (capacity_char (State.leaf_up_remaining st ~cable:c))
+      done
+    done;
+    Format.fprintf ppf "  spine:";
+    for i = 0 to m1 - 1 do
+      let l2 = Topology.l2_of_coords topo ~pod ~index:i in
+      Format.fprintf ppf " ";
+      for j = 0 to m2 - 1 do
+        let c = Topology.l2_spine_cable topo ~l2 ~spine_index:j in
+        Format.fprintf ppf "%c" (capacity_char (State.l2_up_remaining st ~cable:c))
+      done
+    done;
+    Format.fprintf ppf "@."
+  done
+
+let summary topo st ppf () =
+  let free_leaves = ref 0 and free_pods = ref 0 in
+  for leaf = 0 to Topology.num_leaves topo - 1 do
+    if State.leaf_fully_free st leaf then incr free_leaves
+  done;
+  for pod = 0 to Topology.m3 topo - 1 do
+    let all = ref true in
+    for l = 0 to Topology.m2 topo - 1 do
+      if not (State.leaf_fully_free st (Topology.leaf_of_coords topo ~pod ~leaf:l))
+      then all := false
+    done;
+    if !all then incr free_pods
+  done;
+  Format.fprintf ppf
+    "%d/%d nodes busy (%.1f%%), %d fully-free leaves, %d fully-free pods"
+    (State.busy_node_count st) (Topology.num_nodes topo)
+    (100.0 *. State.node_utilization st)
+    !free_leaves !free_pods

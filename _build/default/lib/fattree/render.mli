@@ -1,0 +1,31 @@
+(** ASCII rendering of cluster occupancy.
+
+    Debug- and demo-oriented views of who owns what: a pod-by-leaf map of
+    node occupancy and a link-capacity map.  Jobs are shown by the last
+    character of their id (or ['#'] for mixed/unknown), free nodes as
+    ['.'], so fragmentation patterns — LaaS's padded leaves, TA's
+    link-reserved-but-half-empty leaves, Jigsaw's packed pods — are
+    visible at a glance. *)
+
+type owner_fn = int -> int option
+(** Maps a node id to the owning job id, or [None] if free.  Build one
+    with {!owners_of_allocs} or supply your own. *)
+
+val owners_of_allocs : Alloc.t list -> owner_fn
+(** Ownership lookup over a set of live allocations. *)
+
+val node_map :
+  ?owners:owner_fn -> Topology.t -> State.t -> Format.formatter -> unit -> unit
+(** [node_map topo st ppf ()] prints one line per pod; each leaf is a
+    bracketed group of slot characters.  Without [owners], busy nodes
+    print as ['#']. *)
+
+val link_map : Topology.t -> State.t -> Format.formatter -> unit -> unit
+(** Prints, per pod, the remaining capacity of each leaf's uplink set and
+    each L2 switch's spine uplink set: ['-'] for a fully free cable,
+    ['x'] for an exhausted one, digits [1-9] for fractional tenths
+    remaining. *)
+
+val summary : Topology.t -> State.t -> Format.formatter -> unit -> unit
+(** One-line occupancy summary (busy/total nodes, fully-free leaves and
+    pods). *)

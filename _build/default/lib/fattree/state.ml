@@ -1,0 +1,160 @@
+let eps = 1e-9
+
+type t = {
+  topo : Topology.t;
+  free : Sim.Bitset.t; (* node id -> free *)
+  free_per_leaf : int array;
+  leaf_up : float array; (* leaf-l2 cable -> remaining capacity *)
+  l2_up : float array; (* l2-spine cable -> remaining capacity *)
+  mutable busy : int;
+}
+
+let create topo =
+  let free = Sim.Bitset.create (Topology.num_nodes topo) in
+  Sim.Bitset.fill free;
+  {
+    topo;
+    free;
+    free_per_leaf = Array.make (Topology.num_leaves topo) (Topology.m1 topo);
+    leaf_up = Array.make (Topology.num_leaf_l2_cables topo) 1.0;
+    l2_up = Array.make (Topology.num_l2_spine_cables topo) 1.0;
+    busy = 0;
+  }
+
+let topo t = t.topo
+
+let clone t =
+  {
+    topo = t.topo;
+    free = Sim.Bitset.copy t.free;
+    free_per_leaf = Array.copy t.free_per_leaf;
+    leaf_up = Array.copy t.leaf_up;
+    l2_up = Array.copy t.l2_up;
+    busy = t.busy;
+  }
+
+let node_free t n = Sim.Bitset.mem t.free n
+let free_nodes_on_leaf t l = t.free_per_leaf.(l)
+
+let free_slot_mask t leaf =
+  let first = Topology.leaf_first_node t.topo leaf in
+  let m1 = Topology.m1 t.topo in
+  let mask = ref 0 in
+  for s = 0 to m1 - 1 do
+    if Sim.Bitset.mem t.free (first + s) then mask := !mask lor (1 lsl s)
+  done;
+  !mask
+
+let leaf_up_remaining t ~cable = t.leaf_up.(cable)
+let l2_up_remaining t ~cable = t.l2_up.(cable)
+
+let leaf_up_mask t ~leaf ~demand =
+  let m1 = Topology.m1 t.topo in
+  let mask = ref 0 in
+  for i = 0 to m1 - 1 do
+    let c = Topology.leaf_l2_cable t.topo ~leaf ~l2_index:i in
+    if t.leaf_up.(c) >= demand -. eps then mask := !mask lor (1 lsl i)
+  done;
+  !mask
+
+let l2_up_mask t ~l2 ~demand =
+  let m2 = Topology.m2 t.topo in
+  let mask = ref 0 in
+  for j = 0 to m2 - 1 do
+    let c = Topology.l2_spine_cable t.topo ~l2 ~spine_index:j in
+    if t.l2_up.(c) >= demand -. eps then mask := !mask lor (1 lsl j)
+  done;
+  !mask
+
+let leaf_fully_free t leaf =
+  let m1 = Topology.m1 t.topo in
+  t.free_per_leaf.(leaf) = m1
+  && leaf_up_mask t ~leaf ~demand:1.0 = (1 lsl m1) - 1
+
+let total_free_nodes t = Topology.num_nodes t.topo - t.busy
+let busy_node_count t = t.busy
+
+let node_utilization t =
+  float_of_int t.busy /. float_of_int (Topology.num_nodes t.topo)
+
+let no_dups arr =
+  let module IS = Set.Make (Int) in
+  let s = IS.of_list (Array.to_list arr) in
+  IS.cardinal s = Array.length arr
+
+let check_claim t (a : Alloc.t) =
+  if a.bw <= 0.0 || a.bw > 1.0 +. eps then Error "bandwidth demand out of (0,1]"
+  else if not (no_dups a.nodes) then Error "duplicate node in allocation"
+  else if not (no_dups a.leaf_cables) then Error "duplicate leaf cable"
+  else if not (no_dups a.l2_cables) then Error "duplicate l2 cable"
+  else begin
+    let bad = ref None in
+    Array.iter
+      (fun n ->
+        if !bad = None && not (Sim.Bitset.mem t.free n) then
+          bad := Some (Printf.sprintf "node %d is busy" n))
+      a.nodes;
+    Array.iter
+      (fun c ->
+        if !bad = None && t.leaf_up.(c) < a.bw -. eps then
+          bad := Some (Printf.sprintf "leaf cable %d lacks capacity" c))
+      a.leaf_cables;
+    Array.iter
+      (fun c ->
+        if !bad = None && t.l2_up.(c) < a.bw -. eps then
+          bad := Some (Printf.sprintf "l2 cable %d lacks capacity" c))
+      a.l2_cables;
+    match !bad with Some m -> Error m | None -> Ok ()
+  end
+
+let claim t (a : Alloc.t) =
+  match check_claim t a with
+  | Error _ as e -> e
+  | Ok () ->
+      Array.iter
+        (fun n ->
+          Sim.Bitset.remove t.free n;
+          let leaf = Topology.node_leaf t.topo n in
+          t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) - 1)
+        a.nodes;
+      Array.iter (fun c -> t.leaf_up.(c) <- t.leaf_up.(c) -. a.bw) a.leaf_cables;
+      Array.iter (fun c -> t.l2_up.(c) <- t.l2_up.(c) -. a.bw) a.l2_cables;
+      t.busy <- t.busy + Array.length a.nodes;
+      Ok ()
+
+let claim_exn t a =
+  match claim t a with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("State.claim_exn: " ^ m)
+
+let release t (a : Alloc.t) =
+  Array.iter
+    (fun n ->
+      if Sim.Bitset.mem t.free n then
+        invalid_arg (Printf.sprintf "State.release: node %d was not busy" n))
+    a.nodes;
+  Array.iter
+    (fun c ->
+      if t.leaf_up.(c) +. a.bw > 1.0 +. eps then
+        invalid_arg (Printf.sprintf "State.release: leaf cable %d over-released" c))
+    a.leaf_cables;
+  Array.iter
+    (fun c ->
+      if t.l2_up.(c) +. a.bw > 1.0 +. eps then
+        invalid_arg (Printf.sprintf "State.release: l2 cable %d over-released" c))
+    a.l2_cables;
+  Array.iter
+    (fun n ->
+      Sim.Bitset.add t.free n;
+      let leaf = Topology.node_leaf t.topo n in
+      t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) + 1)
+    a.nodes;
+  Array.iter
+    (fun c -> t.leaf_up.(c) <- Float.min 1.0 (t.leaf_up.(c) +. a.bw))
+    a.leaf_cables;
+  Array.iter
+    (fun c -> t.l2_up.(c) <- Float.min 1.0 (t.l2_up.(c) +. a.bw))
+    a.l2_cables;
+  t.busy <- t.busy - Array.length a.nodes
+
+let snapshot_free_nodes t = Sim.Bitset.copy t.free

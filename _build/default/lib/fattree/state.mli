@@ -1,0 +1,72 @@
+(** Mutable cluster resource state.
+
+    Tracks which nodes are busy and how much capacity remains on every
+    leaf–L2 and L2–spine cable.  Cable capacity is normalized: 1.0 is the
+    full usable capacity of a cable.  Exclusive allocations demand 1.0;
+    the link-sharing scheduler (LC+S) demands a fraction.
+
+    {!claim} is atomic: it either commits the whole allocation or rejects
+    it and leaves the state untouched.  This is what makes the scheduler's
+    isolation guarantee checkable — double allocation of a node or
+    over-subscription of a cable is a claim-time error, not a silent
+    overlap. *)
+
+type t
+
+val create : Topology.t -> t
+(** [create topo] is a fully free cluster. *)
+
+val topo : t -> Topology.t
+val clone : t -> t
+
+(** {1 Nodes} *)
+
+val node_free : t -> int -> bool
+val free_nodes_on_leaf : t -> int -> int
+(** Number of free nodes on a (global) leaf. *)
+
+val free_slot_mask : t -> int -> int
+(** [free_slot_mask t leaf] is the bitmask (over slots [0 .. m1-1]) of free
+    nodes on [leaf]. *)
+
+val leaf_fully_free : t -> int -> bool
+(** All nodes free {e and} all uplink cables at full capacity. *)
+
+val total_free_nodes : t -> int
+val busy_node_count : t -> int
+
+val node_utilization : t -> float
+(** [busy_node_count / num_nodes]. *)
+
+(** {1 Cables}
+
+    Remaining capacities are in [0, 1].  Masks report, per switch, which
+    uplink indices have at least [demand] capacity remaining. *)
+
+val leaf_up_remaining : t -> cable:int -> float
+val l2_up_remaining : t -> cable:int -> float
+
+val leaf_up_mask : t -> leaf:int -> demand:float -> int
+(** Bitmask over L2 indices [0 .. m1-1]. *)
+
+val l2_up_mask : t -> l2:int -> demand:float -> int
+(** Bitmask over spine indices [0 .. m2-1]. *)
+
+(** {1 Claim / release} *)
+
+val claim : t -> Alloc.t -> (unit, string) result
+(** [claim t a] atomically marks [a]'s nodes busy and subtracts [a.bw]
+    from each listed cable.  Fails (leaving [t] unchanged) if any node is
+    busy, any cable lacks capacity, or the allocation lists a node or
+    cable twice. *)
+
+val claim_exn : t -> Alloc.t -> unit
+(** Like {!claim} but raises [Invalid_argument] on failure. *)
+
+val release : t -> Alloc.t -> unit
+(** [release t a] returns [a]'s resources.  Raises [Invalid_argument] if a
+    node was not busy or a cable's capacity would exceed 1.0 — that is,
+    if [a] was not currently claimed. *)
+
+val snapshot_free_nodes : t -> Sim.Bitset.t
+(** A copy of the free-node set (for tests and diagnostics). *)

@@ -1,0 +1,54 @@
+type t = { levels : int; m : int array; w : int array }
+
+let create ~m ~w =
+  let h = Array.length m in
+  if h = 0 then invalid_arg "Xgft.create: empty parameter arrays";
+  if Array.length w <> h then
+    invalid_arg "Xgft.create: m and w must have the same length";
+  Array.iter (fun x -> if x < 1 then invalid_arg "Xgft.create: non-positive m") m;
+  Array.iter (fun x -> if x < 1 then invalid_arg "Xgft.create: non-positive w") w;
+  if w.(0) <> 1 then invalid_arg "Xgft.create: w1 must be 1 (nodes have one parent)";
+  { levels = h; m = Array.copy m; w = Array.copy w }
+
+let of_topology topo =
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo and m3 = Topology.m3 topo in
+  { levels = 3; m = [| m1; m2; m3 |]; w = [| 1; m1; m2 |] }
+
+let to_topology x =
+  if x.levels = 3 && x.w.(0) = 1 && x.w.(1) = x.m.(0) && x.w.(2) = x.m.(1) then
+    Some
+      (Topology.create ~nodes_per_leaf:x.m.(0) ~leaves_per_pod:x.m.(1)
+         ~pods:x.m.(2))
+  else None
+
+let num_nodes x = Array.fold_left ( * ) 1 x.m
+
+let num_switches_at_level x l =
+  if l < 1 || l > x.levels then
+    invalid_arg "Xgft.num_switches_at_level: level out of range";
+  (* Switches at level l: product of m for levels above l, times product of
+     w for levels up to l. *)
+  let above = ref 1 in
+  for i = l to x.levels - 1 do
+    above := !above * x.m.(i)
+  done;
+  let parents = ref 1 in
+  for i = 1 to l - 1 do
+    parents := !parents * x.w.(i)
+  done;
+  !above * !parents
+
+let is_full_bandwidth x =
+  let ok = ref true in
+  for i = 1 to x.levels - 1 do
+    if x.w.(i) <> x.m.(i - 1) then ok := false
+  done;
+  !ok
+
+let pp ppf x =
+  let ints arr =
+    String.concat "," (Array.to_list (Array.map string_of_int arr))
+  in
+  Format.fprintf ppf "XGFT(%d; %s; %s)" x.levels (ints x.m) (ints x.w)
+
+let to_string x = Format.asprintf "%a" pp x

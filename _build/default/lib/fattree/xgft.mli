@@ -1,0 +1,43 @@
+(** Extended Generalized Fat-Tree (XGFT) notation.
+
+    XGFT(h; m1, ..., mh; w1, ..., wh) describes an [h]-level tree where
+    level-[i] elements have [mi] children and [wi] parents.  The paper's
+    Appendix A (Figures 9 and 10) uses this notation; we provide it for
+    describing trees, checking the full-bandwidth property, and
+    pretty-printing topology descriptions in papers'-eye-view form. *)
+
+type t = private {
+  levels : int;  (** [h], the number of switch levels. *)
+  m : int array;  (** Children per element, [m.(0)] = [m1], length [h]. *)
+  w : int array;  (** Parents per element, [w.(0)] = [w1], length [h]. *)
+}
+
+val create : m:int array -> w:int array -> t
+(** [create ~m ~w] is XGFT(h; m; w) with [h = Array.length m].  Arrays must
+    have equal positive length and positive entries, and [w.(0)] must be 1
+    (a compute node has exactly one parent leaf). *)
+
+val of_topology : Topology.t -> t
+(** The XGFT description of a full-bandwidth three-level tree:
+    XGFT(3; m1, m2, m3; 1, m1, m2). *)
+
+val to_topology : t -> Topology.t option
+(** [to_topology x] is the concrete three-level topology when [x] is a
+    three-level full-bandwidth XGFT, [None] otherwise. *)
+
+val num_nodes : t -> int
+(** Product of all [mi]. *)
+
+val num_switches_at_level : t -> int -> int
+(** [num_switches_at_level x l] is the number of switches at level [l]
+    (1-based: 1 = leaves).  Raises [Invalid_argument] if [l] is outside
+    [1, levels]. *)
+
+val is_full_bandwidth : t -> bool
+(** True iff [w.(i) = m.(i-1)] for every level above the first, i.e. up-
+    and downlink counts balance at every switch level. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. "XGFT(3; 2,3,2; 1,2,3)". *)
+
+val to_string : t -> string

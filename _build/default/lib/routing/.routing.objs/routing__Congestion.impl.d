@@ -1,0 +1,1 @@
+lib/routing/congestion.ml: Format Hashtbl List Path

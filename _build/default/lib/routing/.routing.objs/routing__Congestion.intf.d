@@ -1,0 +1,1 @@
+lib/routing/congestion.mli: Format Path

@@ -1,0 +1,1 @@
+lib/routing/dmodk.ml: Fattree List Path Topology

@@ -1,0 +1,1 @@
+lib/routing/dmodk.mli: Fattree Path

@@ -1,0 +1,1 @@
+lib/routing/feasibility.ml: Alloc Array Fattree Maxflow Topology

@@ -1,0 +1,1 @@
+lib/routing/feasibility.mli: Fattree

@@ -1,0 +1,1 @@
+lib/routing/fwd.ml: Array Fattree Format Hashtbl Jigsaw_core List Partition Partition_routing Path Result Topology

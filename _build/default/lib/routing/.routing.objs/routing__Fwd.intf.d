@@ -1,0 +1,1 @@
+lib/routing/fwd.mli: Fattree Jigsaw_core Path

@@ -1,0 +1,1 @@
+lib/routing/greedy.ml: Array Fattree List Path Topology

@@ -1,0 +1,1 @@
+lib/routing/greedy.mli: Fattree Path

@@ -1,0 +1,1 @@
+lib/routing/matching.ml: Array List Queue

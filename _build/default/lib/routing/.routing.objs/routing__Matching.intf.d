@@ -1,0 +1,1 @@
+lib/routing/matching.mli:

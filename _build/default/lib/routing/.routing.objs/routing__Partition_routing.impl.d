@@ -1,0 +1,1 @@
+lib/routing/partition_routing.ml: Array Fattree Format Jigsaw_core List Partition Path Result Topology

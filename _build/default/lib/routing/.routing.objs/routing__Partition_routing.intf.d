@@ -1,0 +1,1 @@
+lib/routing/partition_routing.mli: Fattree Jigsaw_core Path

@@ -1,0 +1,1 @@
+lib/routing/path.ml: Array Fattree Format Hashtbl Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/routing/path.mli: Fattree Format Hashtbl

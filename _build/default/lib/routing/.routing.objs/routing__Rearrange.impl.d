@@ -1,0 +1,1 @@
+lib/routing/rearrange.ml: Array Conditions Fattree Format Hashtbl Jigsaw_core List Matching Partition Path Result Set Topology

@@ -1,0 +1,1 @@
+lib/routing/rearrange.mli: Fattree Jigsaw_core Path

@@ -1,0 +1,59 @@
+type report = {
+  max_load : int;
+  shared_channels : int;
+  interfered_flows : int;
+  total_flows : int;
+}
+
+let analyze jobs =
+  (* channel -> (total load, job set) *)
+  let tbl : (Path.tier * Path.dir * int, int * int list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  List.iter
+    (fun (job, paths) ->
+      List.iter
+        (fun (p : Path.t) ->
+          List.iter
+            (fun (h : Path.hop) ->
+              let key = (h.tier, h.dir, h.cable) in
+              let load, js =
+                try Hashtbl.find tbl key with Not_found -> (0, [])
+              in
+              let js = if List.mem job js then js else job :: js in
+              Hashtbl.replace tbl key (load + 1, js))
+            p.hops)
+        paths)
+    jobs;
+  let max_load = Hashtbl.fold (fun _ (l, _) acc -> max l acc) tbl 0 in
+  let shared_channels =
+    Hashtbl.fold (fun _ (_, js) acc -> if List.length js >= 2 then acc + 1 else acc) tbl 0
+  in
+  let shared_key key =
+    match Hashtbl.find_opt tbl key with
+    | Some (_, js) -> List.length js >= 2
+    | None -> false
+  in
+  let interfered_flows = ref 0 and total_flows = ref 0 in
+  List.iter
+    (fun (_, paths) ->
+      List.iter
+        (fun (p : Path.t) ->
+          incr total_flows;
+          let hit =
+            List.exists (fun (h : Path.hop) -> shared_key (h.tier, h.dir, h.cable)) p.hops
+          in
+          if hit then incr interfered_flows)
+        paths)
+    jobs;
+  {
+    max_load;
+    shared_channels;
+    interfered_flows = !interfered_flows;
+    total_flows = !total_flows;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "max channel load %d; %d shared channels; %d/%d flows interfered"
+    r.max_load r.shared_channels r.interfered_flows r.total_flows

@@ -1,0 +1,46 @@
+open Fattree
+
+let path topo ~src ~dst =
+  let src_leaf = Topology.node_leaf topo src in
+  let dst_leaf = Topology.node_leaf topo dst in
+  if src_leaf = dst_leaf then Path.local ~src ~dst
+  else begin
+    let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+    let l2_index = dst mod m1 in
+    let up1 =
+      { Path.tier = Path.Leaf_l2;
+        cable = Topology.leaf_l2_cable topo ~leaf:src_leaf ~l2_index;
+        dir = Path.Up }
+    in
+    let down1 =
+      { Path.tier = Path.Leaf_l2;
+        cable = Topology.leaf_l2_cable topo ~leaf:dst_leaf ~l2_index;
+        dir = Path.Down }
+    in
+    let src_pod = Topology.node_pod topo src in
+    let dst_pod = Topology.node_pod topo dst in
+    if src_pod = dst_pod then { Path.src; dst; hops = [ up1; down1 ] }
+    else begin
+      let spine_index = dst / m1 mod m2 in
+      let src_l2 = Topology.l2_of_coords topo ~pod:src_pod ~index:l2_index in
+      let dst_l2 = Topology.l2_of_coords topo ~pod:dst_pod ~index:l2_index in
+      {
+        Path.src;
+        dst;
+        hops =
+          [
+            up1;
+            { Path.tier = Path.L2_spine;
+              cable = Topology.l2_spine_cable topo ~l2:src_l2 ~spine_index;
+              dir = Path.Up };
+            { Path.tier = Path.L2_spine;
+              cable = Topology.l2_spine_cable topo ~l2:dst_l2 ~spine_index;
+              dir = Path.Down };
+            down1;
+          ];
+      }
+    end
+  end
+
+let routes topo flows = List.map (fun (src, dst) -> path topo ~src ~dst) flows
+let max_load topo flows = Path.max_channel_load (routes topo flows)

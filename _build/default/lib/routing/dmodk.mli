@@ -1,0 +1,20 @@
+(** Destination-mod-k static routing on the full fat-tree.
+
+    The standard static routing used on production fat-tree clusters
+    (Zahavi's D-mod-k): the upward path of a packet is determined by the
+    destination identifier alone — the leaf picks uplink
+    [dst mod m1] and the L2 switch picks uplink [(dst / m1) mod m2] —
+    which balances shift permutations across links on a dedicated tree
+    but can hotspot under multi-job workloads.  Used as the routing
+    substrate for the Baseline scheduler's interference measurements. *)
+
+val path : Fattree.Topology.t -> src:int -> dst:int -> Path.t
+(** The unique D-mod-k route from [src] to [dst].  Intra-leaf traffic has
+    an empty hop list; intra-pod traffic makes two hops; inter-pod
+    traffic makes four. *)
+
+val routes : Fattree.Topology.t -> (int * int) list -> Path.t list
+(** Routes for a list of (src, dst) flows. *)
+
+val max_load : Fattree.Topology.t -> (int * int) list -> int
+(** Largest number of flows on any directed channel under D-mod-k. *)

@@ -1,0 +1,53 @@
+open Fattree
+
+(* Vertex layout for the flow network:
+   0                         source
+   1                         sink
+   2 + n                     node n (both role endpoints; sources get a
+                             capacity-1 edge from the source, dsts one to
+                             the sink, so double duty is safe)
+   node_base + leaf          leaf switch crossbar
+   leaf_base + l2            L2 switch crossbar
+   l2_base + spine           spine crossbar *)
+let max_concurrent_flows topo (alloc : Alloc.t) ~srcs ~dsts =
+  let num_nodes = Topology.num_nodes topo in
+  let leaf0 = 2 + num_nodes in
+  let l20 = leaf0 + Topology.num_leaves topo in
+  let spine0 = l20 + Topology.num_l2 topo in
+  let total = spine0 + Topology.num_spines topo in
+  let g = Maxflow.create total in
+  let source = 0 and sink = 1 in
+  (* Node-leaf cables: dedicated, one per direction. *)
+  Array.iter
+    (fun n ->
+      let leaf = Topology.node_leaf topo n in
+      Maxflow.add_edge g ~src:source ~dst:(2 + n) ~cap:1;
+      Maxflow.add_edge g ~src:(2 + n) ~dst:(leaf0 + leaf) ~cap:1)
+    srcs;
+  Array.iter
+    (fun n ->
+      let leaf = Topology.node_leaf topo n in
+      Maxflow.add_edge g ~src:(leaf0 + leaf) ~dst:(2 + n) ~cap:1;
+      Maxflow.add_edge g ~src:(2 + n) ~dst:sink ~cap:1)
+    dsts;
+  (* Allocated leaf-L2 cables: one unit each way. *)
+  Array.iter
+    (fun c ->
+      let leaf = Topology.leaf_l2_cable_leaf topo c in
+      let i = Topology.leaf_l2_cable_l2_index topo c in
+      let l2 = Topology.l2_of_coords topo ~pod:(Topology.leaf_pod topo leaf) ~index:i in
+      Maxflow.add_edge g ~src:(leaf0 + leaf) ~dst:(l20 + l2) ~cap:1;
+      Maxflow.add_edge g ~src:(l20 + l2) ~dst:(leaf0 + leaf) ~cap:1)
+    alloc.leaf_cables;
+  (* Allocated L2-spine cables. *)
+  Array.iter
+    (fun c ->
+      let l2 = Topology.l2_spine_cable_l2 topo c in
+      let spine = Topology.spine_of_l2_cable topo c in
+      Maxflow.add_edge g ~src:(l20 + l2) ~dst:(spine0 + spine) ~cap:1;
+      Maxflow.add_edge g ~src:(spine0 + spine) ~dst:(l20 + l2) ~cap:1)
+    alloc.l2_cables;
+  Maxflow.max_flow g ~s:source ~t:sink
+
+let supports_permutation_lower_bound topo alloc ~srcs ~dsts =
+  max_concurrent_flows topo alloc ~srcs ~dsts >= Array.length srcs

@@ -1,0 +1,34 @@
+(** Routability bounds via maximum flow.
+
+    [max_concurrent_flows] computes the largest number of simultaneous
+    unit flows from a set of source nodes to a set of destination nodes
+    that the {e allocated} cables can carry with at most one flow per
+    directed channel.  It is the exact feasibility bound for a one-to-one
+    traffic pattern between the two sets, with fully general (even
+    non-minimal) routing allowed.
+
+    This is the tool behind the necessity direction of the paper's
+    Appendix A: if an allocation violates a §3.2 condition, some pair of
+    equal-size node subsets (A, B) has [max_concurrent_flows < |A|] —
+    a traffic permutation pairing A with B cannot be routed without
+    contention, so the allocation is not rearrangeable non-blocking. *)
+
+val max_concurrent_flows :
+  Fattree.Topology.t ->
+  Fattree.Alloc.t ->
+  srcs:int array ->
+  dsts:int array ->
+  int
+(** [max_concurrent_flows topo alloc ~srcs ~dsts] with distinct sources
+    and distinct destinations (a node may appear on both sides).  Every
+    node must belong to [alloc].  Channels modeled: node–leaf cables
+    (dedicated, capacity 1 per direction), allocated leaf–L2 cables and
+    allocated L2–spine cables (capacity 1 per direction); switch
+    crossbars are unconstrained. *)
+
+val supports_permutation_lower_bound :
+  Fattree.Topology.t -> Fattree.Alloc.t -> srcs:int array -> dsts:int array -> bool
+(** [supports_permutation_lower_bound topo alloc ~srcs ~dsts] is
+    [max_concurrent_flows ... >= Array.length srcs] — a {e necessary}
+    condition for the allocation to route a permutation pairing [srcs]
+    with [dsts].  [false] therefore witnesses non-rearrangeability. *)

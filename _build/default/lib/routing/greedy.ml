@@ -1,0 +1,134 @@
+open Fattree
+
+type loads = {
+  leaf_up : int array; (* per leaf-l2 cable *)
+  leaf_down : int array;
+  l2_up : int array; (* per l2-spine cable *)
+  l2_down : int array;
+}
+
+let mk_loads topo =
+  {
+    leaf_up = Array.make (Topology.num_leaf_l2_cables topo) 0;
+    leaf_down = Array.make (Topology.num_leaf_l2_cables topo) 0;
+    l2_up = Array.make (Topology.num_l2_spine_cables topo) 0;
+    l2_down = Array.make (Topology.num_l2_spine_cables topo) 0;
+  }
+
+let hop_load loads (h : Path.hop) =
+  match (h.tier, h.dir) with
+  | Path.Leaf_l2, Path.Up -> loads.leaf_up.(h.cable)
+  | Path.Leaf_l2, Path.Down -> loads.leaf_down.(h.cable)
+  | Path.L2_spine, Path.Up -> loads.l2_up.(h.cable)
+  | Path.L2_spine, Path.Down -> loads.l2_down.(h.cable)
+
+let bump loads (h : Path.hop) =
+  match (h.tier, h.dir) with
+  | Path.Leaf_l2, Path.Up -> loads.leaf_up.(h.cable) <- loads.leaf_up.(h.cable) + 1
+  | Path.Leaf_l2, Path.Down ->
+      loads.leaf_down.(h.cable) <- loads.leaf_down.(h.cable) + 1
+  | Path.L2_spine, Path.Up -> loads.l2_up.(h.cable) <- loads.l2_up.(h.cable) + 1
+  | Path.L2_spine, Path.Down ->
+      loads.l2_down.(h.cable) <- loads.l2_down.(h.cable) + 1
+
+(* All minimal up/down paths between two nodes. *)
+let candidates topo ~src ~dst =
+  let src_leaf = Topology.node_leaf topo src in
+  let dst_leaf = Topology.node_leaf topo dst in
+  if src_leaf = dst_leaf then [ Path.local ~src ~dst ]
+  else begin
+    let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+    let src_pod = Topology.node_pod topo src in
+    let dst_pod = Topology.node_pod topo dst in
+    if src_pod = dst_pod then
+      List.init m1 (fun i ->
+          {
+            Path.src;
+            dst;
+            hops =
+              [
+                { Path.tier = Path.Leaf_l2;
+                  cable = Topology.leaf_l2_cable topo ~leaf:src_leaf ~l2_index:i;
+                  dir = Path.Up };
+                { Path.tier = Path.Leaf_l2;
+                  cable = Topology.leaf_l2_cable topo ~leaf:dst_leaf ~l2_index:i;
+                  dir = Path.Down };
+              ];
+          })
+    else
+      List.concat
+        (List.init m1 (fun i ->
+             List.init m2 (fun j ->
+                 let src_l2 = Topology.l2_of_coords topo ~pod:src_pod ~index:i in
+                 let dst_l2 = Topology.l2_of_coords topo ~pod:dst_pod ~index:i in
+                 {
+                   Path.src;
+                   dst;
+                   hops =
+                     [
+                       { Path.tier = Path.Leaf_l2;
+                         cable = Topology.leaf_l2_cable topo ~leaf:src_leaf ~l2_index:i;
+                         dir = Path.Up };
+                       { Path.tier = Path.L2_spine;
+                         cable = Topology.l2_spine_cable topo ~l2:src_l2 ~spine_index:j;
+                         dir = Path.Up };
+                       { Path.tier = Path.L2_spine;
+                         cable = Topology.l2_spine_cable topo ~l2:dst_l2 ~spine_index:j;
+                         dir = Path.Down };
+                       { Path.tier = Path.Leaf_l2;
+                         cable = Topology.leaf_l2_cable topo ~leaf:dst_leaf ~l2_index:i;
+                         dir = Path.Down };
+                     ];
+                 })))
+  end
+
+let route topo flows =
+  let loads = mk_loads topo in
+  List.map
+    (fun (src, dst) ->
+      let best =
+        List.fold_left
+          (fun acc path ->
+            let cost_max =
+              List.fold_left (fun m h -> max m (hop_load loads h)) 0 path.Path.hops
+            in
+            let cost_sum =
+              List.fold_left (fun s h -> s + hop_load loads h) 0 path.Path.hops
+            in
+            match acc with
+            | None -> Some (path, cost_max, cost_sum)
+            | Some (_, bm, bs) when cost_max < bm || (cost_max = bm && cost_sum < bs)
+              ->
+                Some (path, cost_max, cost_sum)
+            | some -> some)
+          None
+          (candidates topo ~src ~dst)
+      in
+      match best with
+      | Some (path, _, _) ->
+          List.iter (bump loads) path.hops;
+          path
+      | None -> assert false (* candidates is never empty *))
+    flows
+
+let max_load topo flows = Path.max_channel_load (route topo flows)
+
+let lower_bound_load topo flows =
+  let m1 = Topology.m1 topo in
+  let out_counts = Array.make (Topology.num_leaves topo) 0 in
+  let in_counts = Array.make (Topology.num_leaves topo) 0 in
+  let any = ref 0 in
+  List.iter
+    (fun (src, dst) ->
+      let sl = Topology.node_leaf topo src and dl = Topology.node_leaf topo dst in
+      if sl <> dl then begin
+        any := 1;
+        out_counts.(sl) <- out_counts.(sl) + 1;
+        in_counts.(dl) <- in_counts.(dl) + 1
+      end)
+    flows;
+  let ceil_div a b = (a + b - 1) / b in
+  let bound = ref !any in
+  Array.iter (fun c -> bound := max !bound (ceil_div c m1)) out_counts;
+  Array.iter (fun c -> bound := max !bound (ceil_div c m1)) in_counts;
+  !bound

@@ -1,0 +1,33 @@
+(** Load-aware best-effort routing — the mitigation family Jigsaw
+    replaces.
+
+    Models the routing-based approaches of the paper's §2.3.1 and §7
+    (Lee et al.'s SDN rerouting, Domke & Hoefler's Scheduling-Aware
+    Routing, Smith et al.'s AFAR): a global controller that knows the
+    current flows and spreads them over the least-loaded minimal paths.
+    Flows are routed one at a time onto the up/down path that minimizes
+    the maximum (then total) channel load among all minimal paths.
+
+    These schemes need no scheduler changes and keep utilization
+    untouched, but — as the paper argues — they {e cannot bound
+    worst-case interference}: when the flows into or out of a switch
+    exceed its links, some channel must carry several flows no matter
+    how cleverly they are spread.  [lower_bound_load] computes that
+    pigeonhole bound so tests and demos can show greedy routing hitting
+    it while Jigsaw partitions never share a channel at all. *)
+
+val route : Fattree.Topology.t -> (int * int) list -> Path.t list
+(** [route topo flows] routes each (src, dst) flow in order on the
+    currently least-loaded minimal path.  Deterministic (ties break
+    toward lower switch indices). *)
+
+val max_load : Fattree.Topology.t -> (int * int) list -> int
+(** Largest per-channel flow count under greedy routing. *)
+
+val lower_bound_load : Fattree.Topology.t -> (int * int) list -> int
+(** A routing-independent lower bound on the max channel load: for every
+    leaf, inter-leaf flows leaving (entering) it must spread over its m1
+    uplinks (downlinks), so the bound is
+    [max over leaves of ceil(flows_out / m1) and ceil(flows_in / m1)]
+    (and 1 if any inter-leaf flow exists).  Any routing, adaptive or
+    not, is subject to it. *)

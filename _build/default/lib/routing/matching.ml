@@ -1,0 +1,80 @@
+type t = {
+  left : int;
+  right : int;
+  adj : int list array; (* adjacency of left vertices *)
+}
+
+let create ~left ~right = { left; right; adj = Array.make (max left 1) [] }
+
+let add_edge g u v =
+  if u < 0 || u >= g.left then invalid_arg "Matching.add_edge: left out of range";
+  if v < 0 || v >= g.right then
+    invalid_arg "Matching.add_edge: right out of range";
+  g.adj.(u) <- v :: g.adj.(u)
+
+let inf = max_int
+
+(* Hopcroft–Karp.  match_l.(u) = matched right vertex or -1;
+   match_r.(v) = matched left vertex or -1. *)
+let max_matching g =
+  let match_l = Array.make (max g.left 1) (-1) in
+  let match_r = Array.make (max g.right 1) (-1) in
+  let dist = Array.make (max g.left 1) inf in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for u = 0 to g.left - 1 do
+      if match_l.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- inf
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          let w = match_r.(v) in
+          if w = -1 then found := true
+          else if dist.(w) = inf then begin
+            dist.(w) <- dist.(u) + 1;
+            Queue.add w queue
+          end)
+        g.adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_edges = function
+      | [] ->
+          dist.(u) <- inf;
+          false
+      | v :: rest ->
+          let w = match_r.(v) in
+          if (w = -1 || (dist.(w) = dist.(u) + 1 && dfs w)) then begin
+            match_l.(u) <- v;
+            match_r.(v) <- u;
+            true
+          end
+          else try_edges rest
+    in
+    try_edges g.adj.(u)
+  in
+  while bfs () do
+    for u = 0 to g.left - 1 do
+      if match_l.(u) = -1 then ignore (dfs u)
+    done
+  done;
+  let pairs = ref [] in
+  for u = g.left - 1 downto 0 do
+    if match_l.(u) <> -1 then pairs := (u, match_l.(u)) :: !pairs
+  done;
+  !pairs
+
+let perfect_matching g =
+  if g.left <> g.right then None
+  else begin
+    let m = max_matching g in
+    if List.length m = g.left then Some m else None
+  end

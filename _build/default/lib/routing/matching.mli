@@ -1,0 +1,25 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Used by the rearrangeable-routing construction: Hall's Marriage
+    Theorem guarantees perfect matchings in the regular bipartite
+    multigraphs that arise there, and Hopcroft–Karp finds them in
+    O(E sqrt V). *)
+
+type t
+(** A bipartite graph with [left] and [right] vertex sets. *)
+
+val create : left:int -> right:int -> t
+(** [create ~left ~right] is an empty bipartite graph with vertex sets
+    [0..left-1] and [0..right-1]. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] adds an edge between left vertex [u] and right vertex
+    [v].  Parallel edges are permitted but contribute nothing extra to a
+    matching. *)
+
+val max_matching : t -> (int * int) list
+(** [max_matching g] is a maximum matching as (left, right) pairs. *)
+
+val perfect_matching : t -> (int * int) list option
+(** [perfect_matching g] is a matching covering every left and right
+    vertex, or [None] if none exists (requires [left = right]). *)

@@ -1,0 +1,74 @@
+type edge = { dst : int; mutable cap : int; rev : int }
+type t = { n : int; adj : edge list ref array }
+
+(* Adjacency as growable arrays of edges; [rev] is the index of the
+   reverse edge in the destination's list.  We store lists and freeze to
+   arrays lazily — simpler, and graphs here are small. *)
+type frozen = { fadj : edge array array }
+
+let create n = { n; adj = Array.init n (fun _ -> ref []) }
+
+let add_edge g ~src ~dst ~cap =
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+    invalid_arg "Maxflow.add_edge: vertex out of range";
+  let fwd_pos = List.length !(g.adj.(src)) in
+  let rev_pos = List.length !(g.adj.(dst)) in
+  g.adj.(src) := !(g.adj.(src)) @ [ { dst; cap; rev = rev_pos } ];
+  g.adj.(dst) := !(g.adj.(dst)) @ [ { dst = src; cap = 0; rev = fwd_pos } ]
+
+let freeze g = { fadj = Array.map (fun r -> Array.of_list !r) g.adj }
+
+let max_flow g ~s ~t =
+  let f = freeze g in
+  let n = g.n in
+  let level = Array.make n (-1) in
+  let iter = Array.make n 0 in
+  let queue = Queue.create () in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    Queue.clear queue;
+    level.(s) <- 0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun e ->
+          if e.cap > 0 && level.(e.dst) < 0 then begin
+            level.(e.dst) <- level.(u) + 1;
+            Queue.add e.dst queue
+          end)
+        f.fadj.(u)
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs u pushed =
+    if u = t then pushed
+    else begin
+      let result = ref 0 in
+      while !result = 0 && iter.(u) < Array.length f.fadj.(u) do
+        let e = f.fadj.(u).(iter.(u)) in
+        if e.cap > 0 && level.(e.dst) = level.(u) + 1 then begin
+          let d = dfs e.dst (min pushed e.cap) in
+          if d > 0 then begin
+            e.cap <- e.cap - d;
+            let back = f.fadj.(e.dst).(e.rev) in
+            back.cap <- back.cap + d;
+            result := d
+          end
+          else iter.(u) <- iter.(u) + 1
+        end
+        else iter.(u) <- iter.(u) + 1
+      done;
+      !result
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.fill iter 0 n 0;
+    let continue = ref true in
+    while !continue do
+      let d = dfs s max_int in
+      if d = 0 then continue := false else flow := !flow + d
+    done
+  done;
+  !flow

@@ -1,0 +1,20 @@
+(** Dinic's maximum-flow algorithm on unit-ish capacity graphs.
+
+    Used by the necessity tests: if an allocation violates a §3.2
+    condition, some pair of node subsets (A, B) with |A| = |B| = n cannot
+    exchange n simultaneous flows — equivalently, the max flow from A to
+    B through the allocated channels is < n.  Max flow gives the exact
+    routable bound, so tests can assert un-routability without
+    enumerating routings. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty flow network over vertices [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Adds a directed edge (the reverse residual edge is implicit). *)
+
+val max_flow : t -> s:int -> t:int -> int
+(** Computes the maximum [s]→[t] flow.  The network keeps its residual
+    state afterwards; create a fresh network for each query. *)

@@ -1,0 +1,185 @@
+open Fattree
+open Jigsaw_core
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun m -> Error m) fmt
+
+(* Locate a node inside the partition: its leaf allocation, its rank on
+   the leaf, its tree, and the leaf's rank within the tree. *)
+type locus = {
+  tree : Partition.tree_alloc;
+  leaf : Partition.leaf_alloc;
+  node_rank : int; (* position within the leaf's node list *)
+  leaf_rank : int; (* position of the leaf within the tree *)
+  on_rem_leaf : bool;
+}
+
+let locate (p : Partition.t) node =
+  let trees =
+    Array.to_list p.full_trees
+    @ (match p.rem_tree with None -> [] | Some tr -> [ tr ])
+  in
+  let rec in_trees = function
+    | [] -> None
+    | (tr : Partition.tree_alloc) :: rest ->
+        let leaves =
+          Array.to_list tr.full_leaves
+          @ (match tr.rem_leaf with None -> [] | Some la -> [ la ])
+        in
+        let rec in_leaves rank = function
+          | [] -> in_trees rest
+          | (la : Partition.leaf_alloc) :: lrest -> (
+              match Array.find_index (fun n -> n = node) la.nodes with
+              | Some i ->
+                  Some
+                    {
+                      tree = tr;
+                      leaf = la;
+                      node_rank = i;
+                      leaf_rank = rank;
+                      on_rem_leaf = rank >= Array.length tr.full_leaves;
+                    }
+              | None -> in_leaves (rank + 1) lrest)
+        in
+        in_leaves 0 leaves
+  in
+  in_trees trees
+
+let find_spine_set (tr : Partition.tree_alloc) i =
+  let r = ref None in
+  Array.iter (fun (j, s) -> if i = j then r := Some s) tr.spine_sets;
+  !r
+
+let path topo (p : Partition.t) ~src ~dst =
+  match (locate p src, locate p dst) with
+  | None, _ -> fail "source node %d not in partition" src
+  | _, None -> fail "destination node %d not in partition" dst
+  | Some ls, Some ld ->
+      if ls.leaf.leaf = ld.leaf.leaf then Ok (Path.local ~src ~dst)
+      else begin
+        (* D-mod-k on partition ranks: the destination's rank on its leaf
+           picks the L2 switch, with wraparound over the destination
+           leaf's (possibly smaller) allocated uplink set. *)
+        let dst_up = ld.leaf.l2_indices in
+        let l2_index = dst_up.(ld.node_rank mod Array.length dst_up) in
+        (* The source leaf must also reach that L2 switch; remainder
+           sources wrap around their own set.  For non-remainder leaves
+           the sets are equal (= S), so the choice is consistent. *)
+        let src_up = ls.leaf.l2_indices in
+        let* l2_index =
+          if Array.exists (fun i -> i = l2_index) src_up then Ok l2_index
+          else begin
+            (* Source is a remainder leaf lacking this uplink: wrap the
+               destination rank around the source's subset Sr. *)
+            if Array.length src_up = 0 then fail "leaf %d has no uplinks" ls.leaf.leaf
+            else Ok src_up.(ld.node_rank mod Array.length src_up)
+          end
+        in
+        (* The destination must be reachable from the chosen L2 index:
+           if the wrap changed the index, re-check the destination side
+           (both sets are subsets of S; Sr ⊆ S guarantees a common
+           index exists whenever either side is full). *)
+        let* l2_index =
+          if Array.exists (fun i -> i = l2_index) dst_up then Ok l2_index
+          else begin
+            (* Both ends are constrained: intersect. *)
+            let common =
+              List.filter
+                (fun i -> Array.exists (fun j -> j = i) dst_up)
+                (Array.to_list src_up)
+            in
+            match common with
+            | [] -> fail "no common uplink between leaves %d and %d" ls.leaf.leaf ld.leaf.leaf
+            | l -> Ok (List.nth l (ld.node_rank mod List.length l))
+          end
+        in
+        let up1 =
+          { Path.tier = Path.Leaf_l2;
+            cable = Topology.leaf_l2_cable topo ~leaf:ls.leaf.leaf ~l2_index;
+            dir = Path.Up }
+        in
+        let down1 =
+          { Path.tier = Path.Leaf_l2;
+            cable = Topology.leaf_l2_cable topo ~leaf:ld.leaf.leaf ~l2_index;
+            dir = Path.Down }
+        in
+        if ls.tree.pod = ld.tree.pod then Ok { Path.src; dst; hops = [ up1; down1 ] }
+        else begin
+          (* Spine choice: destination leaf rank within its tree, with
+             wraparound over the allocated spine sets at this L2 index on
+             both sides. *)
+          let* src_spines =
+            match find_spine_set ls.tree l2_index with
+            | Some s when Array.length s > 0 -> Ok s
+            | _ -> fail "pod %d has no spine set at L2 index %d" ls.tree.pod l2_index
+          in
+          let* dst_spines =
+            match find_spine_set ld.tree l2_index with
+            | Some s when Array.length s > 0 -> Ok s
+            | _ -> fail "pod %d has no spine set at L2 index %d" ld.tree.pod l2_index
+          in
+          let common =
+            List.filter
+              (fun j -> Array.exists (fun k -> k = j) dst_spines)
+              (Array.to_list src_spines)
+          in
+          let* spine_index =
+            match common with
+            | [] -> fail "no common spine between pods %d and %d at L2 index %d"
+                      ls.tree.pod ld.tree.pod l2_index
+            | l -> Ok (List.nth l (ld.leaf_rank mod List.length l))
+          in
+          let src_l2 = Topology.l2_of_coords topo ~pod:ls.tree.pod ~index:l2_index in
+          let dst_l2 = Topology.l2_of_coords topo ~pod:ld.tree.pod ~index:l2_index in
+          Ok
+            {
+              Path.src;
+              dst;
+              hops =
+                [
+                  up1;
+                  { Path.tier = Path.L2_spine;
+                    cable = Topology.l2_spine_cable topo ~l2:src_l2 ~spine_index;
+                    dir = Path.Up };
+                  { Path.tier = Path.L2_spine;
+                    cable = Topology.l2_spine_cable topo ~l2:dst_l2 ~spine_index;
+                    dir = Path.Down };
+                  down1;
+                ];
+            }
+        end
+      end
+
+let all_pairs topo p =
+  let nodes = Partition.nodes p in
+  let acc = ref [] in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun d ->
+          if s <> d then
+            match path topo p ~src:s ~dst:d with
+            | Ok pa -> acc := pa :: !acc
+            | Error m -> invalid_arg ("Partition_routing.all_pairs: " ^ m))
+        nodes)
+    nodes;
+  List.rev !acc
+
+let check_connectivity topo p =
+  let nodes = Partition.nodes p in
+  let alloc = Partition.to_alloc topo p ~bw:1.0 in
+  let bad = ref None in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun d ->
+          if s <> d && !bad = None then
+            match path topo p ~src:s ~dst:d with
+            | Error m -> bad := Some m
+            | Ok pa -> (
+                match Path.uses_only alloc [ pa ] with
+                | Error m -> bad := Some m
+                | Ok () -> ()))
+        nodes)
+    nodes;
+  match !bad with Some m -> Error m | None -> Ok ()

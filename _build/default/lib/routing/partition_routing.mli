@@ -1,0 +1,33 @@
+(** Jigsaw's adjusted static routing within a partition (paper Figure 5).
+
+    Once a job receives a partition, the system routing tables must be
+    changed so the job's traffic stays on its allocated cables: plain
+    D-mod-k is unaware of the allocation and would hop onto unallocated
+    links.  Jigsaw maps D-mod-k onto the partition — destinations select
+    L2 switches and spines by their {e rank within the allocation} rather
+    than their physical id — and uses {e wraparound} on remainder
+    switches, whose allocated uplink sets are smaller.
+
+    The resulting routing is deterministic and destination-based (so it
+    is implementable with InfiniBand linear forwarding tables).  Unlike
+    {!Rearrange}, it does not guarantee one flow per channel for every
+    permutation; it guarantees that every pair of the job's nodes is
+    connected using only allocated cables. *)
+
+val path :
+  Fattree.Topology.t ->
+  Jigsaw_core.Partition.t ->
+  src:int ->
+  dst:int ->
+  (Path.t, string) result
+(** The adjusted-D-mod-k route between two nodes of the partition.
+    Errors if either endpoint is not in the partition. *)
+
+val all_pairs : Fattree.Topology.t -> Jigsaw_core.Partition.t -> Path.t list
+(** Routes for every ordered pair of distinct nodes.  Raises
+    [Invalid_argument] on foreign nodes (cannot happen for partitions). *)
+
+val check_connectivity :
+  Fattree.Topology.t -> Jigsaw_core.Partition.t -> (unit, string) result
+(** Verifies that every ordered pair routes successfully and that every
+    hop of every route is an allocated cable. *)

@@ -1,0 +1,75 @@
+type tier = Leaf_l2 | L2_spine
+type dir = Up | Down
+type hop = { tier : tier; cable : int; dir : dir }
+type t = { src : int; dst : int; hops : hop list }
+
+let local ~src ~dst = { src; dst; hops = [] }
+
+let channel_loads paths =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun h ->
+          let key = (h.tier, h.dir, h.cable) in
+          let cur = try Hashtbl.find tbl key with Not_found -> 0 in
+          Hashtbl.replace tbl key (cur + 1))
+        p.hops)
+    paths;
+  tbl
+
+let max_channel_load paths =
+  Hashtbl.fold (fun _ v acc -> max v acc) (channel_loads paths) 0
+
+let uses_only (alloc : Fattree.Alloc.t) paths =
+  let module IS = Set.Make (Int) in
+  let leaf_set = IS.of_list (Array.to_list alloc.leaf_cables) in
+  let l2_set = IS.of_list (Array.to_list alloc.l2_cables) in
+  let bad = ref None in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun h ->
+          if !bad = None then begin
+            let ok =
+              match h.tier with
+              | Leaf_l2 -> IS.mem h.cable leaf_set
+              | L2_spine -> IS.mem h.cable l2_set
+            in
+            if not ok then
+              bad :=
+                Some
+                  (Printf.sprintf "flow %d->%d uses unallocated %s cable %d"
+                     p.src p.dst
+                     (match h.tier with Leaf_l2 -> "leaf-l2" | L2_spine -> "l2-spine")
+                     h.cable)
+          end)
+        p.hops)
+    paths;
+  match !bad with Some m -> Error m | None -> Ok ()
+
+let one_flow_per_channel paths =
+  let loads = channel_loads paths in
+  let bad = ref None in
+  Hashtbl.iter
+    (fun (tier, dir, cable) v ->
+      if v > 1 && !bad = None then
+        bad :=
+          Some
+            (Printf.sprintf "channel (%s,%s,%d) carries %d flows"
+               (match tier with Leaf_l2 -> "leaf-l2" | L2_spine -> "l2-spine")
+               (match dir with Up -> "up" | Down -> "down")
+               cable v))
+    loads;
+  match !bad with Some m -> Error m | None -> Ok ()
+
+let pp _topo ppf p =
+  Format.fprintf ppf "%d -> %d via [%s]" p.src p.dst
+    (String.concat "; "
+       (List.map
+          (fun h ->
+            Printf.sprintf "%s%s:%d"
+              (match h.dir with Up -> "^" | Down -> "v")
+              (match h.tier with Leaf_l2 -> "L" | L2_spine -> "S")
+              h.cable)
+          p.hops))

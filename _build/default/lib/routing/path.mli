@@ -1,0 +1,38 @@
+(** Network paths and per-channel load accounting.
+
+    A path is the cable-level route of one flow.  Cables are full-duplex:
+    the up and down directions are independent channels, so a cable may
+    carry one ascending and one descending flow without contention.  The
+    rearrangeable-non-blocking property is exactly "there is a routing
+    with at most one flow per channel". *)
+
+type tier = Leaf_l2 | L2_spine
+type dir = Up | Down
+
+type hop = { tier : tier; cable : int; dir : dir }
+
+type t = {
+  src : int;  (** Source node id. *)
+  dst : int;  (** Destination node id. *)
+  hops : hop list;  (** In traversal order; empty for intra-leaf flows. *)
+}
+
+val local : src:int -> dst:int -> t
+(** A path that never leaves the leaf switch. *)
+
+val channel_loads : t list -> (tier * dir * int, int) Hashtbl.t
+(** Number of flows per (tier, direction, cable) channel. *)
+
+val max_channel_load : t list -> int
+(** The largest per-channel load; 0 for no paths.  A routing witnesses
+    rearrangeability iff this is <= 1. *)
+
+val uses_only : Fattree.Alloc.t -> t list -> (unit, string) result
+(** [uses_only alloc paths] is [Ok ()] iff every hop's cable belongs to
+    [alloc] (leaf–L2 hops to [alloc.leaf_cables], L2–spine hops to
+    [alloc.l2_cables]). *)
+
+val one_flow_per_channel : t list -> (unit, string) result
+(** [Ok ()] iff no channel carries more than one flow. *)
+
+val pp : Fattree.Topology.t -> Format.formatter -> t -> unit

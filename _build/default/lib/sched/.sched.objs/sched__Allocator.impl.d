@@ -1,0 +1,1 @@
+lib/sched/allocator.ml: Alloc Baselines Fattree Jigsaw_core List Option State Trace

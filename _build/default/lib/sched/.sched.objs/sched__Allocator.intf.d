@@ -1,0 +1,1 @@
+lib/sched/allocator.mli: Fattree Trace

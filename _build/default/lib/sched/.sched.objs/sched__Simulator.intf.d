@@ -1,0 +1,1 @@
+lib/sched/simulator.mli: Allocator Metrics Trace

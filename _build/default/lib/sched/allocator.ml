@@ -1,0 +1,74 @@
+open Fattree
+
+type t = {
+  name : string;
+  isolating : bool;
+  try_alloc : State.t -> Trace.Job.t -> Alloc.t option;
+}
+
+let of_partition st ~bw p =
+  Jigsaw_core.Partition.to_alloc (State.topo st) p ~bw
+
+let baseline =
+  {
+    name = "Baseline";
+    isolating = false;
+    try_alloc =
+      (fun st (j : Trace.Job.t) ->
+        Baselines.Baseline.get_allocation st ~job:j.id ~size:j.size);
+  }
+
+let jigsaw =
+  {
+    name = "Jigsaw";
+    isolating = true;
+    try_alloc =
+      (fun st (j : Trace.Job.t) ->
+        Jigsaw_core.Jigsaw.get_allocation st ~job:j.id ~size:j.size
+        |> Option.map (of_partition st ~bw:1.0));
+  }
+
+let laas =
+  {
+    name = "LaaS";
+    isolating = true;
+    try_alloc =
+      (fun st (j : Trace.Job.t) ->
+        Baselines.Laas.get_allocation st ~job:j.id ~size:j.size
+        |> Option.map (of_partition st ~bw:1.0));
+  }
+
+let ta =
+  {
+    name = "TA";
+    isolating = true;
+    try_alloc =
+      (fun st (j : Trace.Job.t) ->
+        Baselines.Ta.get_allocation st ~job:j.id ~size:j.size);
+  }
+
+let lcs ?budget () =
+  {
+    name = "LC+S";
+    isolating = true;
+    try_alloc =
+      (fun st (j : Trace.Job.t) ->
+        Jigsaw_core.Least_constrained.get_allocation ?budget
+          ~demand:j.bw_class st ~job:j.id ~size:j.size
+        |> Option.map (of_partition st ~bw:j.bw_class));
+  }
+
+let lc_exclusive ?budget () =
+  {
+    name = "LC";
+    isolating = true;
+    try_alloc =
+      (fun st (j : Trace.Job.t) ->
+        Jigsaw_core.Least_constrained.get_allocation ?budget st ~job:j.id
+          ~size:j.size
+        |> Option.map (of_partition st ~bw:1.0));
+  }
+
+let all = [ baseline; lcs (); jigsaw; laas; ta ]
+let isolating = [ ta; laas; jigsaw ]
+let by_name n = List.find_opt (fun a -> a.name = n) (lc_exclusive () :: all)

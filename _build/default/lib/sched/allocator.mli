@@ -1,0 +1,48 @@
+(** The pluggable placement policies compared in the paper (§5.2).
+
+    An allocator proposes an allocation for a job against the current
+    resource state without claiming it; the simulator claims and releases
+    through [Fattree.State], so isolation violations surface as claim
+    errors rather than silent overlaps. *)
+
+type t = {
+  name : string;
+  isolating : bool;
+      (** Whether jobs run at their isolated (sped-up) runtime under the
+          active performance scenario.  True for every scheme except
+          Baseline. *)
+  try_alloc : Fattree.State.t -> Trace.Job.t -> Fattree.Alloc.t option;
+      (** Pure probe; must not mutate the state. *)
+}
+
+val baseline : t
+(** Traditional unconstrained scheduling (nodes only, links shared). *)
+
+val jigsaw : t
+(** This paper's scheduler: isolated full-bandwidth partitions. *)
+
+val laas : t
+(** Links as a Service: whole-leaf isolated partitions (padded). *)
+
+val ta : t
+(** Topology-aware node rules (implicit link reservation, padded). *)
+
+val lcs : ?budget:int -> unit -> t
+(** Least-constrained + link sharing, the theoretical bound: searches the
+    full §3.2 condition space at each job's fractional bandwidth demand
+    ([Job.bw_class]).  [budget] stands in for the paper's 5 s timeout. *)
+
+val lc_exclusive : ?budget:int -> unit -> t
+(** Least-constrained {e without} link sharing: the maximally permissive
+    exclusive scheduler of paper section 4's discussion.  Not part of the
+    paper's evaluation line-up — it exists to reproduce the claim that
+    permitting every legal placement {e lowers} utilization versus
+    Jigsaw's restriction (the fragmentation ablation in bench). *)
+
+val all : t list
+(** Baseline, LC+S, Jigsaw, LaaS, TA — Figure 6's legend order. *)
+
+val isolating : t list
+(** TA, LaaS, Jigsaw — the existing-vs-new comparison of Table 2. *)
+
+val by_name : string -> t option

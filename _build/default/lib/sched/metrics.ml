@@ -1,0 +1,47 @@
+let table2_boundaries = [| 0.60; 0.80; 0.90; 0.95; 0.98 |]
+
+type per_job = { job : Trace.Job.t; start_time : float; end_time : float }
+
+type t = {
+  trace_name : string;
+  sched_name : string;
+  scenario_name : string;
+  cluster_nodes : int;
+  num_jobs : int;
+  rejected : int;
+  avg_utilization : float;
+  alloc_utilization : float;
+  inst_hist : int array;
+  makespan : float;
+  avg_turnaround_all : float;
+  avg_turnaround_large : float;
+  num_large : int;
+  sched_time_total : float;
+  sched_time_per_job : float;
+  steady_start : float;
+  steady_end : float;
+  series : (float * float) array;
+}
+
+let mean_turnaround jobs ~large_only =
+  let selected =
+    List.filter (fun r -> (not large_only) || Trace.Job.is_large r.job) jobs
+  in
+  let n = List.length selected in
+  if n = 0 then (0.0, 0)
+  else begin
+    let total =
+      List.fold_left
+        (fun acc r -> acc +. (r.end_time -. r.job.Trace.Job.arrival))
+        0.0 selected
+    in
+    (total /. float_of_int n, n)
+  end
+
+let pp_row ppf m =
+  Format.fprintf ppf
+    "%-10s %-8s %-6s util=%5.1f%% (held %5.1f%%) makespan=%11.0f tat=%10.0f tat100=%10.0f sched=%.5fs/job"
+    m.trace_name m.sched_name m.scenario_name
+    (100.0 *. m.avg_utilization)
+    (100.0 *. m.alloc_utilization)
+    m.makespan m.avg_turnaround_all m.avg_turnaround_large m.sched_time_per_job

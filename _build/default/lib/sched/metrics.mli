@@ -1,0 +1,58 @@
+(** Simulation results: the measurements behind every table and figure of
+    the paper's evaluation. *)
+
+(** Instantaneous-utilization buckets of Table 2 (percent ranges). *)
+val table2_boundaries : float array
+(** [0.60; 0.80; 0.90; 0.95; 0.98] — producing buckets <=60, 60-80,
+    80-90, 90-95, 95-97(.99), >=98 as fractions of the node count. *)
+
+type per_job = {
+  job : Trace.Job.t;
+  start_time : float;
+  end_time : float;
+}
+
+type t = {
+  trace_name : string;
+  sched_name : string;
+  scenario_name : string;
+  cluster_nodes : int;
+  num_jobs : int;  (** Jobs that ran. *)
+  rejected : int;  (** Jobs impossible on this cluster under this policy. *)
+  avg_utilization : float;
+      (** Steady-state average node utilization in [0,1], the paper's U:
+          node-seconds of {e requested} nodes over capacity between the
+          first job start and the final drain.  Nodes a scheduler
+          allocates beyond the request (LaaS/TA padding) count as lost —
+          "allocated to jobs that do not need them" (§6.1). *)
+  alloc_utilization : float;
+      (** Same window, counting every {e held} node (padding included).
+          The gap to [avg_utilization] is internal node fragmentation. *)
+  inst_hist : int array;
+      (** Table 2: per-bucket counts of instantaneous utilization
+          (requested nodes / system nodes) sampled at every schedule or
+          completion event within the steady window; index 0 = lowest
+          bucket (<= 60%). *)
+  makespan : float;  (** First arrival to last completion. *)
+  avg_turnaround_all : float;
+  avg_turnaround_large : float;  (** Jobs over 100 nodes. *)
+  num_large : int;
+  sched_time_total : float;
+      (** Wall-clock seconds spent in scheduling decisions (allocation
+          searches, reservations and backfill probes). *)
+  sched_time_per_job : float;
+  steady_start : float;
+  steady_end : float;
+  series : (float * float) array;
+      (** Instantaneous utilization over the whole run: (time, requested
+          nodes / system nodes) at every schedule/completion event.  For
+          CSV export and plotting; the steady-window metrics above are
+          derived from it. *)
+}
+
+val pp_row : Format.formatter -> t -> unit
+(** One-line summary. *)
+
+val mean_turnaround : per_job list -> large_only:bool -> float * int
+(** Average turnaround (end - arrival) and the population size, over all
+    jobs or only large ones. *)

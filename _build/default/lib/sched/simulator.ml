@@ -1,0 +1,370 @@
+open Fattree
+
+type config = {
+  allocator : Allocator.t;
+  radix : int;
+  scenario : Trace.Scenario.t;
+  scenario_seed : int;
+  backfill_window : int;
+  backfill : bool;
+}
+
+let default_config allocator ~radix =
+  {
+    allocator;
+    radix;
+    scenario = Trace.Scenario.No_speedup;
+    scenario_seed = 1;
+    backfill_window = 50;
+    backfill = true;
+  }
+
+type running = {
+  r_job : Trace.Job.t;
+  r_alloc : Alloc.t;
+  r_start : float;
+  r_end : float; (* actual completion *)
+  r_est_end : float; (* what the scheduler believes: start + user estimate *)
+}
+
+type sim = {
+  cfg : config;
+  st : State.t;
+  engine : Sim.Engine.t;
+  (* FIFO pending queue with lazy deletion: ids in arrival order plus a
+     live-job table. *)
+  pending_ids : int Queue.t;
+  pending : (int, Trace.Job.t) Hashtbl.t;
+  running : (int, running) Hashtbl.t;
+  mutable pass_scheduled : bool;
+  mutable sched_clock : float; (* wall time spent deciding *)
+  (* step function samples: (time, allocated_busy, requested_busy,
+     pending_count) recorded at every change *)
+  mutable samples : (float * int * int * int) list;
+  mutable alloc_busy : int;
+  mutable req_busy : int;
+  mutable finished : Metrics.per_job list;
+  mutable last_start_time : float;
+  mutable first_start_time : float;
+  mutable first_blocked_time : float;
+  mutable rejected : int;
+}
+
+let record sim =
+  sim.samples <-
+    (Sim.Engine.now sim.engine, sim.alloc_busy, sim.req_busy, Hashtbl.length sim.pending)
+    :: sim.samples
+
+let job_runtime sim (j : Trace.Job.t) =
+  if sim.cfg.allocator.isolating then
+    Trace.Scenario.isolated_runtime sim.cfg.scenario ~seed:sim.cfg.scenario_seed j
+  else j.runtime
+
+(* What the scheduler plans with: the user's wall-time request.  It never
+   shrinks with the isolation scenario (users do not re-estimate), so all
+   reservation and backfill decisions stay conservative. *)
+let job_estimate (j : Trace.Job.t) = j.est_runtime
+
+let timed sim f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  sim.sched_clock <- sim.sched_clock +. (Unix.gettimeofday () -. t0);
+  r
+
+(* Start a job now: claim its allocation and schedule its completion. *)
+let rec start_job sim (j : Trace.Job.t) (alloc : Alloc.t) =
+  State.claim_exn sim.st alloc;
+  let now = Sim.Engine.now sim.engine in
+  let dur = job_runtime sim j in
+  let r_end = now +. dur in
+  Hashtbl.replace sim.running j.id
+    { r_job = j; r_alloc = alloc; r_start = now; r_end;
+      r_est_end = now +. job_estimate j };
+  sim.alloc_busy <- sim.alloc_busy + Array.length alloc.nodes;
+  sim.req_busy <- sim.req_busy + j.size;
+  sim.last_start_time <- now;
+  if sim.first_start_time < 0.0 then sim.first_start_time <- now;
+  Sim.Engine.schedule sim.engine ~time:r_end ~priority:0 (fun _ ->
+      complete_job sim j.id);
+  record sim
+
+and complete_job sim id =
+  match Hashtbl.find_opt sim.running id with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove sim.running id;
+      State.release sim.st r.r_alloc;
+      sim.alloc_busy <- sim.alloc_busy - Array.length r.r_alloc.nodes;
+      sim.req_busy <- sim.req_busy - r.r_job.size;
+      sim.finished <-
+        { Metrics.job = r.r_job; start_time = r.r_start; end_time = r.r_end }
+        :: sim.finished;
+      record sim;
+      request_pass sim
+
+and request_pass sim =
+  if not sim.pass_scheduled then begin
+    sim.pass_scheduled <- true;
+    Sim.Engine.schedule sim.engine ~time:(Sim.Engine.now sim.engine) ~priority:2
+      (fun _ ->
+        sim.pass_scheduled <- false;
+        schedule_pass sim)
+  end
+
+(* Earliest future completion time at which the head job could be placed,
+   together with the concrete allocation it would get then.  Returns
+   [None] if the job cannot be placed even on the fully drained
+   machine. *)
+and compute_reservation sim (head : Trace.Job.t) =
+  (* The scheduler plans against ESTIMATED completions — it cannot know
+     actual runtimes.  Since estimates are >= actuals, the reservation is
+     conservative; the head still starts earlier if resources free up
+     sooner (every completion triggers a scheduling pass). *)
+  let completions =
+    Hashtbl.fold (fun _ r acc -> r :: acc) sim.running []
+    |> List.sort (fun a b -> compare a.r_est_end b.r_est_end)
+    |> Array.of_list
+  in
+  (* Group completions sharing an estimated end: freed together. *)
+  let groups =
+    let acc = ref [] in
+    Array.iter
+      (fun r ->
+        match !acc with
+        | (t, rs) :: rest when t = r.r_est_end -> acc := (t, r :: rs) :: rest
+        | _ -> acc := (r.r_est_end, [ r ]) :: !acc)
+      completions;
+    Array.of_list (List.rev !acc)
+  in
+  let g = Array.length groups in
+  if g = 0 then None
+  else begin
+    (* Feasibility after releasing groups 0..k is monotone in k (releases
+       only add resources), so the earliest feasible completion time can
+       be found by binary search rather than a linear scan. *)
+    let attempt k =
+      let probe = State.clone sim.st in
+      for i = 0 to k do
+        List.iter (fun r -> State.release probe r.r_alloc) (snd groups.(i))
+      done;
+      sim.cfg.allocator.try_alloc probe head
+    in
+    match attempt (g - 1) with
+    | None -> None
+    | Some last_alloc ->
+        let lo = ref 0 and hi = ref (g - 1) in
+        let best = ref last_alloc in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          match attempt mid with
+          | Some a ->
+              best := a;
+              hi := mid
+          | None -> lo := mid + 1
+        done;
+        Some (fst groups.(!lo), !best)
+  end
+
+and schedule_pass sim =
+  (* Pop deleted ids off the queue head. *)
+  let rec head_job () =
+    match Queue.peek_opt sim.pending_ids with
+    | None -> None
+    | Some id -> (
+        match Hashtbl.find_opt sim.pending id with
+        | Some j -> Some j
+        | None ->
+            ignore (Queue.pop sim.pending_ids);
+            head_job ())
+  in
+  (* Phase 1: start jobs from the head while they fit. *)
+  let rec drain_head () =
+    match head_job () with
+    | None -> None
+    | Some j -> (
+        match timed sim (fun () -> sim.cfg.allocator.try_alloc sim.st j) with
+        | Some alloc ->
+            ignore (Queue.pop sim.pending_ids);
+            Hashtbl.remove sim.pending j.id;
+            start_job sim j alloc;
+            drain_head ()
+        | None -> Some j)
+  in
+  match drain_head () with
+  | None -> ()
+  | Some head when not sim.cfg.backfill ->
+      (* Plain FIFO: the head simply waits for resources.  Oversized
+         requests must still be rejected, or they would wedge the queue
+         forever. *)
+      if sim.first_blocked_time < 0.0 then
+        sim.first_blocked_time <- Sim.Engine.now sim.engine;
+      if head.size > Fattree.Topology.num_nodes (State.topo sim.st) then begin
+        ignore (Queue.pop sim.pending_ids);
+        Hashtbl.remove sim.pending head.id;
+        sim.rejected <- sim.rejected + 1;
+        request_pass sim
+      end
+  | Some head -> (
+      if sim.first_blocked_time < 0.0 then
+        sim.first_blocked_time <- Sim.Engine.now sim.engine;
+      (* Phase 2: reservation for the head... *)
+      match timed sim (fun () -> compute_reservation sim head) with
+      | None ->
+          (* Impossible request: reject and continue with the rest. *)
+          ignore (Queue.pop sim.pending_ids);
+          Hashtbl.remove sim.pending head.id;
+          sim.rejected <- sim.rejected + 1;
+          request_pass sim
+      | Some (res_time, res_alloc) ->
+          (* ...phase 3: EASY backfill within the lookahead window. *)
+          let module IS = Set.Make (Int) in
+          let res_nodes = IS.of_list (Array.to_list res_alloc.nodes) in
+          let res_leaf = IS.of_list (Array.to_list res_alloc.leaf_cables) in
+          let res_l2 = IS.of_list (Array.to_list res_alloc.l2_cables) in
+          let disjoint_from_reservation (a : Alloc.t) =
+            let hits set arr = Array.exists (fun x -> IS.mem x set) arr in
+            (not (hits res_nodes a.nodes))
+            && (not (hits res_leaf a.leaf_cables))
+            && not (hits res_l2 a.l2_cables)
+          in
+          let candidates =
+            let acc = ref [] and count = ref 0 in
+            (try
+               Queue.iter
+                 (fun id ->
+                   if !count >= sim.cfg.backfill_window then raise Exit;
+                   match Hashtbl.find_opt sim.pending id with
+                   | Some j when j.id <> head.id ->
+                       incr count;
+                       acc := j :: !acc
+                   | _ -> ())
+                 sim.pending_ids
+             with Exit -> ());
+            List.rev !acc
+          in
+          List.iter
+            (fun (j : Trace.Job.t) ->
+              if State.total_free_nodes sim.st >= j.size then begin
+                match timed sim (fun () -> sim.cfg.allocator.try_alloc sim.st j) with
+                | Some alloc ->
+                    let now = Sim.Engine.now sim.engine in
+                    let fits_before = now +. job_estimate j <= res_time in
+                    if fits_before || disjoint_from_reservation alloc then begin
+                      Hashtbl.remove sim.pending j.id;
+                      start_job sim j alloc
+                    end
+                | None -> ()
+              end)
+            candidates)
+
+let arrive sim (j : Trace.Job.t) =
+  Queue.add j.id sim.pending_ids;
+  Hashtbl.replace sim.pending j.id j;
+  (* No sample here: Table 2 measures utilization at schedule and
+     completion events only, and arrivals do not change occupancy. *)
+  request_pass sim
+
+let run_detailed cfg (w : Trace.Workload.t) =
+  let topo = Fattree.Topology.of_radix cfg.radix in
+  let sim =
+    {
+      cfg;
+      st = State.create topo;
+      engine = Sim.Engine.create ();
+      pending_ids = Queue.create ();
+      pending = Hashtbl.create 1024;
+      running = Hashtbl.create 256;
+      pass_scheduled = false;
+      sched_clock = 0.0;
+      samples = [];
+      alloc_busy = 0;
+      req_busy = 0;
+      finished = [];
+      last_start_time = 0.0;
+      first_start_time = -1.0;
+      first_blocked_time = -1.0;
+      rejected = 0;
+    }
+  in
+  Array.iter
+    (fun (j : Trace.Job.t) ->
+      Sim.Engine.schedule sim.engine ~time:j.arrival ~priority:1 (fun _ ->
+          arrive sim j))
+    w.jobs;
+  Sim.Engine.run sim.engine;
+  (* ---- metrics ---- *)
+  let n_nodes = Fattree.Topology.num_nodes topo in
+  let samples = Array.of_list (List.rev sim.samples) in
+  (* Steady state: from the moment demand first exceeds the machine (a
+     head job blocks) until the last job start; this trims both the
+     cold-start ramp and the final drain (paper section 5).  Traces that
+     never saturate fall back to the first job start. *)
+  let steady_start =
+    if sim.first_blocked_time >= 0.0 then sim.first_blocked_time
+    else Float.max 0.0 sim.first_start_time
+  in
+  let steady_end = sim.last_start_time in
+  let alloc_area = ref 0.0 and req_area = ref 0.0 in
+  let hist = Sim.Stats.Hist.create ~boundaries:Metrics.table2_boundaries in
+  let prev_t = ref steady_start
+  and prev_alloc = ref 0
+  and prev_req = ref 0 in
+  Array.iter
+    (fun (t, ab, rb, _pending) ->
+      if t > !prev_t && !prev_t >= steady_start && t <= steady_end then begin
+        let dt = t -. !prev_t in
+        alloc_area := !alloc_area +. (float_of_int !prev_alloc *. dt);
+        req_area := !req_area +. (float_of_int !prev_req *. dt)
+      end;
+      if t >= steady_start && t <= steady_end then
+        Sim.Stats.Hist.add hist (float_of_int rb /. float_of_int n_nodes);
+      if t <= steady_end then begin
+        prev_t := Float.max t steady_start;
+        prev_alloc := ab;
+        prev_req := rb
+      end)
+    samples;
+  let duration = steady_end -. steady_start in
+  let avg_utilization =
+    if duration > 0.0 then !req_area /. (float_of_int n_nodes *. duration)
+    else 0.0
+  in
+  let alloc_utilization =
+    if duration > 0.0 then !alloc_area /. (float_of_int n_nodes *. duration)
+    else 0.0
+  in
+  let finished = sim.finished in
+  let makespan =
+    List.fold_left (fun acc r -> Float.max acc r.Metrics.end_time) 0.0 finished
+  in
+  let tat_all, n_all = Metrics.mean_turnaround finished ~large_only:false in
+  let tat_large, n_large = Metrics.mean_turnaround finished ~large_only:true in
+  let metrics =
+    {
+      Metrics.trace_name = w.name;
+      sched_name = cfg.allocator.name;
+      scenario_name = Trace.Scenario.name cfg.scenario;
+      cluster_nodes = n_nodes;
+      num_jobs = n_all;
+      rejected = sim.rejected;
+      avg_utilization;
+      alloc_utilization;
+      inst_hist = Sim.Stats.Hist.counts hist;
+      makespan;
+      avg_turnaround_all = tat_all;
+      avg_turnaround_large = tat_large;
+      num_large = n_large;
+      sched_time_total = sim.sched_clock;
+      sched_time_per_job =
+        (if n_all > 0 then sim.sched_clock /. float_of_int n_all else 0.0);
+      steady_start;
+      steady_end;
+      series =
+        Array.map
+          (fun (t, _, rb, _) -> (t, float_of_int rb /. float_of_int n_nodes))
+          samples;
+    }
+  in
+  (metrics, finished)
+
+let run cfg w = fst (run_detailed cfg w)

@@ -1,0 +1,45 @@
+(** Trace-driven scheduling simulation with EASY backfilling (paper
+    §5.3).
+
+    The simulator replays a job-queue trace against a fat-tree cluster
+    under one placement policy:
+
+    - jobs are queued FIFO on arrival;
+    - whenever resources change, queued jobs are started from the head
+      while allocations succeed;
+    - if the head cannot start, it receives a {e reservation} — the
+      earliest simulated completion time at which an allocation for it
+      exists (computed against a cloned state that replays pending
+      completions) — and up to [backfill_window] later jobs may start
+      now, provided each either finishes by the reservation time or
+      touches none of the reserved resources (EASY [Skovira et al.
+      1996]);
+    - isolating schedulers run each job for its scenario-adjusted
+      isolated runtime; Baseline runs the trace runtime.
+
+    Claims and releases go through [Fattree.State], so any isolation bug
+    in an allocator aborts the simulation instead of skewing results. *)
+
+type config = {
+  allocator : Allocator.t;
+  radix : int;  (** Cluster: maximal fat-tree of this switch radix. *)
+  scenario : Trace.Scenario.t;
+  scenario_seed : int;
+  backfill_window : int;  (** Paper uses 50. *)
+  backfill : bool;
+      (** [false] disables EASY entirely (plain FIFO) — the mode the LaaS
+          simulator originally shipped with (paper section 5.3); used by
+          the backfilling ablation. *)
+}
+
+val default_config : Allocator.t -> radix:int -> config
+(** Scenario [No_speedup], seed 1, window 50, backfilling on. *)
+
+val run : config -> Trace.Workload.t -> Metrics.t
+(** Simulates the whole trace and gathers every metric.  Jobs that can
+    never be placed on an empty cluster under the policy (e.g. requests
+    whose LaaS padding exceeds the machine) are counted as [rejected]
+    and skipped. *)
+
+(** Per-job records, for tests and custom analyses. *)
+val run_detailed : config -> Trace.Workload.t -> Metrics.t * Metrics.per_job list

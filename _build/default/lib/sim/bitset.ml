@@ -1,0 +1,116 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (words_for n) 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of range [0, %d)" i t.n)
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let set t i b = if b then add t i else remove t i
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  let full_words = t.n / bits_per_word in
+  Array.fill t.words 0 full_words (lnot 0 land ((1 lsl bits_per_word) - 1));
+  let rem = t.n mod bits_per_word in
+  if rem > 0 then t.words.(full_words) <- (1 lsl rem) - 1
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let equal a b =
+  a.n = b.n && Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let iter t ~f =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let lsb = !word land - !word in
+      (* Index of the isolated lowest set bit. *)
+      let bit =
+        let rec idx v acc = if v = 1 then acc else idx (v lsr 1) (acc + 1) in
+        idx lsb 0
+      in
+      f ((w * bits_per_word) + bit);
+      word := !word land (!word - 1)
+    done
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun i -> acc := f !acc i);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc i -> i :: acc))
+
+let of_list n xs =
+  let t = create n in
+  List.iter (fun i -> add t i) xs;
+  t
+
+let first_clear_from t start =
+  if start < 0 then invalid_arg "Bitset.first_clear_from: negative index";
+  let rec go i =
+    if i >= t.n then None else if not (mem t i) then Some i else go (i + 1)
+  in
+  go start
+
+let count_range t ~lo ~hi =
+  let lo = Stdlib.max lo 0 and hi = Stdlib.min hi t.n in
+  let count = ref 0 in
+  for i = lo to hi - 1 do
+    if mem t i then incr count
+  done;
+  !count
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let inter_cardinal a b =
+  check_same a b;
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land b.words.(w))
+  done;
+  !acc
+
+let disjoint a b =
+  check_same a b;
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
+let union_into ~dst src =
+  check_same dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done

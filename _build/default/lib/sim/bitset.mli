@@ -1,0 +1,71 @@
+(** Fixed-capacity mutable bitsets.
+
+    Backed by an array of 63-bit words.  Used for node- and cable-occupancy
+    maps over clusters of up to several thousand elements, where set/test/
+    popcount must be fast and allocation-free. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty bitset over the universe [0 .. n-1].
+    [n] must be >= 0. *)
+
+val capacity : t -> int
+(** The universe size [n]. *)
+
+val mem : t -> int -> bool
+(** [mem t i] tests bit [i].  Bounds-checked. *)
+
+val add : t -> int -> unit
+(** [add t i] sets bit [i]. *)
+
+val remove : t -> int -> unit
+(** [remove t i] clears bit [i]. *)
+
+val set : t -> int -> bool -> unit
+(** [set t i b] sets bit [i] to [b]. *)
+
+val cardinal : t -> int
+(** Number of set bits.  O(words). *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Clears every bit. *)
+
+val fill : t -> unit
+(** Sets every bit in the universe. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same capacity and same members. *)
+
+val iter : t -> f:(int -> unit) -> unit
+(** [iter t ~f] applies [f] to every set bit in increasing order. *)
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val to_list : t -> int list
+(** Set bits in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the bitset over [0..n-1] containing [xs]. *)
+
+val first_clear_from : t -> int -> int option
+(** [first_clear_from t i] is the smallest index [>= i] whose bit is clear,
+    or [None] if all of [i .. n-1] are set. *)
+
+val count_range : t -> lo:int -> hi:int -> int
+(** [count_range t ~lo ~hi] is the number of set bits with
+    [lo <= index < hi]. *)
+
+val inter_cardinal : t -> t -> int
+(** Cardinality of the intersection; capacities must match. *)
+
+val disjoint : t -> t -> bool
+(** True iff the two sets share no member; capacities must match. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every member of [src] to [dst];
+    capacities must match. *)

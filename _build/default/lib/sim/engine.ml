@@ -1,0 +1,45 @@
+type event = { time : float; priority : int; seq : int; action : t -> unit }
+and t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c
+  else begin
+    let c = compare a.priority b.priority in
+    if c <> 0 then c else compare a.seq b.seq
+  end
+
+let create () = { clock = 0.0; next_seq = 0; queue = Heap.create ~cmp:cmp_event }
+let now t = t.clock
+
+let schedule t ~time ?(priority = 0) action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" time t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.add t.queue { time; priority; seq; action }
+
+let schedule_after t ~delay ?priority action =
+  schedule t ~time:(t.clock +. delay) ?priority action
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.action t;
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_min t.queue with
+    | Some ev when ev.time <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon

@@ -1,0 +1,40 @@
+(** A minimal discrete-event simulation engine.
+
+    Events are scheduled at absolute simulated times and executed in
+    non-decreasing time order.  Ties are broken first by an integer
+    priority class (lower runs first — e.g. job completions before job
+    arrivals at the same instant, so freed resources are visible), then by
+    insertion order (FIFO). *)
+
+type t
+(** A simulation engine with its own clock and pending-event queue. *)
+
+val create : unit -> t
+(** [create ()] is an engine with clock at time 0 and no pending events. *)
+
+val now : t -> float
+(** [now t] is the current simulated time. *)
+
+val schedule : t -> time:float -> ?priority:int -> (t -> unit) -> unit
+(** [schedule t ~time ~priority f] enqueues [f] to run at simulated [time].
+    [priority] defaults to 0.  Scheduling in the past (before [now t])
+    raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:float -> ?priority:int -> (t -> unit) -> unit
+(** [schedule_after t ~delay f] is [schedule t ~time:(now t +. delay) f]. *)
+
+val pending : t -> int
+(** [pending t] is the number of events still queued. *)
+
+val step : t -> bool
+(** [step t] executes the next event, advancing the clock to its time.
+    Returns [false] if no event was pending. *)
+
+val run : t -> unit
+(** [run t] executes events until the queue is empty.  Event handlers may
+    schedule further events. *)
+
+val run_until : t -> float -> unit
+(** [run_until t horizon] executes events with time <= [horizon], then
+    advances the clock to [horizon] (if it is not already past it).
+    Remaining events stay queued. *)

@@ -1,0 +1,48 @@
+(** Imperative binary min-heaps.
+
+    The heap is polymorphic in its element type and ordered by a comparison
+    function supplied at creation time.  All operations are the standard
+    array-backed binary-heap operations: [add] and [pop_min] are O(log n),
+    [peek_min] is O(1). *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest element on
+    top).  [cmp] must be a total order. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently stored in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x] into [h].  Duplicates are allowed. *)
+
+val peek_min : 'a t -> 'a option
+(** [peek_min h] is the smallest element of [h] without removing it, or
+    [None] if [h] is empty. *)
+
+val pop_min : 'a t -> 'a option
+(** [pop_min h] removes and returns the smallest element of [h], or [None]
+    if [h] is empty. *)
+
+val pop_min_exn : 'a t -> 'a
+(** [pop_min_exn h] is like {!pop_min} but raises [Invalid_argument] on an
+    empty heap. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes every element from [h]. *)
+
+val iter_unordered : 'a t -> f:('a -> unit) -> unit
+(** [iter_unordered h ~f] applies [f] to every element of [h] in
+    unspecified order.  [f] must not modify [h]. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] is every element of [h] in ascending order.  [h] is
+    left unchanged.  O(n log n). *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** [of_list ~cmp xs] is a heap containing exactly the elements of [xs]. *)

@@ -1,0 +1,101 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable sum_sq : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () =
+    { n = 0; sum = 0.0; sum_sq = 0.0; mn = Float.infinity; mx = Float.neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.sum_sq <- t.sum_sq +. (x *. x);
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  let stddev t =
+    if t.n < 2 then 0.0
+    else begin
+      let m = mean t in
+      let v = (t.sum_sq /. float_of_int t.n) -. (m *. m) in
+      sqrt (Float.max v 0.0)
+    end
+
+  let min t = if t.n = 0 then invalid_arg "Stats.Acc.min: empty" else t.mn
+  let max t = if t.n = 0 then invalid_arg "Stats.Acc.max: empty" else t.mx
+end
+
+module Hist = struct
+  type t = { boundaries : float array; counts : int array; mutable total : int }
+
+  let create ~boundaries =
+    let k = Array.length boundaries in
+    for i = 1 to k - 1 do
+      if boundaries.(i) <= boundaries.(i - 1) then
+        invalid_arg "Stats.Hist.create: boundaries must be strictly increasing"
+    done;
+    { boundaries; counts = Array.make (k + 1) 0; total = 0 }
+
+  let bucket t x =
+    (* Index of the first boundary strictly greater than x; x lands in that
+       bucket.  Linear scan is fine for the handful of buckets we use. *)
+    let k = Array.length t.boundaries in
+    let rec go i = if i < k && x >= t.boundaries.(i) then go (i + 1) else i in
+    go 0
+
+  let add_weighted t x ~weight =
+    let b = bucket t x in
+    t.counts.(b) <- t.counts.(b) + weight;
+    t.total <- t.total + weight
+
+  let add t x = add_weighted t x ~weight:1
+  let counts t = Array.copy t.counts
+  let total t = t.total
+end

@@ -1,0 +1,62 @@
+(** Descriptive statistics and histograms for simulation metrics. *)
+
+val mean : float array -> float
+(** [mean xs] is the arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** [variance xs] is the population variance; 0 for fewer than two values. *)
+
+val stddev : float array -> float
+(** [stddev xs] is [sqrt (variance xs)]. *)
+
+val min_max : float array -> float * float
+(** [min_max xs] is the pair of extrema.  Raises [Invalid_argument] on an
+    empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation between closest ranks.  Does not mutate [xs].
+    Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+(** [median xs] is [percentile xs 50.]. *)
+
+(** Streaming accumulator: mean, variance, extrema in O(1) memory. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+
+  val min : t -> float
+  (** Raises [Invalid_argument] if empty. *)
+
+  val max : t -> float
+  (** Raises [Invalid_argument] if empty. *)
+end
+
+(** Fixed-boundary histograms.
+
+    A histogram over boundaries [b0 < b1 < ... < bk] has [k+1] buckets:
+    (-inf, b0), [b0, b1), ..., [bk, +inf). *)
+module Hist : sig
+  type t
+
+  val create : boundaries:float array -> t
+  (** [create ~boundaries] is an empty histogram.  Boundaries must be
+      strictly increasing. *)
+
+  val add : t -> float -> unit
+
+  val add_weighted : t -> float -> weight:int -> unit
+  (** [add_weighted t x ~weight] counts [x] as [weight] samples. *)
+
+  val counts : t -> int array
+  (** Bucket counts, lowest bucket first; length = boundaries + 1. *)
+
+  val total : t -> int
+end

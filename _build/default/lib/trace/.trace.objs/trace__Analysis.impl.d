@@ -1,0 +1,1 @@
+lib/trace/analysis.ml: Array Float Format Job List Sim Workload

@@ -1,0 +1,1 @@
+lib/trace/analysis.mli: Format Workload

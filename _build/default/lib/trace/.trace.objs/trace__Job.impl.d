@@ -1,0 +1,1 @@
+lib/trace/job.ml: Format Option

@@ -1,0 +1,1 @@
+lib/trace/scenario.ml: Array Float Job Printf Sim

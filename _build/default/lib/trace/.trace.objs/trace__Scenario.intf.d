@@ -1,0 +1,1 @@
+lib/trace/scenario.mli: Job

@@ -1,0 +1,1 @@
+lib/trace/swf.ml: Array Buffer Float In_channel Job List Out_channel Printf String Workload

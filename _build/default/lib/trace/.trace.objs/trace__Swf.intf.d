@@ -1,0 +1,1 @@
+lib/trace/swf.mli: Job Workload

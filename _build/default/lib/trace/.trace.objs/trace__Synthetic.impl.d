@@ -1,0 +1,1 @@
+lib/trace/synthetic.ml: Array Float Job Printf Sim Workload

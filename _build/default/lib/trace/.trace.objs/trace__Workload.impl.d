@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Array Float Format Job

@@ -1,0 +1,120 @@
+type t = {
+  num_jobs : int;
+  mean_size : float;
+  median_size : float;
+  max_size : int;
+  pow2_fraction : float;
+  single_node_fraction : float;
+  mean_runtime : float;
+  median_runtime : float;
+  p99_runtime : float;
+  max_runtime : float;
+  total_node_seconds : float;
+  offered_load : float option;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let analyze (w : Workload.t) =
+  let jobs = w.jobs in
+  let n = Array.length jobs in
+  if n = 0 then
+    {
+      num_jobs = 0;
+      mean_size = 0.0;
+      median_size = 0.0;
+      max_size = 0;
+      pow2_fraction = 0.0;
+      single_node_fraction = 0.0;
+      mean_runtime = 0.0;
+      median_runtime = 0.0;
+      p99_runtime = 0.0;
+      max_runtime = 0.0;
+      total_node_seconds = 0.0;
+      offered_load = None;
+    }
+  else begin
+    let sizes = Array.map (fun (j : Job.t) -> float_of_int j.size) jobs in
+    let runtimes = Array.map (fun (j : Job.t) -> j.runtime) jobs in
+    let count p = Array.fold_left (fun c j -> if p j then c + 1 else c) 0 jobs in
+    let offered_load =
+      if w.has_arrivals && w.system_nodes > 0 then begin
+        let span =
+          Array.fold_left (fun a (j : Job.t) -> Float.max a j.arrival) 0.0 jobs
+        in
+        if span > 0.0 then
+          Some
+            (Workload.total_node_seconds w
+            /. (float_of_int w.system_nodes *. span))
+        else None
+      end
+      else None
+    in
+    {
+      num_jobs = n;
+      mean_size = Sim.Stats.mean sizes;
+      median_size = Sim.Stats.median sizes;
+      max_size = Workload.max_job_size w;
+      pow2_fraction =
+        float_of_int (count (fun (j : Job.t) -> is_pow2 j.size)) /. float_of_int n;
+      single_node_fraction =
+        float_of_int (count (fun (j : Job.t) -> j.size = 1)) /. float_of_int n;
+      mean_runtime = Sim.Stats.mean runtimes;
+      median_runtime = Sim.Stats.median runtimes;
+      p99_runtime = Sim.Stats.percentile runtimes 99.0;
+      max_runtime = Workload.max_runtime w;
+      total_node_seconds = Workload.total_node_seconds w;
+      offered_load;
+    }
+  end
+
+let size_histogram (w : Workload.t) =
+  let max_size = max 1 (Workload.max_job_size w) in
+  let rec bounds acc b = if b >= max_size then List.rev (b :: acc) else bounds (b :: acc) (b * 2) in
+  let bs = bounds [] 1 in
+  List.map
+    (fun ub ->
+      let lb = ub / 2 in
+      let c =
+        Array.fold_left
+          (fun c (j : Job.t) -> if j.size > lb && j.size <= ub then c + 1 else c)
+          0 w.jobs
+      in
+      (ub, c))
+    bs
+
+let load_profile (w : Workload.t) ~buckets =
+  if (not w.has_arrivals) || w.system_nodes = 0 || buckets < 1 then
+    [| (0.0, 0.0) |]
+  else begin
+    let span =
+      Array.fold_left (fun a (j : Job.t) -> Float.max a j.arrival) 0.0 w.jobs
+    in
+    if span <= 0.0 then [| (0.0, 0.0) |]
+    else begin
+      let width = span /. float_of_int buckets in
+      let demand = Array.make buckets 0.0 in
+      Array.iter
+        (fun (j : Job.t) ->
+          let b = min (buckets - 1) (int_of_float (j.arrival /. width)) in
+          demand.(b) <- demand.(b) +. (float_of_int j.size *. j.runtime))
+        w.jobs;
+      Array.mapi
+        (fun b d ->
+          (float_of_int b *. width, d /. (float_of_int w.system_nodes *. width)))
+        demand
+    end
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>jobs: %d@,sizes: mean %.1f, median %.0f, max %d (%.0f%% powers of two, %.0f%% single-node)@,runtimes: mean %.0fs, median %.0fs, p99 %.0fs, max %.0fs@,demand: %.3g node-seconds%a@]"
+    t.num_jobs t.mean_size t.median_size t.max_size
+    (100.0 *. t.pow2_fraction)
+    (100.0 *. t.single_node_fraction)
+    t.mean_runtime t.median_runtime t.p99_runtime t.max_runtime
+    t.total_node_seconds
+    (fun ppf -> function
+      | Some l -> Format.fprintf ppf "@,offered load: %.2f" l
+      | None -> ())
+    t.offered_load

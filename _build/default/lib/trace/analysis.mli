@@ -1,0 +1,40 @@
+(** Workload analysis: distribution summaries for traces.
+
+    Used to verify that the synthetic stand-ins reproduce the
+    characteristics the paper states for the LLNL traces (§5.1): size
+    distributions "roughly exponential in shape but with more job sizes
+    that are powers of two", runtimes "skewed towards short-running
+    jobs", and — for Cab — the offered-load profile of the retained
+    arrival process. *)
+
+type t = {
+  num_jobs : int;
+  mean_size : float;
+  median_size : float;
+  max_size : int;
+  pow2_fraction : float;
+      (** Fraction of jobs whose size is an exact power of two. *)
+  single_node_fraction : float;
+  mean_runtime : float;
+  median_runtime : float;
+  p99_runtime : float;
+  max_runtime : float;
+  total_node_seconds : float;
+  offered_load : float option;
+      (** For traces with arrivals: total demand divided by
+          (system_nodes * arrival span); [None] for all-at-zero traces
+          or when the system size is unknown. *)
+}
+
+val analyze : Workload.t -> t
+
+val size_histogram : Workload.t -> (int * int) list
+(** Job counts per power-of-two size bucket: [(upper_bound, count)] for
+    buckets (0,1], (1,2], (2,4], ... up to the max size. *)
+
+val load_profile : Workload.t -> buckets:int -> (float * float) array
+(** For traces with arrivals: the offered load (node-seconds arriving /
+    capacity) per time bucket over the arrival span.  Uses
+    [system_nodes]; all-at-zero traces yield a single bucket. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = {
+  id : int;
+  size : int;
+  runtime : float;
+  est_runtime : float;
+  arrival : float;
+  bw_class : float;
+}
+
+let v ?(arrival = 0.0) ?(bw_class = 0.25) ?est_runtime ~id ~size ~runtime () =
+  if size < 1 then invalid_arg "Job.v: size must be >= 1";
+  if runtime <= 0.0 then invalid_arg "Job.v: runtime must be positive";
+  if arrival < 0.0 then invalid_arg "Job.v: arrival must be >= 0";
+  if bw_class <= 0.0 || bw_class > 1.0 then
+    invalid_arg "Job.v: bw_class must be in (0, 1]";
+  let est_runtime = Option.value est_runtime ~default:runtime in
+  if est_runtime < runtime then
+    invalid_arg "Job.v: est_runtime must be >= runtime";
+  { id; size; runtime; est_runtime; arrival; bw_class }
+
+let is_large j = j.size > 100
+
+let pp ppf j =
+  Format.fprintf ppf "job %d: %d nodes, %.0fs, arrives %.0f" j.id j.size
+    j.runtime j.arrival

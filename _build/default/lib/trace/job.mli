@@ -1,0 +1,42 @@
+(** Jobs as they appear in scheduling traces. *)
+
+type t = {
+  id : int;  (** Dense identifier, unique within a trace. *)
+  size : int;  (** Requested node count (>= 1). *)
+  runtime : float;
+      (** Baseline runtime in seconds — the runtime observed (or assumed)
+          under traditional scheduling, network interference included. *)
+  est_runtime : float;
+      (** The user-supplied runtime estimate (requested wall time).  EASY
+          backfilling decisions use estimates; actual completions use
+          {!runtime}.  Trace generators default it to the actual runtime
+          (the paper's traces carry no usable estimates); SWF input takes
+          it from the requested-time field when present. *)
+  arrival : float;  (** Submission time in seconds. *)
+  bw_class : float;
+      (** Average per-link bandwidth demand as a fraction of usable link
+          capacity, used only by the LC+S scheduler (paper §5.4.2: one of
+          0.5/1.0/1.5/2.0 GB/s over a 4 GB/s usable cap, i.e. 0.125,
+          0.25, 0.375 or 0.5). *)
+}
+
+val v :
+  ?arrival:float ->
+  ?bw_class:float ->
+  ?est_runtime:float ->
+  id:int ->
+  size:int ->
+  runtime:float ->
+  unit ->
+  t
+(** Constructor with defaults [arrival = 0.], [bw_class = 0.25],
+    [est_runtime = runtime].  Validates [size >= 1], [runtime > 0] and
+    [est_runtime >= runtime] (schedulers kill jobs at their estimate;
+    under-estimates would truncate jobs, which the simulator does not
+    model). *)
+
+val is_large : t -> bool
+(** Jobs over 100 nodes — the paper's "large job" threshold for the
+    turnaround-time breakdown (Figure 7). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+type entry = { workload : Workload.t; cluster_radix : int }
+
+(* Scaled-down default job counts keep the full benchmark suite in the
+   minutes range; [full:true] restores the paper's counts (Table 1). *)
+let count ~full ~paper ~scaled = if full then paper else scaled
+
+let synth_16 ~full =
+  {
+    workload =
+      Synthetic.synth ~mean_size:16
+        ~n_jobs:(count ~full ~paper:10_000 ~scaled:2_500)
+        ~seed:1601 ~max_size:1024;
+    cluster_radix = 16;
+  }
+
+let synth_22 ~full =
+  {
+    workload =
+      Synthetic.synth ~mean_size:22
+        ~n_jobs:(count ~full ~paper:10_000 ~scaled:2_500)
+        ~seed:2201 ~max_size:2662;
+    cluster_radix = 22;
+  }
+
+let synth_28 ~full =
+  {
+    workload =
+      Synthetic.synth ~mean_size:28
+        ~n_jobs:(count ~full ~paper:10_000 ~scaled:2_500)
+        ~seed:2801 ~max_size:5488;
+    cluster_radix = 28;
+  }
+
+(* Scaled-down runs shorten the runtime tail proportionally: a paper-
+   length monster job amortized over 100k jobs would dominate a 6k-job
+   window and swamp the steady-state metrics. *)
+let thunder ~full =
+  {
+    workload =
+      Synthetic.thunder_like
+        ~runtime_cap:(if full then 172362.0 else 40000.0)
+        ~n_jobs:(count ~full ~paper:105_764 ~scaled:6_000)
+        ~seed:3301 ();
+    cluster_radix = 18;
+  }
+
+let atlas ~full =
+  {
+    workload =
+      Synthetic.atlas_like
+        ~runtime_cap:(if full then 342754.0 else 60000.0)
+        ~n_jobs:(count ~full ~paper:29_700 ~scaled:2_500)
+        ~seed:3401 ();
+    cluster_radix = 18;
+  }
+
+(* The Cab months keep their arrival processes; Aug and Nov had low
+   baseline utilization, so the paper scales their arrival times by 0.5
+   (doubling offered load).  We generate them at low target load and
+   apply the same scaling. *)
+(* The scaled Cab months also shorten the runtime tail: the real traces
+   span a month, so an 86 ks job is 3%% of the window; at scaled job
+   counts the window shrinks to tens of kiloseconds and an uncapped tail
+   would push most node-seconds past the arrival window, deflating
+   offered load for every scheduler. *)
+let cab_cap ~full = if full then 86429.0 else 6000.0
+
+let aug_cab ~full =
+  {
+    workload =
+      Synthetic.cab_like ~runtime_cap:(cab_cap ~full) ~month:"Aug"
+        ~n_jobs:(count ~full ~paper:30_691 ~scaled:2_500)
+        ~seed:3501 ~target_load:0.56 ~arrival_scale:0.5 ();
+    cluster_radix = 18;
+  }
+
+let sep_cab ~full =
+  {
+    workload =
+      Synthetic.cab_like ~runtime_cap:(cab_cap ~full) ~month:"Sep"
+        ~n_jobs:(count ~full ~paper:87_564 ~scaled:5_000)
+        ~seed:3601 ~target_load:1.12 ~arrival_scale:1.0 ();
+    cluster_radix = 18;
+  }
+
+let oct_cab ~full =
+  {
+    workload =
+      Synthetic.cab_like ~runtime_cap:(cab_cap ~full) ~month:"Oct"
+        ~n_jobs:(count ~full ~paper:125_228 ~scaled:6_000)
+        ~seed:3701 ~target_load:1.3 ~arrival_scale:1.0 ();
+    cluster_radix = 18;
+  }
+
+let nov_cab ~full =
+  {
+    workload =
+      Synthetic.cab_like ~runtime_cap:(cab_cap ~full) ~month:"Nov"
+        ~n_jobs:(count ~full ~paper:50_353 ~scaled:3_000)
+        ~seed:3801 ~target_load:0.58 ~arrival_scale:0.5 ();
+    cluster_radix = 18;
+  }
+
+let all ~full =
+  [
+    synth_16 ~full;
+    synth_22 ~full;
+    synth_28 ~full;
+    aug_cab ~full;
+    sep_cab ~full;
+    oct_cab ~full;
+    nov_cab ~full;
+    thunder ~full;
+    atlas ~full;
+  ]
+
+let figure6_order ~full =
+  [
+    synth_16 ~full;
+    synth_22 ~full;
+    synth_28 ~full;
+    atlas ~full;
+    thunder ~full;
+    aug_cab ~full;
+    sep_cab ~full;
+    oct_cab ~full;
+    nov_cab ~full;
+  ]
+
+let by_name ~full name =
+  List.find_opt (fun e -> e.workload.Workload.name = name) (all ~full)

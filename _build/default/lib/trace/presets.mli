@@ -1,0 +1,33 @@
+(** The nine evaluation traces of the paper's Table 1, with the cluster
+    each is simulated on (§5.4.3).
+
+    Default mode generates scaled-down job counts so the whole benchmark
+    suite runs in minutes; [full:true] uses the paper's job counts. *)
+
+type entry = {
+  workload : Workload.t;
+  cluster_radix : int;
+      (** Radix of the simulation fat-tree: Synth-16 on radix 16
+          (1024 nodes), Synth-22 on 22 (2662), Synth-28 on 28 (5488);
+          Thunder, Atlas and the Cab months on radix 18 (1458). *)
+}
+
+val synth_16 : full:bool -> entry
+val synth_22 : full:bool -> entry
+val synth_28 : full:bool -> entry
+val thunder : full:bool -> entry
+val atlas : full:bool -> entry
+val aug_cab : full:bool -> entry
+val sep_cab : full:bool -> entry
+val oct_cab : full:bool -> entry
+val nov_cab : full:bool -> entry
+
+val all : full:bool -> entry list
+(** In Table 1 order: Synth-16, Synth-22, Synth-28, Aug/Sep/Oct/Nov-Cab,
+    Thunder, Atlas. *)
+
+val figure6_order : full:bool -> entry list
+(** In Figure 6 x-axis order: Synth-16/22/28, Atlas, Thunder, then the
+    Cab months. *)
+
+val by_name : full:bool -> string -> entry option

@@ -1,0 +1,31 @@
+type t = No_speedup | Fixed of int | V2 | Random
+
+let all = [ No_speedup; Fixed 5; Fixed 10; Fixed 20; V2; Random ]
+
+let name = function
+  | No_speedup -> "None"
+  | Fixed x -> Printf.sprintf "%d%%" x
+  | V2 -> "V2"
+  | Random -> "Random"
+
+(* A per-job deterministic stream: same scenario seed and job id => same
+   draw, whatever scheduler is simulating. *)
+let job_prng ~seed (j : Job.t) = Sim.Prng.create ~seed:((seed * 1_000_003) + j.id)
+
+let speedup t ~seed (j : Job.t) =
+  match t with
+  | No_speedup -> 0.0
+  | Fixed x -> if j.size > 4 then float_of_int x /. 100.0 else 0.0
+  | V2 ->
+      let prng = job_prng ~seed j in
+      let bucket_max = [| 0.0; 0.10; 0.20; 0.30 |].(Sim.Prng.int prng ~bound:4) in
+      let scale = Float.min 1.0 (float_of_int j.size /. 256.0) in
+      bucket_max *. scale
+  | Random ->
+      if j.size > 64 then begin
+        let prng = job_prng ~seed j in
+        [| 0.0; 0.05; 0.15; 0.30 |].(Sim.Prng.int prng ~bound:4)
+      end
+      else 0.0
+
+let isolated_runtime t ~seed j = j.Job.runtime /. (1.0 +. speedup t ~seed j)

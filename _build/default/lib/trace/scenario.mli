@@ -1,0 +1,36 @@
+(** Job performance scenarios (paper §5.4.1).
+
+    Job-isolating schedulers eliminate inter-job network interference, so
+    jobs may run faster in isolation than the baseline runtime recorded
+    in the trace.  Each scenario assigns every job a speed-up [s];
+    isolating schedulers run the job for [runtime / (1 + s)] while the
+    Baseline scheduler uses the trace runtime unchanged.
+
+    Random assignments (V2 and Random) are keyed by a scenario seed and
+    the job id, so every scheduler sees the same speed-up for the same
+    job. *)
+
+type t =
+  | No_speedup  (** Worst case: isolation buys nothing. *)
+  | Fixed of int
+      (** [Fixed x]: jobs larger than four nodes speed up by [x]%%
+          (paper's 5%%, 10%%, 20%% scenarios). *)
+  | V2
+      (** TA-paper scenario: jobs are randomly assigned to speed-up
+          buckets with maxima 0/10/20/30%%; within a bucket the speed-up
+          scales linearly with node count (our documented reading:
+          factor [min 1 (size/256)]). *)
+  | Random
+      (** Less optimistic: only jobs over 64 nodes speed up, by 0, 5, 15
+          or 30%% chosen uniformly. *)
+
+val all : t list
+(** The six scenarios of Figures 7 and 8, in paper order. *)
+
+val name : t -> string
+
+val speedup : t -> seed:int -> Job.t -> float
+(** The fractional speed-up [s >= 0] for this job under the scenario. *)
+
+val isolated_runtime : t -> seed:int -> Job.t -> float
+(** [job.runtime /. (1 +. speedup)]. *)

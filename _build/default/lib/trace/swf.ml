@@ -1,0 +1,88 @@
+let is_blank line = String.trim line = ""
+let is_comment line = String.length (String.trim line) > 0 && (String.trim line).[0] = ';'
+
+let parse_line id line =
+  if is_blank line || is_comment line then Ok None
+  else begin
+    let fields =
+      String.split_on_char ' ' (String.trim line)
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+    in
+    if List.length fields < 8 then
+      Error (Printf.sprintf "SWF: expected >= 8 fields, got %d" (List.length fields))
+    else begin
+      let nth n = List.nth fields n in
+      let float_field n =
+        match float_of_string_opt (nth n) with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "SWF: field %d is not a number: %s" (n + 1) (nth n))
+      in
+      match (float_field 1, float_field 3, float_field 7, float_field 4) with
+      | Ok submit, Ok runtime, Ok req_procs, Ok alloc_procs ->
+          let size =
+            if req_procs > 0.0 then int_of_float req_procs
+            else int_of_float alloc_procs
+          in
+          let est_runtime =
+            (* Field 9 is the requested wall time; clamp to >= runtime
+               (the simulator never truncates jobs). *)
+            match float_field 8 with
+            | Ok r when r > 0.0 -> Some (Float.max r runtime)
+            | _ -> None
+          in
+          if size <= 0 || runtime <= 0.0 then Ok None
+          else
+            Ok
+              (Some
+                 (Job.v ~id ~size ~runtime ?est_runtime
+                    ~arrival:(Float.max 0.0 submit) ()))
+      | (Error _ as e), _, _, _
+      | _, (Error _ as e), _, _
+      | _, _, (Error _ as e), _
+      | _, _, _, (Error _ as e) ->
+          (match e with Error m -> Error m | Ok _ -> assert false)
+    end
+  end
+
+let parse_string ~name ~system_nodes text =
+  let lines = String.split_on_char '\n' text in
+  let jobs = ref [] in
+  let next_id = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then
+        match parse_line !next_id line with
+        | Ok None -> ()
+        | Ok (Some j) ->
+            incr next_id;
+            jobs := j :: !jobs
+        | Error m -> error := Some (Printf.sprintf "line %d: %s" (lineno + 1) m))
+    lines;
+  match !error with
+  | Some m -> Error m
+  | None ->
+      Ok (Workload.create ~name ~system_nodes (Array.of_list (List.rev !jobs)))
+
+let load ~name ~system_nodes path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string ~name ~system_nodes text
+  | exception Sys_error m -> Error m
+
+let to_string (w : Workload.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "; SWF export of trace %s (%d jobs)\n" w.name
+       (Array.length w.jobs));
+  Array.iter
+    (fun (j : Job.t) ->
+      (* job submit wait run alloc avgcpu mem req_procs req_time req_mem
+         status user group app queue part prev think *)
+      Buffer.add_string buf
+        (Printf.sprintf "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+           (j.id + 1) j.arrival j.runtime j.size j.size j.est_runtime))
+    w.jobs;
+  Buffer.contents buf
+
+let save w path = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string w))

@@ -1,0 +1,32 @@
+(** Standard Workload Format (SWF) input/output.
+
+    The parallel-workloads archive format used for the Thunder and Atlas
+    logs the paper draws on (Feitelson's archive, reference [12]).  Each
+    data line has 18 whitespace-separated fields; we read the ones the
+    simulator needs — job number (1), submit time (2), run time (4) and
+    requested processors (8, falling back to allocated processors (5)) —
+    and ignore the rest.  Comment lines start with [';'].
+
+    Real traces can therefore be dropped into the benchmark harness
+    unmodified, replacing the synthetic stand-ins. *)
+
+val parse_line : int -> string -> (Job.t option, string) result
+(** [parse_line id line] is [Ok None] for comments/blank lines, [Ok (Some
+    job)] for a well-formed data line (jobs with non-positive size or
+    runtime are also skipped as [Ok None], matching common practice), and
+    [Error _] for malformed input.  [id] overrides the job number so ids
+    stay dense. *)
+
+val parse_string :
+  name:string -> system_nodes:int -> string -> (Workload.t, string) result
+(** Parses a whole SWF document. *)
+
+val load : name:string -> system_nodes:int -> string -> (Workload.t, string) result
+(** [load ~name ~system_nodes path] reads and parses an SWF file. *)
+
+val to_string : Workload.t -> string
+(** Renders a workload as SWF (fields the simulator does not model are
+    written as [-1]). *)
+
+val save : Workload.t -> string -> unit
+(** Writes {!to_string} to a file. *)

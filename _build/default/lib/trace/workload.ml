@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  system_nodes : int;
+  jobs : Job.t array;
+  has_arrivals : bool;
+}
+
+let create ~name ~system_nodes jobs =
+  let jobs = Array.copy jobs in
+  Array.sort
+    (fun (a : Job.t) (b : Job.t) ->
+      let c = compare a.arrival b.arrival in
+      if c <> 0 then c else compare a.id b.id)
+    jobs;
+  let has_arrivals = Array.exists (fun (j : Job.t) -> j.arrival > 0.0) jobs in
+  { name; system_nodes; jobs; has_arrivals }
+
+let num_jobs t = Array.length t.jobs
+
+let max_job_size t =
+  Array.fold_left (fun acc (j : Job.t) -> max acc j.size) 0 t.jobs
+
+let min_runtime t =
+  Array.fold_left (fun acc (j : Job.t) -> Float.min acc j.runtime) Float.infinity t.jobs
+
+let max_runtime t =
+  Array.fold_left (fun acc (j : Job.t) -> Float.max acc j.runtime) 0.0 t.jobs
+
+let total_node_seconds t =
+  Array.fold_left
+    (fun acc (j : Job.t) -> acc +. (float_of_int j.size *. j.runtime))
+    0.0 t.jobs
+
+let zero_arrivals t =
+  create ~name:t.name ~system_nodes:t.system_nodes
+    (Array.map (fun (j : Job.t) -> { j with arrival = 0.0 }) t.jobs)
+
+let scale_arrivals t f =
+  create ~name:t.name ~system_nodes:t.system_nodes
+    (Array.map (fun (j : Job.t) -> { j with arrival = j.arrival *. f }) t.jobs)
+
+let inflate_estimates t f =
+  if f < 1.0 then invalid_arg "Workload.inflate_estimates: factor must be >= 1";
+  create ~name:t.name ~system_nodes:t.system_nodes
+    (Array.map (fun (j : Job.t) -> { j with est_runtime = j.runtime *. f }) t.jobs)
+
+let truncate t n =
+  let n = min n (Array.length t.jobs) in
+  create ~name:t.name ~system_nodes:t.system_nodes (Array.sub t.jobs 0 n)
+
+type summary = {
+  s_name : string;
+  s_system_nodes : int;
+  s_num_jobs : int;
+  s_max_job : int;
+  s_min_runtime : float;
+  s_max_runtime : float;
+  s_has_arrivals : bool;
+}
+
+let summarize t =
+  {
+    s_name = t.name;
+    s_system_nodes = t.system_nodes;
+    s_num_jobs = num_jobs t;
+    s_max_job = max_job_size t;
+    s_min_runtime = (if num_jobs t = 0 then 0.0 else min_runtime t);
+    s_max_runtime = max_runtime t;
+    s_has_arrivals = t.has_arrivals;
+  }
+
+let pp_summary_header ppf () =
+  Format.fprintf ppf "%-10s %7s %8s %8s %14s %8s" "Trace" "SysN" "Jobs"
+    "MaxJob" "Runtimes(s)" "Arrivals"
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%-10s %7d %8d %8d %6.0f-%-7.0f %8s" s.s_name
+    s.s_system_nodes s.s_num_jobs s.s_max_job s.s_min_runtime s.s_max_runtime
+    (if s.s_has_arrivals then "Y" else "N")

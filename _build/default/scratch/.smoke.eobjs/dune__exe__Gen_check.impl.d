@@ -1,0 +1,1 @@
+scratch/gen_check.ml: Format List Trace

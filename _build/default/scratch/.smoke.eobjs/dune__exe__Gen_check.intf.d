@@ -1,0 +1,1 @@
+scratch/gen_check.mli:

@@ -1,0 +1,1 @@
+scratch/smoke.ml: Fattree Format Jigsaw Jigsaw_core Partition Sim State Topology

@@ -1,0 +1,4 @@
+let () =
+  List.iter (fun (e : Trace.Presets.entry) ->
+    Format.printf "%a@." Trace.Workload.pp_summary (Trace.Workload.summarize e.workload))
+    (Trace.Presets.all ~full:true)

@@ -1,0 +1,14 @@
+open Fattree
+open Jigsaw_core
+let () =
+  let topo = Topology.of_radix 28 in
+  let st = State.create topo in
+  let prng = Sim.Prng.create ~seed:2828 in
+  let placed = ref 0 and failed = ref 0 in
+  for job = 0 to 199 do
+    let size = Sim.Prng.int_in prng ~lo:1 ~hi:400 in
+    match Jigsaw.get_allocation st ~job ~size with
+    | Some p -> incr placed; State.claim_exn st (Partition.to_alloc topo p ~bw:1.0)
+    | None -> incr failed
+  done;
+  Format.printf "placed=%d failed=%d util=%.2f@." !placed !failed (State.node_utilization st)

@@ -1,0 +1,1 @@
+test/test_allocators.ml: Alcotest Alloc Array Baselines Fattree Jigsaw_core List QCheck2 QCheck_alcotest Result Sched State Topology Trace

@@ -1,0 +1,1 @@
+test/test_clos.ml: Alcotest Array Clos Fattree List Topology

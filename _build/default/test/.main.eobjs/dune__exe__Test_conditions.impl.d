@@ -1,0 +1,1 @@
+test/test_conditions.ml: Alcotest Array Conditions Fattree Jigsaw_core Partition Result Topology

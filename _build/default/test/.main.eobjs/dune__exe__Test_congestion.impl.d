@@ -1,0 +1,1 @@
+test/test_congestion.ml: Alcotest Congestion Dmodk Fattree Jigsaw Jigsaw_core List Partition Rearrange Routing Sim State Topology

@@ -1,0 +1,1 @@
+test/test_dmodk.ml: Alcotest Dmodk Fattree List Path QCheck2 QCheck_alcotest Routing Topology

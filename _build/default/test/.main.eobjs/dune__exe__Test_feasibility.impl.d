@@ -1,0 +1,1 @@
+test/test_feasibility.ml: Alcotest Alloc Array Fattree Feasibility List Printf Routing Topology

@@ -1,0 +1,1 @@
+test/test_fwd.ml: Alcotest Array Fattree Fwd Jigsaw Jigsaw_core List Partition Partition_routing Printf QCheck2 QCheck_alcotest Result Routing Sim State Topology

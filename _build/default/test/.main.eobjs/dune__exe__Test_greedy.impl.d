@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Array Dmodk Fattree Fun Greedy List Path Routing Sim Topology

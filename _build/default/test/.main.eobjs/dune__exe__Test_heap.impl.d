@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap List QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_jigsaw.ml: Alcotest Alloc Array Conditions Fattree Jigsaw Jigsaw_core List Partition QCheck2 QCheck_alcotest Sim State Topology

@@ -1,0 +1,1 @@
+test/test_least_constrained.ml: Alcotest Alloc Conditions Fattree Jigsaw Jigsaw_core Least_constrained List Partition QCheck2 QCheck_alcotest Sim State Topology

@@ -1,0 +1,1 @@
+test/test_mask.ml: Alcotest Jigsaw_core Mask QCheck2 QCheck_alcotest

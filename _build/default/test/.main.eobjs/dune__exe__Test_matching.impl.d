@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array List Matching QCheck2 QCheck_alcotest Routing Sim

@@ -1,0 +1,1 @@
+test/test_maxflow.ml: Alcotest List Matching Maxflow Routing

@@ -1,0 +1,1 @@
+test/test_necessity.ml: Alcotest Alloc Array Fattree Feasibility Jigsaw_core QCheck2 QCheck_alcotest Routing Sim State Topology

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Fattree Format Jigsaw Jigsaw_core List Partition State String Topology

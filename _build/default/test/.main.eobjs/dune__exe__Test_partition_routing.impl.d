@@ -1,0 +1,1 @@
+test/test_partition_routing.ml: Alcotest Array Dmodk Fattree Jigsaw Jigsaw_core List Partition Partition_routing Path Printf QCheck2 QCheck_alcotest Routing Sim State Topology

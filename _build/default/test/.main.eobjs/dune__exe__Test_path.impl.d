@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Fattree List Path Result Routing

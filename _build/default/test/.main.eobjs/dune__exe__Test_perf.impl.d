@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Fattree Jigsaw Jigsaw_core Partition Printf Queue Routing Sim State Topology Unix

@@ -1,0 +1,1 @@
+test/test_rearrange.ml: Alcotest Array Baselines Conditions Fattree Fun Jigsaw Jigsaw_core Least_constrained List Partition Path QCheck2 QCheck_alcotest Rearrange Routing Sim State Topology

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Alloc Fattree Format Render State String Topology

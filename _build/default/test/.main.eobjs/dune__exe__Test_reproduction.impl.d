@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Hashtbl Lazy List Printf Sched Trace

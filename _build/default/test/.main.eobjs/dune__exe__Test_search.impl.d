@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Alloc Array Conditions Fattree Jigsaw_core List Partition Search Shapes State Topology

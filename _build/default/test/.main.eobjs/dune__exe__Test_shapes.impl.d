@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Fattree Jigsaw_core List Printf QCheck2 QCheck_alcotest Shapes Topology

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array List Printf Sched Trace

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Alloc Array Fattree List QCheck2 QCheck_alcotest Result State Topology

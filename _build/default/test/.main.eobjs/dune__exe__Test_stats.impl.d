@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array List QCheck2 QCheck_alcotest Sim Stats

@@ -1,0 +1,1 @@
+test/test_swf.ml: Alcotest Array Filename Float Fun Sys Trace

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Fattree Hashtbl List Printf QCheck2 QCheck_alcotest Result Topology

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Fattree Float List Printf Trace

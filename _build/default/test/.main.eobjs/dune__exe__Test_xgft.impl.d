@@ -1,0 +1,1 @@
+test/test_xgft.ml: Alcotest Fattree Topology Xgft

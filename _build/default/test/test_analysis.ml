@@ -1,0 +1,104 @@
+(* Tests for workload analysis — including checks that the synthetic
+   stand-ins exhibit the characteristics the paper states. *)
+
+let test_empty () =
+  let w = Trace.Workload.create ~name:"e" ~system_nodes:8 [||] in
+  let a = Trace.Analysis.analyze w in
+  Alcotest.(check int) "no jobs" 0 a.num_jobs
+
+let test_basic_stats () =
+  let jobs =
+    [|
+      Trace.Job.v ~id:0 ~size:1 ~runtime:10.0 ();
+      Trace.Job.v ~id:1 ~size:4 ~runtime:20.0 ();
+      Trace.Job.v ~id:2 ~size:3 ~runtime:30.0 ();
+      Trace.Job.v ~id:3 ~size:8 ~runtime:40.0 ();
+    |]
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:16 jobs in
+  let a = Trace.Analysis.analyze w in
+  Alcotest.(check (float 1e-9)) "mean size" 4.0 a.mean_size;
+  Alcotest.(check int) "max" 8 a.max_size;
+  (* 1, 4, 8 are powers of two. *)
+  Alcotest.(check (float 1e-9)) "pow2" 0.75 a.pow2_fraction;
+  Alcotest.(check (float 1e-9)) "single node" 0.25 a.single_node_fraction;
+  Alcotest.(check bool) "no arrivals, no load" true (a.offered_load = None)
+
+let test_offered_load () =
+  let jobs =
+    [|
+      Trace.Job.v ~id:0 ~size:10 ~runtime:100.0 ~arrival:0.0 ();
+      Trace.Job.v ~id:1 ~size:10 ~runtime:100.0 ~arrival:100.0 ();
+    |]
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:20 jobs in
+  let a = Trace.Analysis.analyze w in
+  (* demand 2000 node-s over 20 nodes * 100 s span = 1.0 *)
+  Alcotest.(check (option (float 1e-6))) "load" (Some 1.0) a.offered_load
+
+let test_size_histogram () =
+  let jobs =
+    [|
+      Trace.Job.v ~id:0 ~size:1 ~runtime:1.0 ();
+      Trace.Job.v ~id:1 ~size:2 ~runtime:1.0 ();
+      Trace.Job.v ~id:2 ~size:3 ~runtime:1.0 ();
+      Trace.Job.v ~id:3 ~size:4 ~runtime:1.0 ();
+      Trace.Job.v ~id:4 ~size:7 ~runtime:1.0 ();
+    |]
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:8 jobs in
+  Alcotest.(check (list (pair int int)))
+    "buckets"
+    [ (1, 1); (2, 1); (4, 2); (8, 1) ]
+    (Trace.Analysis.size_histogram w)
+
+let test_load_profile () =
+  let jobs =
+    Array.init 10 (fun i ->
+        Trace.Job.v ~id:i ~size:5 ~runtime:10.0 ~arrival:(float_of_int (i * 10)) ())
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:10 jobs in
+  let profile = Trace.Analysis.load_profile w ~buckets:3 in
+  Alcotest.(check int) "three buckets" 3 (Array.length profile);
+  Array.iter (fun (_, l) -> Alcotest.(check bool) "positive" true (l > 0.0)) profile
+
+let test_thunder_characteristics () =
+  (* The stand-in must show the published fingerprints: extra mass on
+     powers of two and runtimes skewed short (median far below mean). *)
+  let w = Trace.Synthetic.thunder_like ~n_jobs:5_000 ~seed:3301 () in
+  let a = Trace.Analysis.analyze w in
+  Alcotest.(check bool) "power-of-two boost" true (a.pow2_fraction > 0.35);
+  Alcotest.(check bool) "short-skewed runtimes" true
+    (a.median_runtime < 0.6 *. a.mean_runtime);
+  Alcotest.(check bool) "has single-node jobs (Table 1)" true
+    (a.single_node_fraction > 0.0)
+
+let test_synth_not_pow2_boosted () =
+  (* The plain synthetic traces are purely exponential: a power of two is
+     no more likely than its neighbours. *)
+  let w = Trace.Synthetic.synth ~mean_size:16 ~n_jobs:5_000 ~seed:1 ~max_size:1024 in
+  let a = Trace.Analysis.analyze w in
+  Alcotest.(check bool) "no strong pow2 boost" true (a.pow2_fraction < 0.35)
+
+let test_cab_load_near_target () =
+  let w =
+    Trace.Synthetic.cab_like ~month:"T" ~n_jobs:3_000 ~seed:5 ~target_load:1.0
+      ~arrival_scale:1.0 ()
+  in
+  match (Trace.Analysis.analyze w).offered_load with
+  | Some l ->
+      Alcotest.(check bool) (Printf.sprintf "load ~1.0 (got %.2f)" l) true
+        (l > 0.85 && l < 1.15)
+  | None -> Alcotest.fail "cab has arrivals"
+
+let suite =
+  [
+    Alcotest.test_case "empty workload" `Quick test_empty;
+    Alcotest.test_case "basic stats" `Quick test_basic_stats;
+    Alcotest.test_case "offered load" `Quick test_offered_load;
+    Alcotest.test_case "size histogram" `Quick test_size_histogram;
+    Alcotest.test_case "load profile" `Quick test_load_profile;
+    Alcotest.test_case "thunder fingerprints" `Quick test_thunder_characteristics;
+    Alcotest.test_case "synth is plain exponential" `Quick test_synth_not_pow2_boosted;
+    Alcotest.test_case "cab load near target" `Quick test_cab_load_near_target;
+  ]

@@ -1,0 +1,100 @@
+(* Tests for Sim.Bitset. *)
+
+open Sim
+
+let test_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity b);
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem b 0);
+  Alcotest.(check bool) "mem 63 (word boundary)" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem b 64);
+  Alcotest.(check bool) "not mem 50" false (Bitset.mem b 50);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal b)
+
+let test_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset: index 10 out of range [0, 10)") (fun () ->
+      Bitset.add b 10);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: index -1 out of range [0, 10)") (fun () ->
+      ignore (Bitset.mem b (-1)))
+
+let test_fill_clear () =
+  let b = Bitset.create 130 in
+  Bitset.fill b;
+  Alcotest.(check int) "full" 130 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem last" true (Bitset.mem b 129);
+  Bitset.clear b;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal b)
+
+let test_iter_order () =
+  let b = Bitset.of_list 200 [ 150; 3; 77; 3; 64 ] in
+  Alcotest.(check (list int)) "ascending" [ 3; 64; 77; 150 ] (Bitset.to_list b)
+
+let test_first_clear_from () =
+  let b = Bitset.of_list 10 [ 0; 1; 2; 5 ] in
+  Alcotest.(check (option int)) "from 0" (Some 3) (Bitset.first_clear_from b 0);
+  Alcotest.(check (option int)) "from 3" (Some 3) (Bitset.first_clear_from b 3);
+  Alcotest.(check (option int)) "from 5" (Some 6) (Bitset.first_clear_from b 5);
+  let full = Bitset.create 4 in
+  Bitset.fill full;
+  Alcotest.(check (option int)) "all set" None (Bitset.first_clear_from full 0)
+
+let test_count_range () =
+  let b = Bitset.of_list 100 [ 10; 20; 30; 40 ] in
+  Alcotest.(check int) "range [15,35)" 2 (Bitset.count_range b ~lo:15 ~hi:35);
+  Alcotest.(check int) "clamped" 4 (Bitset.count_range b ~lo:(-5) ~hi:1000)
+
+let test_set_ops () =
+  let a = Bitset.of_list 70 [ 1; 2; 65 ] in
+  let b = Bitset.of_list 70 [ 2; 65; 66 ] in
+  Alcotest.(check int) "inter" 2 (Bitset.inter_cardinal a b);
+  Alcotest.(check bool) "not disjoint" false (Bitset.disjoint a b);
+  let c = Bitset.of_list 70 [ 3; 69 ] in
+  Alcotest.(check bool) "disjoint" true (Bitset.disjoint a c);
+  Bitset.union_into ~dst:a c;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 65; 69 ] (Bitset.to_list a)
+
+let test_copy_equal () =
+  let a = Bitset.of_list 50 [ 5; 10 ] in
+  let b = Bitset.copy a in
+  Alcotest.(check bool) "equal" true (Bitset.equal a b);
+  Bitset.add b 11;
+  Alcotest.(check bool) "copy independent" false (Bitset.equal a b)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"of_list/to_list roundtrip" ~count:200
+    QCheck2.Gen.(list (int_range 0 199))
+    (fun xs ->
+      let b = Sim.Bitset.of_list 200 xs in
+      Sim.Bitset.to_list b = List.sort_uniq compare xs)
+
+let prop_cardinal =
+  QCheck2.Test.make ~name:"cardinal = |set|" ~count:200
+    QCheck2.Gen.(list (int_range 0 499))
+    (fun xs ->
+      let b = Sim.Bitset.of_list 500 xs in
+      Sim.Bitset.cardinal b = List.length (List.sort_uniq compare xs))
+
+let suite =
+  [
+    Alcotest.test_case "basic membership" `Quick test_basic;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "fill and clear" `Quick test_fill_clear;
+    Alcotest.test_case "iteration order" `Quick test_iter_order;
+    Alcotest.test_case "first_clear_from" `Quick test_first_clear_from;
+    Alcotest.test_case "count_range" `Quick test_count_range;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "copy and equal" `Quick test_copy_equal;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_cardinal;
+  ]

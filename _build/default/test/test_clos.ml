@@ -1,0 +1,68 @@
+(* Tests for the Clos (unfolded) view of the fat-tree. *)
+
+open Fattree
+
+let topo = Topology.of_radix 8
+
+let test_stage_indices () =
+  Alcotest.(check (list int)) "1..5" [ 1; 2; 3; 4; 5 ]
+    (List.map Clos.stage_index
+       [ Clos.In_leaf; Clos.In_l2; Clos.Spine_stage; Clos.Out_l2; Clos.Out_leaf ])
+
+let test_stage_widths () =
+  Alcotest.(check int) "in leaves" 32 (Clos.stage_width topo Clos.In_leaf);
+  Alcotest.(check int) "in l2" 32 (Clos.stage_width topo Clos.In_l2);
+  Alcotest.(check int) "spines" 16 (Clos.stage_width topo Clos.Spine_stage);
+  Alcotest.(check int) "out l2" 32 (Clos.stage_width topo Clos.Out_l2);
+  Alcotest.(check int) "out leaves" 32 (Clos.stage_width topo Clos.Out_leaf)
+
+let test_center_networks () =
+  (* An L2 switch belongs to the center network of its index in the pod;
+     a spine to its group; leaves to none. *)
+  Alcotest.(check (option int)) "leaf" None
+    (Clos.center_network topo ~stage:Clos.In_leaf ~pos:3);
+  let l2 = Topology.l2_of_coords topo ~pod:5 ~index:2 in
+  Alcotest.(check (option int)) "l2" (Some 2)
+    (Clos.center_network topo ~stage:Clos.In_l2 ~pos:l2);
+  let spine = Topology.spine_of_coords topo ~group:3 ~index:1 in
+  Alcotest.(check (option int)) "spine" (Some 3)
+    (Clos.center_network topo ~stage:Clos.Spine_stage ~pos:spine)
+
+let test_center_network_partition () =
+  (* Each center network i contains exactly m3 L2 switches and m2
+     spines: together they partition the middle stages. *)
+  let counts_l2 = Array.make (Topology.m1 topo) 0 in
+  for pos = 0 to Topology.num_l2 topo - 1 do
+    match Clos.center_network topo ~stage:Clos.In_l2 ~pos with
+    | Some i -> counts_l2.(i) <- counts_l2.(i) + 1
+    | None -> Alcotest.fail "l2 must have a center"
+  done;
+  Array.iter (fun c -> Alcotest.(check int) "m3 L2 per center" 8 c) counts_l2;
+  let counts_sp = Array.make (Topology.m1 topo) 0 in
+  for pos = 0 to Topology.num_spines topo - 1 do
+    match Clos.center_network topo ~stage:Clos.Spine_stage ~pos with
+    | Some i -> counts_sp.(i) <- counts_sp.(i) + 1
+    | None -> Alcotest.fail "spine must have a center"
+  done;
+  Array.iter (fun c -> Alcotest.(check int) "m2 spines per center" 4 c) counts_sp
+
+let test_io_positions () =
+  Alcotest.(check int) "input pos" 77 (Clos.input_of_node topo 77);
+  Alcotest.(check int) "output pos" 77 (Clos.output_of_node topo 77);
+  Alcotest.(check int) "input leaf" (Topology.node_leaf topo 77)
+    (Clos.leaf_of_input topo 77)
+
+let test_crossing_stages () =
+  Alcotest.(check int) "same leaf" 0 (Clos.crossing_stages topo ~src:0 ~dst:3);
+  Alcotest.(check int) "same pod" 2 (Clos.crossing_stages topo ~src:0 ~dst:9);
+  Alcotest.(check int) "cross pod" 4 (Clos.crossing_stages topo ~src:0 ~dst:100)
+
+let suite =
+  [
+    Alcotest.test_case "stage indices" `Quick test_stage_indices;
+    Alcotest.test_case "stage widths" `Quick test_stage_widths;
+    Alcotest.test_case "center networks" `Quick test_center_networks;
+    Alcotest.test_case "center networks partition middle stages" `Quick test_center_network_partition;
+    Alcotest.test_case "input/output positions" `Quick test_io_positions;
+    Alcotest.test_case "crossing stages" `Quick test_crossing_stages;
+  ]

@@ -1,0 +1,96 @@
+(* Tests for D-mod-k static routing on the full tree. *)
+
+open Fattree
+open Routing
+
+let topo = Topology.of_radix 8
+
+let test_intra_leaf_local () =
+  let p = Dmodk.path topo ~src:0 ~dst:1 in
+  Alcotest.(check int) "no hops" 0 (List.length p.hops)
+
+let test_intra_pod_two_hops () =
+  (* Nodes 0 and 4 are on leaves 0 and 1 of pod 0. *)
+  let p = Dmodk.path topo ~src:0 ~dst:4 in
+  Alcotest.(check int) "two hops" 2 (List.length p.hops);
+  match p.hops with
+  | [ up; down ] ->
+      Alcotest.(check bool) "up then down" true
+        (up.dir = Path.Up && down.dir = Path.Down);
+      Alcotest.(check bool) "same L2 index" true
+        (Topology.leaf_l2_cable_l2_index topo up.cable
+        = Topology.leaf_l2_cable_l2_index topo down.cable)
+  | _ -> Alcotest.fail "hop shape"
+
+let test_inter_pod_four_hops () =
+  let dst = Topology.node_of_coords topo ~pod:3 ~leaf:2 ~slot:1 in
+  let p = Dmodk.path topo ~src:0 ~dst in
+  Alcotest.(check int) "four hops" 4 (List.length p.hops);
+  (* Destination-based determinism: same dst from another source in a
+     third pod picks the same spine. *)
+  let src2 = Topology.node_of_coords topo ~pod:5 ~leaf:0 ~slot:0 in
+  let p2 = Dmodk.path topo ~src:src2 ~dst in
+  let spine_of path =
+    List.find_map
+      (fun (h : Path.hop) ->
+        if h.tier = Path.L2_spine && h.dir = Path.Down then
+          Some (Topology.spine_of_l2_cable topo h.cable)
+        else None)
+      path.Path.hops
+  in
+  Alcotest.(check (option int)) "same spine for same dst" (spine_of p) (spine_of p2)
+
+let test_shift_permutation_balanced () =
+  (* D-mod-k's design goal: shift permutations on the dedicated tree are
+     congestion-free. *)
+  let n = Topology.num_nodes topo in
+  let flows = List.init n (fun s -> (s, (s + Topology.m1 topo) mod n)) in
+  Alcotest.(check int) "one flow per channel" 1 (Dmodk.max_load topo flows)
+
+let test_hotspot_under_skew () =
+  (* Many sources, one destination leaf: downlinks hotspot. *)
+  let dst = Topology.node_of_coords topo ~pod:7 ~leaf:0 ~slot:0 in
+  let flows = List.init 16 (fun k -> (k * Topology.m1 topo, dst)) in
+  Alcotest.(check bool) "load > 1" true (Dmodk.max_load topo flows > 1)
+
+let test_routes_cover_flows () =
+  let flows = [ (0, 100); (5, 37); (64, 8) ] in
+  let paths = Dmodk.routes topo flows in
+  Alcotest.(check (list (pair int int)))
+    "endpoints"
+    flows
+    (List.map (fun (p : Path.t) -> (p.src, p.dst)) paths)
+
+let prop_paths_use_valid_cables =
+  QCheck2.Test.make ~name:"dmodk paths stay in cable id ranges" ~count:300
+    QCheck2.Gen.(pair (int_range 0 127) (int_range 0 127))
+    (fun (src, dst) ->
+      let p = Dmodk.path topo ~src ~dst in
+      List.for_all
+        (fun (h : Path.hop) ->
+          match h.tier with
+          | Path.Leaf_l2 -> h.cable >= 0 && h.cable < Topology.num_leaf_l2_cables topo
+          | Path.L2_spine -> h.cable >= 0 && h.cable < Topology.num_l2_spine_cables topo)
+        p.hops)
+
+let prop_up_down_symmetry =
+  QCheck2.Test.make ~name:"dmodk: hop structure follows pod locality" ~count:300
+    QCheck2.Gen.(pair (int_range 0 127) (int_range 0 127))
+    (fun (src, dst) ->
+      let p = Dmodk.path topo ~src ~dst in
+      let hops = List.length p.hops in
+      if Topology.node_leaf topo src = Topology.node_leaf topo dst then hops = 0
+      else if Topology.node_pod topo src = Topology.node_pod topo dst then hops = 2
+      else hops = 4)
+
+let suite =
+  [
+    Alcotest.test_case "intra-leaf is local" `Quick test_intra_leaf_local;
+    Alcotest.test_case "intra-pod two hops" `Quick test_intra_pod_two_hops;
+    Alcotest.test_case "inter-pod four hops, destination-based" `Quick test_inter_pod_four_hops;
+    Alcotest.test_case "shift permutation balanced" `Quick test_shift_permutation_balanced;
+    Alcotest.test_case "hotspot under skew" `Quick test_hotspot_under_skew;
+    Alcotest.test_case "routes cover flows" `Quick test_routes_cover_flows;
+    QCheck_alcotest.to_alcotest prop_paths_use_valid_cables;
+    QCheck_alcotest.to_alcotest prop_up_down_symmetry;
+  ]

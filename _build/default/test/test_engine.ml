@@ -1,0 +1,96 @@
+(* Tests for the discrete-event engine. *)
+
+open Sim
+
+let test_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~time:5.0 (fun _ -> log := 5 :: !log);
+  Engine.schedule e ~time:1.0 (fun _ -> log := 1 :: !log);
+  Engine.schedule e ~time:3.0 (fun _ -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "in time order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 5.0 (Engine.now e)
+
+let test_priority_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~time:2.0 ~priority:1 (fun _ -> log := "arrival" :: !log);
+  Engine.schedule e ~time:2.0 ~priority:0 (fun _ -> log := "completion" :: !log);
+  Engine.schedule e ~time:2.0 ~priority:2 (fun _ -> log := "pass" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "priority order at equal time"
+    [ "completion"; "arrival"; "pass" ]
+    (List.rev !log)
+
+let test_fifo_within_priority () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Engine.schedule e ~time:1.0 (fun _ -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_handlers_schedule_more () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick eng =
+    incr count;
+    if !count < 10 then Engine.schedule_after eng ~delay:1.0 tick
+  in
+  Engine.schedule e ~time:0.0 tick;
+  Engine.run e;
+  Alcotest.(check int) "chained events" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock" 9.0 (Engine.now e)
+
+let test_no_past_scheduling () =
+  let e = Engine.create () in
+  Engine.schedule e ~time:5.0 (fun eng ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Engine.schedule: time 3 is before now (5)")
+        (fun () -> Engine.schedule eng ~time:3.0 (fun _ -> ())));
+  Engine.run e
+
+let test_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun t -> Engine.schedule e ~time:t (fun _ -> log := t :: !log))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run_until e 2.5;
+  Alcotest.(check (list (float 1e-9))) "only <= horizon" [ 1.0; 2.0 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 2.5 (Engine.now e);
+  Alcotest.(check int) "rest pending" 2 (Engine.pending e)
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  Engine.schedule e ~time:1.0 (fun _ -> ());
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+let prop_random_schedule_ordered =
+  QCheck2.Test.make ~name:"random event times execute sorted" ~count:150
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun times ->
+      let e = Engine.create () in
+      let log = ref [] in
+      List.iter
+        (fun t -> Engine.schedule e ~time:t (fun _ -> log := t :: !log))
+        times;
+      Engine.run e;
+      List.rev !log = List.stable_sort compare times)
+
+let suite =
+  [
+    Alcotest.test_case "events run in time order" `Quick test_time_order;
+    QCheck_alcotest.to_alcotest prop_random_schedule_ordered;
+    Alcotest.test_case "priorities break ties" `Quick test_priority_ties;
+    Alcotest.test_case "FIFO within a priority" `Quick test_fifo_within_priority;
+    Alcotest.test_case "handlers schedule more events" `Quick test_handlers_schedule_more;
+    Alcotest.test_case "scheduling in the past rejected" `Quick test_no_past_scheduling;
+    Alcotest.test_case "run_until stops at horizon" `Quick test_run_until;
+    Alcotest.test_case "step" `Quick test_step;
+  ]

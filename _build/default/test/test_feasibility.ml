@@ -1,0 +1,106 @@
+(* Direct tests for the max-flow feasibility bounds. *)
+
+open Fattree
+open Routing
+
+let topo = Topology.of_radix 8
+
+let full_leaf_alloc leaves =
+  (* Whole leaves with all uplinks. *)
+  let nodes =
+    Array.concat
+      (List.map
+         (fun leaf -> Array.init 4 (fun s -> Topology.leaf_first_node topo leaf + s))
+         leaves)
+  in
+  let cables =
+    Array.concat
+      (List.map
+         (fun leaf ->
+           Array.init 4 (fun i -> Topology.leaf_l2_cable topo ~leaf ~l2_index:i))
+         leaves)
+  in
+  {
+    Alloc.job = 0;
+    size = Array.length nodes;
+    nodes;
+    leaf_cables = cables;
+    l2_cables = [||];
+    bw = 1.0;
+  }
+
+let test_intra_leaf_free () =
+  (* Flows within one leaf need no cables at all. *)
+  let alloc = full_leaf_alloc [ 0 ] in
+  let nodes = alloc.nodes in
+  Alcotest.(check int) "2 intra-leaf flows" 2
+    (Feasibility.max_concurrent_flows topo alloc
+       ~srcs:[| nodes.(0); nodes.(1) |]
+       ~dsts:[| nodes.(2); nodes.(3) |])
+
+let test_full_pod_bisection () =
+  (* Two whole leaves in one pod: 4 flows cross at full rate. *)
+  let alloc = full_leaf_alloc [ 0; 1 ] in
+  let a = Array.sub alloc.nodes 0 4 and b = Array.sub alloc.nodes 4 4 in
+  Alcotest.(check int) "full bisection" 4
+    (Feasibility.max_concurrent_flows topo alloc ~srcs:a ~dsts:b)
+
+let test_scales_with_cables () =
+  (* Strip uplinks one at a time: the bound tracks the cable count. *)
+  let base = full_leaf_alloc [ 0; 1 ] in
+  let a = Array.sub base.nodes 0 4 and b = Array.sub base.nodes 4 4 in
+  for keep = 0 to 4 do
+    let cables_leaf0 =
+      Array.init keep (fun i -> Topology.leaf_l2_cable topo ~leaf:0 ~l2_index:i)
+    in
+    let cables_leaf1 =
+      Array.init 4 (fun i -> Topology.leaf_l2_cable topo ~leaf:1 ~l2_index:i)
+    in
+    let alloc =
+      { base with leaf_cables = Array.append cables_leaf0 cables_leaf1 }
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "%d uplinks -> %d flows" keep keep)
+      keep
+      (Feasibility.max_concurrent_flows topo alloc ~srcs:a ~dsts:b)
+  done
+
+let test_self_traffic_is_free () =
+  (* A node appearing as both source and destination can satisfy itself
+     without touching the network. *)
+  let alloc = full_leaf_alloc [ 0 ] in
+  let n = alloc.nodes.(0) in
+  Alcotest.(check int) "self flow" 1
+    (Feasibility.max_concurrent_flows topo alloc ~srcs:[| n |] ~dsts:[| n |])
+
+let test_directionality () =
+  (* One uplink per leaf supports one flow each way simultaneously —
+     channels are directed. *)
+  let nodes = [| 0; Topology.leaf_first_node topo 1 |] in
+  let alloc =
+    {
+      Alloc.job = 0;
+      size = 2;
+      nodes;
+      leaf_cables =
+        [|
+          Topology.leaf_l2_cable topo ~leaf:0 ~l2_index:0;
+          Topology.leaf_l2_cable topo ~leaf:1 ~l2_index:0;
+        |];
+      l2_cables = [||];
+      bw = 1.0;
+    }
+  in
+  (* srcs and dsts are the same pair swapped: 2 counter-flows fit. *)
+  Alcotest.(check int) "counter-flows" 2
+    (Feasibility.max_concurrent_flows topo alloc ~srcs:nodes
+       ~dsts:[| nodes.(1); nodes.(0) |])
+
+let suite =
+  [
+    Alcotest.test_case "intra-leaf flows are free" `Quick test_intra_leaf_free;
+    Alcotest.test_case "full pod bisection" `Quick test_full_pod_bisection;
+    Alcotest.test_case "bound tracks cable count" `Quick test_scales_with_cables;
+    Alcotest.test_case "self traffic is free" `Quick test_self_traffic_is_free;
+    Alcotest.test_case "channels are directed" `Quick test_directionality;
+  ]

@@ -1,0 +1,86 @@
+(* Tests for load-aware (SAR/AFAR-style) greedy routing and the
+   pigeonhole bound that limits every routing-based mitigation. *)
+
+open Fattree
+open Routing
+
+let topo = Topology.of_radix 8
+
+let test_candidates_are_valid_paths () =
+  (* Greedy paths must carry real cables and land at the destination. *)
+  let flows = [ (0, 1); (0, 9); (0, 100); (64, 3) ] in
+  let paths = Greedy.route topo flows in
+  List.iter2
+    (fun (s, d) (p : Path.t) ->
+      Alcotest.(check (pair int int)) "endpoints" (s, d) (p.src, p.dst))
+    flows paths
+
+let test_greedy_balances_single_leaf_fanout () =
+  (* 4 flows out of one leaf to 4 different leaves: greedy spreads them
+     over the 4 uplinks, load 1; D-mod-k may collide when destination
+     slots repeat. *)
+  let flows = List.init 4 (fun k -> (k, Topology.leaf_first_node topo (k + 1))) in
+  (* All dsts are slot 0 => D-mod-k funnels all four up cable (leaf0, 0). *)
+  Alcotest.(check int) "dmodk hotspot" 4 (Dmodk.max_load topo flows);
+  Alcotest.(check int) "greedy spreads" 1 (Greedy.max_load topo flows)
+
+let test_greedy_cannot_beat_pigeonhole () =
+  (* 8 inter-leaf flows out of a 4-uplink leaf: at least two must share
+     an up channel under ANY routing.  Greedy achieves exactly the
+     bound. *)
+  let dsts = List.init 8 (fun k -> Topology.leaf_first_node topo (k + 1) + (k mod 4)) in
+  (* ...but only 4 sources exist per leaf; use two flows per source. *)
+  let srcs = List.init 8 (fun k -> k mod 4) in
+  let flows = List.map2 (fun s d -> (s, d)) srcs dsts in
+  let bound = Greedy.lower_bound_load topo flows in
+  Alcotest.(check int) "pigeonhole bound" 2 bound;
+  Alcotest.(check int) "greedy hits the bound" bound (Greedy.max_load topo flows)
+
+let test_lower_bound_trivial_cases () =
+  Alcotest.(check int) "no flows" 0 (Greedy.lower_bound_load topo []);
+  Alcotest.(check int) "intra-leaf only" 0
+    (Greedy.lower_bound_load topo [ (0, 1); (2, 3) ]);
+  Alcotest.(check int) "one inter-leaf flow" 1
+    (Greedy.lower_bound_load topo [ (0, 9) ])
+
+let test_greedy_at_least_bound_property () =
+  let prng = Sim.Prng.create ~seed:77 in
+  for _ = 1 to 20 do
+    let n_flows = Sim.Prng.int_in prng ~lo:1 ~hi:40 in
+    let flows =
+      List.init n_flows (fun _ ->
+          ( Sim.Prng.int prng ~bound:(Topology.num_nodes topo),
+            Sim.Prng.int prng ~bound:(Topology.num_nodes topo) ))
+    in
+    let bound = Greedy.lower_bound_load topo flows in
+    let got = Greedy.max_load topo flows in
+    Alcotest.(check bool) "load >= bound" true (got >= bound)
+  done
+
+let test_greedy_usually_beats_dmodk () =
+  (* On scattered multi-job traffic, adaptive spreading should not be
+     worse than static D-mod-k. *)
+  let prng = Sim.Prng.create ~seed:42 in
+  let worse = ref 0 in
+  for _ = 1 to 10 do
+    let region = Array.init 64 Fun.id in
+    Sim.Prng.shuffle prng region;
+    let flows =
+      Array.to_list
+        (Array.mapi
+           (fun i s -> (s, region.((i + 7) mod 64)))
+           region)
+    in
+    if Greedy.max_load topo flows > Dmodk.max_load topo flows then incr worse
+  done;
+  Alcotest.(check int) "never worse on these workloads" 0 !worse
+
+let suite =
+  [
+    Alcotest.test_case "paths are valid" `Quick test_candidates_are_valid_paths;
+    Alcotest.test_case "balances a single-leaf fanout" `Quick test_greedy_balances_single_leaf_fanout;
+    Alcotest.test_case "cannot beat the pigeonhole bound" `Quick test_greedy_cannot_beat_pigeonhole;
+    Alcotest.test_case "lower bound trivia" `Quick test_lower_bound_trivial_cases;
+    Alcotest.test_case "load >= bound (randomized)" `Quick test_greedy_at_least_bound_property;
+    Alcotest.test_case "not worse than D-mod-k" `Quick test_greedy_usually_beats_dmodk;
+  ]

@@ -1,0 +1,89 @@
+(* Unit and property tests for Sim.Heap. *)
+
+open Sim
+
+let test_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek_min h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop_min h)
+
+let test_pop_exn_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_min_exn"
+    (Invalid_argument "Heap.pop_min_exn: empty heap") (fun () ->
+      ignore (Heap.pop_min_exn h))
+
+let test_ordering () =
+  let h = Heap.of_list ~cmp:compare [ 5; 3; 8; 1; 9; 2; 7 ] in
+  Alcotest.(check (list int))
+    "sorted drain"
+    [ 1; 2; 3; 5; 7; 8; 9 ]
+    (Heap.to_sorted_list h);
+  (* to_sorted_list must not consume the heap *)
+  Alcotest.(check int) "length intact" 7 (Heap.length h)
+
+let test_duplicates () =
+  let h = Heap.of_list ~cmp:compare [ 2; 2; 1; 1; 3 ] in
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 3 ] (Heap.to_sorted_list h)
+
+let test_custom_order () =
+  let h = Heap.of_list ~cmp:(fun a b -> compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (option int)) "max-heap top" (Some 5) (Heap.pop_min h)
+
+let test_clear () =
+  let h = Heap.of_list ~cmp:compare [ 1; 2; 3 ] in
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let test_iter_unordered () =
+  let h = Heap.of_list ~cmp:compare [ 4; 2; 6 ] in
+  let sum = ref 0 in
+  Heap.iter_unordered h ~f:(fun x -> sum := !sum + x);
+  Alcotest.(check int) "sum" 12 !sum
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:compare in
+  Heap.add h 5;
+  Heap.add h 1;
+  Alcotest.(check (option int)) "min 1" (Some 1) (Heap.pop_min h);
+  Heap.add h 0;
+  Heap.add h 7;
+  Alcotest.(check (option int)) "min 0" (Some 0) (Heap.pop_min h);
+  Alcotest.(check (option int)) "min 5" (Some 5) (Heap.pop_min h);
+  Alcotest.(check (option int)) "min 7" (Some 7) (Heap.pop_min h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains any int list sorted" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:compare xs in
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_size =
+  QCheck2.Test.make ~name:"heap length tracks adds and pops" ~count:200
+    QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:compare xs in
+      let n = List.length xs in
+      let popped = ref 0 in
+      while Heap.pop_min h <> None do
+        incr popped
+      done;
+      !popped = n && Heap.is_empty h)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop_min_exn on empty" `Quick test_pop_exn_empty;
+    Alcotest.test_case "drains in order" `Quick test_ordering;
+    Alcotest.test_case "keeps duplicates" `Quick test_duplicates;
+    Alcotest.test_case "custom comparator" `Quick test_custom_order;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter_unordered visits all" `Quick test_iter_unordered;
+    Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_size;
+  ]

@@ -1,0 +1,96 @@
+(* Tests for Hopcroft-Karp bipartite matching. *)
+
+open Routing
+
+let test_simple_perfect () =
+  let g = Matching.create ~left:3 ~right:3 in
+  List.iter (fun (u, v) -> Matching.add_edge g u v)
+    [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 2) ];
+  match Matching.perfect_matching g with
+  | None -> Alcotest.fail "perfect matching exists"
+  | Some m ->
+      Alcotest.(check int) "size" 3 (List.length m);
+      let ls = List.sort compare (List.map fst m) in
+      let rs = List.sort compare (List.map snd m) in
+      Alcotest.(check (list int)) "left cover" [ 0; 1; 2 ] ls;
+      Alcotest.(check (list int)) "right cover" [ 0; 1; 2 ] rs;
+      List.iter
+        (fun (u, v) ->
+          Alcotest.(check bool) "edge exists" true
+            (List.mem (u, v) [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 2) ]))
+        m
+
+let test_no_perfect () =
+  let g = Matching.create ~left:2 ~right:2 in
+  (* Both left vertices only reach right vertex 0. *)
+  Matching.add_edge g 0 0;
+  Matching.add_edge g 1 0;
+  Alcotest.(check bool) "none" true (Matching.perfect_matching g = None);
+  Alcotest.(check int) "max is 1" 1 (List.length (Matching.max_matching g))
+
+let test_self_loops_and_parallel () =
+  let g = Matching.create ~left:2 ~right:2 in
+  Matching.add_edge g 0 0;
+  Matching.add_edge g 0 0;
+  Matching.add_edge g 1 1;
+  match Matching.perfect_matching g with
+  | Some m -> Alcotest.(check int) "size" 2 (List.length m)
+  | None -> Alcotest.fail "exists"
+
+let test_unbalanced_sides () =
+  let g = Matching.create ~left:2 ~right:3 in
+  Matching.add_edge g 0 0;
+  Matching.add_edge g 1 1;
+  Alcotest.(check bool) "unbalanced has no perfect" true
+    (Matching.perfect_matching g = None);
+  Alcotest.(check int) "max" 2 (List.length (Matching.max_matching g))
+
+let test_empty () =
+  let g = Matching.create ~left:0 ~right:0 in
+  Alcotest.(check (option (list (pair int int)))) "empty perfect" (Some [])
+    (Matching.perfect_matching g)
+
+(* Property: on random regular bipartite multigraphs a perfect matching
+   always exists (Hall/König) — the invariant the router relies on. *)
+let prop_regular_has_perfect =
+  QCheck2.Test.make ~name:"d-regular bipartite graphs have perfect matchings"
+    ~count:200
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 1 5) (int_range 0 100_000))
+    (fun (n, d, seed) ->
+      (* Build a d-regular bipartite multigraph as a union of d random
+         permutations. *)
+      let prng = Sim.Prng.create ~seed in
+      let g = Matching.create ~left:n ~right:n in
+      for _ = 1 to d do
+        let perm = Sim.Prng.permutation prng n in
+        Array.iteri (fun u v -> Matching.add_edge g u v) perm
+      done;
+      match Matching.perfect_matching g with
+      | Some m -> List.length m = n
+      | None -> false)
+
+let prop_matching_is_valid =
+  QCheck2.Test.make ~name:"max matching never repeats endpoints" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 10)
+        (list_size (int_range 0 40) (pair (int_range 0 9) (int_range 0 9))))
+    (fun (n, edges) ->
+      let g = Matching.create ~left:n ~right:n in
+      let edges = List.filter (fun (u, v) -> u < n && v < n) edges in
+      List.iter (fun (u, v) -> Matching.add_edge g u v) edges;
+      let m = Matching.max_matching g in
+      let ls = List.map fst m and rs = List.map snd m in
+      List.length (List.sort_uniq compare ls) = List.length ls
+      && List.length (List.sort_uniq compare rs) = List.length rs
+      && List.for_all (fun e -> List.mem e edges) m)
+
+let suite =
+  [
+    Alcotest.test_case "simple perfect matching" `Quick test_simple_perfect;
+    Alcotest.test_case "detects no perfect matching" `Quick test_no_perfect;
+    Alcotest.test_case "self loops and parallel edges" `Quick test_self_loops_and_parallel;
+    Alcotest.test_case "unbalanced sides" `Quick test_unbalanced_sides;
+    Alcotest.test_case "empty graph" `Quick test_empty;
+    QCheck_alcotest.to_alcotest prop_regular_has_perfect;
+    QCheck_alcotest.to_alcotest prop_matching_is_valid;
+  ]

@@ -1,0 +1,62 @@
+(* Tests for Dinic's max flow. *)
+
+open Routing
+
+let test_simple_path () =
+  let g = Maxflow.create 4 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3;
+  Maxflow.add_edge g ~src:1 ~dst:2 ~cap:2;
+  Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5;
+  Alcotest.(check int) "bottleneck" 2 (Maxflow.max_flow g ~s:0 ~t:3)
+
+let test_parallel_paths () =
+  let g = Maxflow.create 4 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:1;
+  Maxflow.add_edge g ~src:0 ~dst:2 ~cap:1;
+  Maxflow.add_edge g ~src:1 ~dst:3 ~cap:1;
+  Maxflow.add_edge g ~src:2 ~dst:3 ~cap:1;
+  Alcotest.(check int) "two paths" 2 (Maxflow.max_flow g ~s:0 ~t:3)
+
+let test_disconnected () =
+  let g = Maxflow.create 3 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:4;
+  Alcotest.(check int) "no route" 0 (Maxflow.max_flow g ~s:0 ~t:2)
+
+let test_needs_augmenting_path () =
+  (* Classic case where a greedy choice must be undone via the residual
+     edge. *)
+  let g = Maxflow.create 4 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:1;
+  Maxflow.add_edge g ~src:0 ~dst:2 ~cap:1;
+  Maxflow.add_edge g ~src:1 ~dst:2 ~cap:1;
+  Maxflow.add_edge g ~src:1 ~dst:3 ~cap:1;
+  Maxflow.add_edge g ~src:2 ~dst:3 ~cap:1;
+  Alcotest.(check int) "flow 2" 2 (Maxflow.max_flow g ~s:0 ~t:3)
+
+let test_bipartite_matching_equivalence () =
+  (* Max flow on a unit bipartite network equals max matching size. *)
+  let n = 5 in
+  let edges = [ (0, 1); (0, 2); (1, 1); (2, 0); (3, 3); (4, 3) ] in
+  let g = Maxflow.create (2 + (2 * n)) in
+  let s = 2 * n and t = (2 * n) + 1 in
+  for u = 0 to n - 1 do
+    Maxflow.add_edge g ~src:s ~dst:u ~cap:1
+  done;
+  for v = 0 to n - 1 do
+    Maxflow.add_edge g ~src:(n + v) ~dst:t ~cap:1
+  done;
+  List.iter (fun (u, v) -> Maxflow.add_edge g ~src:u ~dst:(n + v) ~cap:1) edges;
+  let m = Matching.create ~left:n ~right:n in
+  List.iter (fun (u, v) -> Matching.add_edge m u v) edges;
+  Alcotest.(check int) "flow = matching"
+    (List.length (Matching.max_matching m))
+    (Maxflow.max_flow g ~s ~t)
+
+let suite =
+  [
+    Alcotest.test_case "simple path bottleneck" `Quick test_simple_path;
+    Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "augmenting path needed" `Quick test_needs_augmenting_path;
+    Alcotest.test_case "matches bipartite matching" `Quick test_bipartite_matching_equivalence;
+  ]

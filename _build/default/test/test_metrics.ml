@@ -1,0 +1,59 @@
+(* Unit tests for metric computations. *)
+
+let pj ~id ~size ~arrival ~start ~stop =
+  {
+    Sched.Metrics.job = Trace.Job.v ~id ~size ~runtime:(stop -. start) ~arrival ();
+    start_time = start;
+    end_time = stop;
+  }
+
+let test_mean_turnaround_all () =
+  let jobs =
+    [
+      pj ~id:0 ~size:4 ~arrival:0.0 ~start:0.0 ~stop:100.0;
+      (* turnaround 100 *)
+      pj ~id:1 ~size:4 ~arrival:50.0 ~start:100.0 ~stop:150.0;
+      (* turnaround 100 *)
+      pj ~id:2 ~size:4 ~arrival:0.0 ~start:300.0 ~stop:400.0;
+      (* turnaround 400 *)
+    ]
+  in
+  let mean, n = Sched.Metrics.mean_turnaround jobs ~large_only:false in
+  Alcotest.(check int) "population" 3 n;
+  Alcotest.(check (float 1e-9)) "mean" 200.0 mean
+
+let test_mean_turnaround_large_only () =
+  let jobs =
+    [
+      pj ~id:0 ~size:4 ~arrival:0.0 ~start:0.0 ~stop:1000.0;
+      pj ~id:1 ~size:200 ~arrival:0.0 ~start:0.0 ~stop:50.0;
+      pj ~id:2 ~size:101 ~arrival:0.0 ~start:0.0 ~stop:150.0;
+    ]
+  in
+  let mean, n = Sched.Metrics.mean_turnaround jobs ~large_only:true in
+  Alcotest.(check int) "two large jobs" 2 n;
+  Alcotest.(check (float 1e-9)) "mean over large" 100.0 mean
+
+let test_mean_turnaround_empty () =
+  let mean, n = Sched.Metrics.mean_turnaround [] ~large_only:false in
+  Alcotest.(check int) "none" 0 n;
+  Alcotest.(check (float 1e-9)) "zero" 0.0 mean
+
+let test_table2_boundaries () =
+  (* The Table 2 bucket edges, low to high. *)
+  Alcotest.(check (array (float 1e-9)))
+    "boundaries"
+    [| 0.60; 0.80; 0.90; 0.95; 0.98 |]
+    Sched.Metrics.table2_boundaries;
+  (* Six buckets result. *)
+  let h = Sim.Stats.Hist.create ~boundaries:Sched.Metrics.table2_boundaries in
+  Sim.Stats.Hist.add h 0.5;
+  Alcotest.(check int) "bucket count" 6 (Array.length (Sim.Stats.Hist.counts h))
+
+let suite =
+  [
+    Alcotest.test_case "mean turnaround (all)" `Quick test_mean_turnaround_all;
+    Alcotest.test_case "mean turnaround (large)" `Quick test_mean_turnaround_large_only;
+    Alcotest.test_case "mean turnaround (empty)" `Quick test_mean_turnaround_empty;
+    Alcotest.test_case "table 2 buckets" `Quick test_table2_boundaries;
+  ]

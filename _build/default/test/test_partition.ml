@@ -1,0 +1,96 @@
+(* Tests for the partition representation and flattening. *)
+
+open Fattree
+open Jigsaw_core
+
+let topo = Topology.of_radix 8
+
+let two_level_fixture () =
+  match Jigsaw.get_allocation (State.create topo) ~job:7 ~size:5 with
+  | Some p -> p
+  | None -> Alcotest.fail "fixture"
+
+let three_level_fixture () =
+  match Jigsaw.get_allocation (State.create topo) ~job:8 ~size:20 with
+  | Some p -> p
+  | None -> Alcotest.fail "fixture"
+
+let test_kind () =
+  Alcotest.(check bool) "2L" true (Partition.kind (two_level_fixture ()) = Two_level);
+  Alcotest.(check bool) "3L" true
+    (Partition.kind (three_level_fixture ()) = Three_level)
+
+let test_nodes_sorted_unique () =
+  let p = three_level_fixture () in
+  let nodes = Partition.nodes p in
+  Alcotest.(check int) "count" 20 (Array.length nodes);
+  for i = 1 to Array.length nodes - 1 do
+    Alcotest.(check bool) "ascending" true (nodes.(i) > nodes.(i - 1))
+  done
+
+let test_pods_used () =
+  let p = three_level_fixture () in
+  (* 20 nodes on radix 8 (pod = 16) spans exactly 2 pods under the
+     dense-first shape (16 + 4). *)
+  Alcotest.(check int) "pods" 2 (List.length (Partition.pods_used p))
+
+let test_n_l_and_s () =
+  let p = three_level_fixture () in
+  Alcotest.(check int) "full leaves carry m1" 4 (Partition.n_l p);
+  Alcotest.(check (array int)) "S = all indices" [| 0; 1; 2; 3 |]
+    (Partition.l2_index_set p)
+
+let test_to_alloc_counts () =
+  let p = three_level_fixture () in
+  let a = Partition.to_alloc topo p ~bw:1.0 in
+  Alcotest.(check int) "nodes" 20 (Array.length a.nodes);
+  (* Leaf cables: one per (node) since links balance nodes. *)
+  Alcotest.(check int) "leaf cables" 20 (Array.length a.leaf_cables);
+  (* Spine cables: full tree contributes 4 L2 x l_t=4... here t=1 full
+     tree of 4 leaves (16 nodes) and a remainder tree of 1 leaf (4
+     nodes).  Full tree: 4 L2 x 4 uplinks = 16; remainder: 4 L2 x 1 = 4. *)
+  Alcotest.(check int) "l2 cables" 20 (Array.length a.l2_cables);
+  Alcotest.(check (float 1e-9)) "bw" 1.0 a.bw;
+  Alcotest.(check int) "job id" 8 a.job
+
+let test_to_alloc_two_level_no_spines () =
+  let p = two_level_fixture () in
+  let a = Partition.to_alloc topo p ~bw:0.25 in
+  Alcotest.(check int) "no spine cables" 0 (Array.length a.l2_cables);
+  Alcotest.(check int) "leaf cables = nodes" 5 (Array.length a.leaf_cables);
+  Alcotest.(check (float 1e-9)) "fractional bw" 0.25 a.bw
+
+let test_leaves_accessor () =
+  let p = three_level_fixture () in
+  let leaves = Partition.leaves p in
+  Alcotest.(check int) "five leaves (4 full + 1 rem-tree leaf)" 5
+    (Array.length leaves)
+
+let test_node_count_matches () =
+  let p = two_level_fixture () in
+  Alcotest.(check int) "node_count" 5 (Partition.node_count p);
+  Alcotest.(check int) "nodes array" 5 (Array.length (Partition.nodes p))
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_pp_runs () =
+  let p = three_level_fixture () in
+  let s = Format.asprintf "%a" Partition.pp p in
+  Alcotest.(check bool) "mentions job" true (contains ~needle:"job=8" s);
+  Alcotest.(check bool) "mentions level" true (contains ~needle:"three-level" s)
+
+let suite =
+  [
+    Alcotest.test_case "kind" `Quick test_kind;
+    Alcotest.test_case "nodes sorted unique" `Quick test_nodes_sorted_unique;
+    Alcotest.test_case "pods used" `Quick test_pods_used;
+    Alcotest.test_case "n_l and S" `Quick test_n_l_and_s;
+    Alcotest.test_case "to_alloc cable counts" `Quick test_to_alloc_counts;
+    Alcotest.test_case "two-level flattening" `Quick test_to_alloc_two_level_no_spines;
+    Alcotest.test_case "leaves accessor" `Quick test_leaves_accessor;
+    Alcotest.test_case "node_count" `Quick test_node_count_matches;
+    Alcotest.test_case "pretty printing" `Quick test_pp_runs;
+  ]

@@ -1,0 +1,63 @@
+(* Tests for path/channel accounting. *)
+
+open Routing
+
+let hop tier dir cable = { Path.tier; dir; cable }
+
+let test_local_path () =
+  let p = Path.local ~src:3 ~dst:4 in
+  Alcotest.(check int) "no hops" 0 (List.length p.hops);
+  Alcotest.(check int) "no load" 0 (Path.max_channel_load [ p ])
+
+let test_channel_loads_directions_independent () =
+  (* Up and down on the same cable are different channels. *)
+  let p1 = { Path.src = 0; dst = 1; hops = [ hop Path.Leaf_l2 Path.Up 7 ] } in
+  let p2 = { Path.src = 1; dst = 0; hops = [ hop Path.Leaf_l2 Path.Down 7 ] } in
+  Alcotest.(check int) "load 1" 1 (Path.max_channel_load [ p1; p2 ]);
+  Alcotest.(check bool) "ok" true (Path.one_flow_per_channel [ p1; p2 ] = Ok ())
+
+let test_channel_conflict_detected () =
+  let p1 = { Path.src = 0; dst = 1; hops = [ hop Path.Leaf_l2 Path.Up 7 ] } in
+  let p2 = { Path.src = 2; dst = 3; hops = [ hop Path.Leaf_l2 Path.Up 7 ] } in
+  Alcotest.(check int) "load 2" 2 (Path.max_channel_load [ p1; p2 ]);
+  Alcotest.(check bool) "conflict" true
+    (Result.is_error (Path.one_flow_per_channel [ p1; p2 ]))
+
+let test_tiers_independent () =
+  (* Same cable id on different tiers never conflicts. *)
+  let p1 = { Path.src = 0; dst = 1; hops = [ hop Path.Leaf_l2 Path.Up 7 ] } in
+  let p2 = { Path.src = 2; dst = 3; hops = [ hop Path.L2_spine Path.Up 7 ] } in
+  Alcotest.(check int) "load 1" 1 (Path.max_channel_load [ p1; p2 ])
+
+let test_uses_only () =
+  let alloc =
+    {
+      Fattree.Alloc.job = 0;
+      size = 2;
+      nodes = [| 0; 1 |];
+      leaf_cables = [| 5 |];
+      l2_cables = [| 9 |];
+      bw = 1.0;
+    }
+  in
+  let good =
+    { Path.src = 0; dst = 1;
+      hops = [ hop Path.Leaf_l2 Path.Up 5; hop Path.L2_spine Path.Up 9 ] }
+  in
+  Alcotest.(check bool) "allocated" true (Path.uses_only alloc [ good ] = Ok ());
+  let bad = { Path.src = 0; dst = 1; hops = [ hop Path.Leaf_l2 Path.Up 6 ] } in
+  Alcotest.(check bool) "unallocated flagged" true
+    (Result.is_error (Path.uses_only alloc [ bad ]));
+  (* Tier confusion: leaf cable 9 is not l2 cable 9. *)
+  let tier_bad = { Path.src = 0; dst = 1; hops = [ hop Path.Leaf_l2 Path.Up 9 ] } in
+  Alcotest.(check bool) "tier respected" true
+    (Result.is_error (Path.uses_only alloc [ tier_bad ]))
+
+let suite =
+  [
+    Alcotest.test_case "local path" `Quick test_local_path;
+    Alcotest.test_case "directions are independent channels" `Quick test_channel_loads_directions_independent;
+    Alcotest.test_case "channel conflicts detected" `Quick test_channel_conflict_detected;
+    Alcotest.test_case "tiers independent" `Quick test_tiers_independent;
+    Alcotest.test_case "uses_only per tier" `Quick test_uses_only;
+  ]

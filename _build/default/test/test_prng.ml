@@ -1,0 +1,125 @@
+(* Tests for Sim.Prng: determinism, ranges, and rough distribution
+   shape. *)
+
+open Sim
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  let xa = Prng.bits64 a and xb = Prng.bits64 b in
+  Alcotest.(check bool) "split differs" true (xa <> xb)
+
+let test_copy () =
+  let a = Prng.create ~seed:3 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_int_bounds () =
+  let p = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int p ~bound:7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p ~bound:0))
+
+let test_int_in () =
+  let p = Prng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let x = Prng.int_in p ~lo:(-3) ~hi:4 in
+    Alcotest.(check bool) "in [-3,4]" true (x >= -3 && x <= 4)
+  done
+
+let test_int_covers_range () =
+  let p = Prng.create ~seed:11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int p ~bound:5) <- true
+  done;
+  Alcotest.(check bool) "all values seen" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let p = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let x = Prng.float p ~bound:2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_exponential_mean () =
+  let p = Prng.create ~seed:13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.exponential p ~mean:16.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~16 (got %.2f)" mean)
+    true
+    (mean > 15.0 && mean < 17.0)
+
+let test_normal_moments () =
+  let p = Prng.create ~seed:17 in
+  let n = 20_000 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to n do
+    Stats.Acc.add acc (Prng.normal p ~mu:5.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean ~5" true (Float.abs (Stats.Acc.mean acc -. 5.0) < 0.1);
+  Alcotest.(check bool) "stddev ~2" true (Float.abs (Stats.Acc.stddev acc -. 2.0) < 0.1)
+
+let test_permutation () =
+  let p = Prng.create ~seed:19 in
+  let perm = Prng.permutation p 50 in
+  let sorted = Array.copy perm in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_choose () =
+  let p = Prng.create ~seed:23 in
+  for _ = 1 to 100 do
+    let x = Prng.choose p [| 1; 2; 3 |] in
+    Alcotest.(check bool) "element" true (List.mem x [ 1; 2; 3 ])
+  done
+
+let test_shuffle_preserves_elements () =
+  let p = Prng.create ~seed:29 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in inclusive range" `Quick test_int_in;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "normal moments" `Slow test_normal_moments;
+    Alcotest.test_case "permutation valid" `Quick test_permutation;
+    Alcotest.test_case "choose picks elements" `Quick test_choose;
+    Alcotest.test_case "shuffle preserves elements" `Quick test_shuffle_preserves_elements;
+  ]

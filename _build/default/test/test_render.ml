@@ -1,0 +1,55 @@
+(* Tests for the ASCII occupancy renderer. *)
+
+open Fattree
+
+let topo = Topology.of_radix 4 (* tiny: 2 pods? no — 4 pods, 2x2, 16 nodes *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_node_map_fresh () =
+  let st = State.create topo in
+  let s = Format.asprintf "%t" (fun ppf -> Render.node_map topo st ppf ()) in
+  Alcotest.(check bool) "all free" true (contains ~needle:"[..]" s);
+  Alcotest.(check bool) "no busy" false (contains ~needle:"#" s);
+  Alcotest.(check bool) "four pods" true (contains ~needle:"pod  3" s)
+
+let test_node_map_with_owners () =
+  let st = State.create topo in
+  let a = Alloc.nodes_only ~job:7 ~size:2 [| 0; 1 |] in
+  State.claim_exn st a;
+  let owners = Render.owners_of_allocs [ a ] in
+  let s =
+    Format.asprintf "%t" (fun ppf -> Render.node_map ~owners topo st ppf ())
+  in
+  Alcotest.(check bool) "job char shown" true (contains ~needle:"[77]" s)
+
+let test_link_map () =
+  let st = State.create topo in
+  let c = Topology.leaf_l2_cable topo ~leaf:0 ~l2_index:0 in
+  State.claim_exn st
+    { Alloc.job = 0; size = 0; nodes = [||]; leaf_cables = [| c |]; l2_cables = [||]; bw = 1.0 };
+  let s = Format.asprintf "%t" (fun ppf -> Render.link_map topo st ppf ()) in
+  Alcotest.(check bool) "exhausted cable marked" true (contains ~needle:"x-" s);
+  (* fractional claim renders a digit *)
+  let c2 = Topology.leaf_l2_cable topo ~leaf:1 ~l2_index:0 in
+  State.claim_exn st
+    { Alloc.job = 1; size = 0; nodes = [||]; leaf_cables = [| c2 |]; l2_cables = [||]; bw = 0.5 };
+  let s2 = Format.asprintf "%t" (fun ppf -> Render.link_map topo st ppf ()) in
+  Alcotest.(check bool) "fractional digit" true (contains ~needle:"5-" s2)
+
+let test_summary () =
+  let st = State.create topo in
+  State.claim_exn st (Alloc.nodes_only ~job:0 ~size:3 [| 0; 1; 2 |]);
+  let s = Format.asprintf "%t" (fun ppf -> Render.summary topo st ppf ()) in
+  Alcotest.(check bool) "counts busy" true (contains ~needle:"3/16 nodes busy" s)
+
+let suite =
+  [
+    Alcotest.test_case "fresh node map" `Quick test_node_map_fresh;
+    Alcotest.test_case "ownership characters" `Quick test_node_map_with_owners;
+    Alcotest.test_case "link map markers" `Quick test_link_map;
+    Alcotest.test_case "summary" `Quick test_summary;
+  ]

@@ -1,0 +1,96 @@
+(* End-to-end reproduction guards: the paper's headline orderings on a
+   small-but-meaningful workload.  These pin the Figure 6 / Figure 8 /
+   Table 3 shapes so a regression in any allocator or in the simulator
+   shows up as a failed band, not as silent drift.  (Bands are generous;
+   the full reproduction lives in bench/main.exe.) *)
+
+let workload =
+  lazy (Trace.Synthetic.synth ~mean_size:16 ~n_jobs:800 ~seed:1601 ~max_size:1024)
+
+let run ?(scenario = Trace.Scenario.No_speedup) alloc =
+  let cfg =
+    { (Sched.Simulator.default_config alloc ~radix:16) with scenario }
+  in
+  Sched.Simulator.run cfg (Lazy.force workload)
+
+let results = Hashtbl.create 8
+
+let metrics alloc =
+  match Hashtbl.find_opt results alloc with
+  | Some m -> m
+  | None ->
+      let m = run alloc in
+      Hashtbl.replace results alloc m;
+      m
+
+let in_band name lo v hi =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s utilization %.1f%% in [%.0f, %.0f]" name (100.0 *. v) lo hi)
+    true
+    (100.0 *. v >= lo && 100.0 *. v <= hi)
+
+let test_figure6_bands () =
+  in_band "Baseline" 97.0 (metrics Sched.Allocator.baseline).avg_utilization 100.0;
+  in_band "Jigsaw" 92.0 (metrics Sched.Allocator.jigsaw).avg_utilization 98.0;
+  in_band "LaaS" 87.0 (metrics Sched.Allocator.laas).avg_utilization 94.0;
+  in_band "TA" 80.0 (metrics Sched.Allocator.ta).avg_utilization 90.0
+
+let test_figure6_ordering () =
+  let u a = (metrics a).Sched.Metrics.avg_utilization in
+  Alcotest.(check bool) "Baseline > Jigsaw" true
+    (u Sched.Allocator.baseline > u Sched.Allocator.jigsaw);
+  Alcotest.(check bool) "Jigsaw > LaaS" true
+    (u Sched.Allocator.jigsaw > u Sched.Allocator.laas);
+  Alcotest.(check bool) "LaaS > TA" true
+    (u Sched.Allocator.laas > u Sched.Allocator.ta)
+
+let test_laas_padding_band () =
+  (* LaaS's internal fragmentation: held minus requested utilization in
+     the paper's 3-7 point range. *)
+  let m = metrics Sched.Allocator.laas in
+  let gap = 100.0 *. (m.alloc_utilization -. m.avg_utilization) in
+  Alcotest.(check bool)
+    (Printf.sprintf "padding gap %.1f in [2, 9]" gap)
+    true
+    (gap >= 2.0 && gap <= 9.0)
+
+let test_makespan_worst_case_band () =
+  (* Figure 8, no speed-ups: Jigsaw within ~8% of Baseline; TA worse
+     than Jigsaw. *)
+  let base = (metrics Sched.Allocator.baseline).makespan in
+  let jig = (metrics Sched.Allocator.jigsaw).makespan /. base in
+  let ta = (metrics Sched.Allocator.ta).makespan /. base in
+  Alcotest.(check bool)
+    (Printf.sprintf "Jigsaw makespan ratio %.3f <= 1.08" jig)
+    true (jig <= 1.08);
+  Alcotest.(check bool) "TA >= Jigsaw" true (ta >= jig -. 0.01)
+
+let test_speedup_beats_baseline () =
+  (* Figure 8 with the 20%% scenario: Jigsaw's makespan beats Baseline. *)
+  let base = (metrics Sched.Allocator.baseline).makespan in
+  let jig20 = run ~scenario:(Trace.Scenario.Fixed 20) Sched.Allocator.jigsaw in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f < 1.0" (jig20.makespan /. base))
+    true
+    (jig20.makespan /. base < 1.0)
+
+let test_sched_times_band () =
+  (* Table 3 shape: all isolating schemes at milliseconds. *)
+  List.iter
+    (fun alloc ->
+      let m = metrics alloc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %.5f s/job < 0.05" m.sched_name m.sched_time_per_job)
+        true
+        (m.sched_time_per_job < 0.05))
+    [ Sched.Allocator.jigsaw; Sched.Allocator.laas; Sched.Allocator.ta ]
+
+let suite =
+  [
+    Alcotest.test_case "Figure 6 utilization bands" `Slow test_figure6_bands;
+    Alcotest.test_case "Figure 6 ordering" `Slow test_figure6_ordering;
+    Alcotest.test_case "LaaS padding band (3-7%)" `Slow test_laas_padding_band;
+    Alcotest.test_case "Figure 8 worst-case band" `Slow test_makespan_worst_case_band;
+    Alcotest.test_case "Figure 8 speed-up crossover" `Slow test_speedup_beats_baseline;
+    Alcotest.test_case "Table 3 scheduling-time band" `Slow test_sched_times_band;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for the pod-level (two-level) search machinery. *)
+
+open Fattree
+open Jigsaw_core
+
+let topo = Topology.of_radix 8 (* m1 = m2 = 4 *)
+
+let test_pod_leaf_infos_fresh () =
+  let st = State.create topo in
+  let infos = Search.pod_leaf_infos st ~pod:0 ~demand:1.0 in
+  Alcotest.(check int) "m2 entries" 4 (Array.length infos);
+  Array.iter
+    (fun (i : Search.leaf_info) ->
+      Alcotest.(check int) "all free" 4 i.free;
+      Alcotest.(check int) "full mask" 0b1111 i.up_mask)
+    infos
+
+let test_pod_leaf_infos_after_claims () =
+  let st = State.create topo in
+  State.claim_exn st (Alloc.nodes_only ~job:0 ~size:2 [| 0; 1 |]);
+  let c = Topology.leaf_l2_cable topo ~leaf:1 ~l2_index:3 in
+  State.claim_exn st
+    { Alloc.job = 1; size = 0; nodes = [||]; leaf_cables = [| c |]; l2_cables = [||]; bw = 1.0 };
+  let infos = Search.pod_leaf_infos st ~pod:0 ~demand:1.0 in
+  Alcotest.(check int) "leaf 0 free" 2 infos.(0).free;
+  Alcotest.(check int) "leaf 1 mask" 0b0111 infos.(1).up_mask
+
+let test_find_two_level_simple () =
+  let st = State.create topo in
+  let shape = { Shapes.n_l = 2; l_t = 2; n_rl = 1 } in
+  match Search.find_two_level st ~job:0 ~pod:0 ~shape ~demand:1.0 with
+  | None -> Alcotest.fail "should fit"
+  | Some tree ->
+      Alcotest.(check int) "two full leaves" 2 (Array.length tree.full_leaves);
+      Alcotest.(check bool) "remainder present" true (tree.rem_leaf <> None);
+      Alcotest.(check int) "no spines" 0 (Array.length tree.spine_sets);
+      (* Validate through the conditions checker as a single-pod
+         partition. *)
+      let p =
+        { Partition.job = 0; size = 5; full_trees = [| tree |]; rem_tree = None }
+      in
+      Alcotest.(check bool) "legal" true (Conditions.is_legal topo p)
+
+let test_find_two_level_backtracks () =
+  (* Make leaf 0 attractive but incompatible: it has nodes free but only
+     uplinks {2,3}; leaves 1 and 2 have uplinks {0,1}; leaf 3 has none.
+     A 2x2-node job needs a common pair, so the search must first try
+     leaf 0, fail to extend it, and back up to the {1,2} solution. *)
+  let st = State.create topo in
+  let claim_cables leaf idxs =
+    State.claim_exn st
+      {
+        Alloc.job = 99;
+        size = 0;
+        nodes = [||];
+        leaf_cables =
+          Array.of_list
+            (List.map (fun i -> Topology.leaf_l2_cable topo ~leaf ~l2_index:i) idxs);
+        l2_cables = [||];
+        bw = 1.0;
+      }
+  in
+  claim_cables 0 [ 0; 1 ];
+  claim_cables 1 [ 2; 3 ];
+  claim_cables 2 [ 2; 3 ];
+  claim_cables 3 [ 0; 1; 2; 3 ];
+  let shape = { Shapes.n_l = 2; l_t = 2; n_rl = 0 } in
+  match Search.find_two_level st ~job:0 ~pod:0 ~shape ~demand:1.0 with
+  | None -> Alcotest.fail "leaves 1,2 fit"
+  | Some tree ->
+      let leaves =
+        List.sort compare
+          (Array.to_list
+             (Array.map (fun (l : Partition.leaf_alloc) -> l.leaf) tree.full_leaves))
+      in
+      Alcotest.(check (list int)) "skipped leaf 0" [ 1; 2 ] leaves
+
+let test_find_two_level_infeasible () =
+  let st = State.create topo in
+  (* Make every leaf hold at most 1 free node. *)
+  for leaf = 0 to 3 do
+    let first = Topology.leaf_first_node topo leaf in
+    State.claim_exn st
+      (Alloc.nodes_only ~job:leaf ~size:3 [| first; first + 1; first + 2 |])
+  done;
+  let shape = { Shapes.n_l = 2; l_t = 1; n_rl = 0 } in
+  Alcotest.(check bool) "no 2-node leaf" true
+    (Search.find_two_level st ~job:0 ~pod:0 ~shape ~demand:1.0 = None)
+
+let test_find_all_enumerates () =
+  let st = State.create topo in
+  let budget = ref 1_000_000 in
+  let sols = Search.find_all st ~pod:0 ~l_t:2 ~n_l:4 ~demand:1.0 ~budget in
+  (* choose 2 of 4 fully-free leaves: C(4,2) = 6. *)
+  Alcotest.(check int) "C(4,2) solutions" 6 (List.length sols);
+  List.iter
+    (fun (s : Search.pod_solution) ->
+      Alcotest.(check int) "two leaves" 2 (Array.length s.leaf_set);
+      Alcotest.(check int) "full capability" 0b1111 (s.cap_mask land 0b1111))
+    sols
+
+let test_find_all_budget () =
+  let st = State.create topo in
+  let budget = ref 3 in
+  let sols = Search.find_all st ~pod:0 ~l_t:2 ~n_l:4 ~demand:1.0 ~budget in
+  Alcotest.(check bool) "cut short" true (List.length sols < 6);
+  Alcotest.(check bool) "budget drained" true (!budget <= 0)
+
+let test_fractional_demand_search () =
+  (* At demand 0.5 a cable claimed at 0.5 still qualifies; at 1.0 it is
+     out.  The search must honour the demand threshold. *)
+  let st = State.create topo in
+  let half_claim leaf i =
+    State.claim_exn st
+      {
+        Alloc.job = 42;
+        size = 0;
+        nodes = [||];
+        leaf_cables = [| Topology.leaf_l2_cable topo ~leaf ~l2_index:i |];
+        l2_cables = [||];
+        bw = 0.5;
+      }
+  in
+  for i = 0 to 3 do
+    half_claim 0 i
+  done;
+  let shape = { Shapes.n_l = 4; l_t = 1; n_rl = 0 } in
+  (* Exclusive search must avoid leaf 0 entirely. *)
+  (match Search.find_two_level st ~job:0 ~pod:0 ~shape ~demand:1.0 with
+  | Some tree -> Alcotest.(check bool) "skips leaf 0" true (tree.full_leaves.(0).leaf <> 0)
+  | None -> Alcotest.fail "other leaves available");
+  (* Fractional search may use it. *)
+  match Search.find_two_level st ~job:0 ~pod:0 ~shape ~demand:0.5 with
+  | Some tree -> Alcotest.(check int) "uses leaf 0" 0 tree.full_leaves.(0).leaf
+  | None -> Alcotest.fail "fractional capacity exists"
+
+let test_materialize_leaf () =
+  let st = State.create topo in
+  State.claim_exn st (Alloc.nodes_only ~job:0 ~size:1 [| 1 |]);
+  let la = Search.materialize_leaf st ~leaf:0 ~take:2 ~l2_indices:[| 0; 2 |] in
+  (* lowest free slots on leaf 0 are 0 and 2. *)
+  Alcotest.(check (array int)) "skips busy slot" [| 0; 2 |] la.nodes;
+  Alcotest.(check (array int)) "uplinks recorded" [| 0; 2 |] la.l2_indices
+
+let suite =
+  [
+    Alcotest.test_case "fresh pod infos" `Quick test_pod_leaf_infos_fresh;
+    Alcotest.test_case "pod infos track claims" `Quick test_pod_leaf_infos_after_claims;
+    Alcotest.test_case "two-level with remainder" `Quick test_find_two_level_simple;
+    Alcotest.test_case "two-level backtracks over leaves" `Quick test_find_two_level_backtracks;
+    Alcotest.test_case "two-level infeasible" `Quick test_find_two_level_infeasible;
+    Alcotest.test_case "find_all enumerates combinations" `Quick test_find_all_enumerates;
+    Alcotest.test_case "find_all respects budget" `Quick test_find_all_budget;
+    Alcotest.test_case "fractional demand honoured" `Quick test_fractional_demand_search;
+    Alcotest.test_case "materialize_leaf picks free slots" `Quick test_materialize_leaf;
+  ]

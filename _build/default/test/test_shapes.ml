@@ -1,0 +1,103 @@
+(* Tests for allocation-shape enumeration. *)
+
+open Fattree
+open Jigsaw_core
+
+let t8 = Topology.of_radix 8 (* m1 = m2 = 4, m3 = 8 *)
+
+let test_two_level_exact_decomposition () =
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (s : Shapes.two_level) ->
+          Alcotest.(check int)
+            (Printf.sprintf "size %d: l_t*n_l + n_rl" size)
+            size
+            ((s.l_t * s.n_l) + s.n_rl);
+          Alcotest.(check bool) "n_rl < n_l" true (s.n_rl < s.n_l);
+          Alcotest.(check bool) "fits pod leaves" true
+            (s.l_t + (if s.n_rl > 0 then 1 else 0) <= Topology.m2 t8);
+          Alcotest.(check bool) "n_l within leaf" true (s.n_l <= Topology.m1 t8))
+        (Shapes.two_level t8 ~size))
+    [ 1; 2; 3; 4; 5; 7; 8; 11; 13; 16 ]
+
+let test_two_level_dense_first () =
+  match Shapes.two_level t8 ~size:7 with
+  | first :: _ -> Alcotest.(check int) "largest n_l first" 4 first.n_l
+  | [] -> Alcotest.fail "no shapes for size 7"
+
+let test_two_level_bounds () =
+  Alcotest.(check int) "size 0" 0 (List.length (Shapes.two_level t8 ~size:0));
+  (* pod capacity is 16; size 17 has no single-pod shape *)
+  Alcotest.(check int) "size 17" 0 (List.length (Shapes.two_level t8 ~size:17));
+  (* exactly pod-sized: one shape, 4 full leaves *)
+  (match Shapes.two_level t8 ~size:16 with
+  | [ s ] ->
+      Alcotest.(check int) "n_l" 4 s.n_l;
+      Alcotest.(check int) "l_t" 4 s.l_t;
+      Alcotest.(check int) "n_rl" 0 s.n_rl
+  | l -> Alcotest.failf "expected 1 shape, got %d" (List.length l))
+
+let test_three_level_exact_decomposition () =
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (s : Shapes.three_level) ->
+          let n_t = s.l_t3 * s.n_l3 in
+          Alcotest.(check int)
+            (Printf.sprintf "size %d: t*n_t + n_rt" size)
+            size
+            ((s.t * n_t) + s.n_rt);
+          Alcotest.(check bool) "n_rt < n_t" true (s.n_rt < n_t);
+          Alcotest.(check int) "n_rt decomposition" s.n_rt
+            ((s.l_rt * s.n_l3) + s.n_rl3);
+          Alcotest.(check bool) "pods fit" true
+            (s.t + (if s.n_rt > 0 then 1 else 0) <= Topology.m3 t8))
+        (Shapes.three_level t8 ~size ~n_l:4))
+    [ 17; 20; 32; 33; 64; 100; 128 ]
+
+let test_three_level_skips_single_pod () =
+  (* size 16 with n_l=4 would be t=1, n_rt=0 — a two-level shape. *)
+  List.iter
+    (fun (s : Shapes.three_level) ->
+      Alcotest.(check bool) "spans > 1 pod" true
+        (s.t + (if s.n_rt > 0 then 1 else 0) >= 2))
+    (Shapes.three_level t8 ~size:16 ~n_l:4)
+
+let test_three_level_all_covers_nl () =
+  let shapes = Shapes.three_level_all t8 ~size:30 in
+  let nls = List.sort_uniq compare (List.map (fun s -> s.Shapes.n_l3) shapes) in
+  Alcotest.(check (list int)) "all n_l present" [ 1; 2; 3; 4 ] nls;
+  (* dense first: the first shape has the largest n_l *)
+  match shapes with
+  | first :: _ -> Alcotest.(check int) "first n_l" 4 first.n_l3
+  | [] -> Alcotest.fail "no shapes"
+
+let test_whole_machine () =
+  let n = Topology.num_nodes t8 in
+  let shapes = Shapes.three_level t8 ~size:n ~n_l:4 in
+  Alcotest.(check bool) "whole machine has a shape" true
+    (List.exists
+       (fun (s : Shapes.three_level) -> s.t = 8 && s.l_t3 = 4 && s.n_rt = 0)
+       shapes)
+
+let prop_two_level_complete =
+  (* Every shape with a given n_l is enumerated exactly once. *)
+  QCheck2.Test.make ~name:"two-level shapes unique per n_l" ~count:100
+    QCheck2.Gen.(int_range 1 16)
+    (fun size ->
+      let shapes = Shapes.two_level t8 ~size in
+      let nls = List.map (fun s -> s.Shapes.n_l) shapes in
+      List.length (List.sort_uniq compare nls) = List.length nls)
+
+let suite =
+  [
+    Alcotest.test_case "two-level decompositions" `Quick test_two_level_exact_decomposition;
+    Alcotest.test_case "two-level dense first" `Quick test_two_level_dense_first;
+    Alcotest.test_case "two-level bounds" `Quick test_two_level_bounds;
+    Alcotest.test_case "three-level decompositions" `Quick test_three_level_exact_decomposition;
+    Alcotest.test_case "three-level skips single pod" `Quick test_three_level_skips_single_pod;
+    Alcotest.test_case "three_level_all covers n_l" `Quick test_three_level_all_covers_nl;
+    Alcotest.test_case "whole machine shape" `Quick test_whole_machine;
+    QCheck_alcotest.to_alcotest prop_two_level_complete;
+  ]

@@ -1,0 +1,144 @@
+(* Tests for resource state and allocation records: the isolation
+   enforcement layer. *)
+
+open Fattree
+
+let topo = Topology.of_radix 8 (* 128 nodes, 8 pods, 4x4 *)
+
+let mk_alloc ?(job = 1) ?(bw = 1.0) ?(leaf_cables = [||]) ?(l2_cables = [||])
+    nodes =
+  { Alloc.job; size = Array.length nodes; nodes; leaf_cables; l2_cables; bw }
+
+let test_fresh_state () =
+  let st = State.create topo in
+  Alcotest.(check int) "all free" 128 (State.total_free_nodes st);
+  Alcotest.(check int) "none busy" 0 (State.busy_node_count st);
+  Alcotest.(check (float 1e-9)) "util 0" 0.0 (State.node_utilization st);
+  Alcotest.(check bool) "leaf fully free" true (State.leaf_fully_free st 0);
+  Alcotest.(check int) "full slot mask" 0b1111 (State.free_slot_mask st 0)
+
+let test_claim_release_nodes () =
+  let st = State.create topo in
+  let a = mk_alloc [| 0; 1; 5 |] in
+  Alcotest.(check bool) "claim ok" true (Result.is_ok (State.claim st a));
+  Alcotest.(check bool) "node 0 busy" false (State.node_free st 0);
+  Alcotest.(check int) "free count" 125 (State.total_free_nodes st);
+  Alcotest.(check int) "leaf 0 free nodes" 2 (State.free_nodes_on_leaf st 0);
+  Alcotest.(check bool) "leaf 0 not fully free" false (State.leaf_fully_free st 0);
+  State.release st a;
+  Alcotest.(check int) "all free again" 128 (State.total_free_nodes st);
+  Alcotest.(check bool) "fully free again" true (State.leaf_fully_free st 0)
+
+let test_double_claim_rejected () =
+  let st = State.create topo in
+  State.claim_exn st (mk_alloc [| 7 |]);
+  (match State.claim st (mk_alloc ~job:2 [| 7; 8 |]) with
+  | Error m -> Alcotest.(check string) "names the busy node" "node 7 is busy" m
+  | Ok () -> Alcotest.fail "double claim must fail");
+  (* Atomicity: node 8 must still be free after the failed claim. *)
+  Alcotest.(check bool) "atomic rejection" true (State.node_free st 8)
+
+let test_duplicate_node_in_alloc () =
+  let st = State.create topo in
+  match State.claim st (mk_alloc [| 3; 3 |]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate node must be rejected"
+
+let test_cable_exclusive () =
+  let st = State.create topo in
+  let c = Topology.leaf_l2_cable topo ~leaf:0 ~l2_index:2 in
+  State.claim_exn st (mk_alloc ~leaf_cables:[| c |] [| 0 |]);
+  Alcotest.(check (float 1e-9)) "cable used" 0.0 (State.leaf_up_remaining st ~cable:c);
+  (match State.claim st (mk_alloc ~job:2 ~leaf_cables:[| c |] [| 1 |]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cable over-subscription must fail");
+  Alcotest.(check int) "mask misses bit 2" 0b1011 (State.leaf_up_mask st ~leaf:0 ~demand:1.0)
+
+let test_fractional_sharing () =
+  let st = State.create topo in
+  let c = Topology.l2_spine_cable topo ~l2:0 ~spine_index:1 in
+  let a1 = mk_alloc ~job:1 ~bw:0.5 ~l2_cables:[| c |] [| 0 |] in
+  let a2 = mk_alloc ~job:2 ~bw:0.375 ~l2_cables:[| c |] [| 1 |] in
+  State.claim_exn st a1;
+  State.claim_exn st a2;
+  Alcotest.(check (float 1e-6)) "remaining" 0.125 (State.l2_up_remaining st ~cable:c);
+  (* A third 0.25 demand must fail, a 0.125 one succeed. *)
+  (match State.claim st (mk_alloc ~job:3 ~bw:0.25 ~l2_cables:[| c |] [| 2 |]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "over capacity");
+  State.claim_exn st (mk_alloc ~job:4 ~bw:0.125 ~l2_cables:[| c |] [| 3 |]);
+  (* Masks at different demands. *)
+  Alcotest.(check bool) "mask at 0.5 excludes" true
+    (State.l2_up_mask st ~l2:0 ~demand:0.5 land 0b10 = 0);
+  State.release st a1;
+  State.release st a2;
+  Alcotest.(check (float 1e-6)) "partially released" 0.875 (State.l2_up_remaining st ~cable:c)
+
+let test_demand_boundary () =
+  (* A demand exactly equal to the remaining capacity qualifies (the
+     comparison carries an epsilon so float arithmetic cannot starve an
+     exact fit). *)
+  let st = State.create topo in
+  let c = Topology.leaf_l2_cable topo ~leaf:0 ~l2_index:0 in
+  State.claim_exn st (mk_alloc ~bw:0.625 ~leaf_cables:[| c |] [| 0 |]);
+  Alcotest.(check bool) "exact fit qualifies" true
+    (State.leaf_up_mask st ~leaf:0 ~demand:0.375 land 1 = 1);
+  Alcotest.(check bool) "slightly more does not" true
+    (State.leaf_up_mask st ~leaf:0 ~demand:0.4 land 1 = 0);
+  State.claim_exn st (mk_alloc ~job:2 ~bw:0.375 ~leaf_cables:[| c |] [| 1 |]);
+  Alcotest.(check (float 1e-9)) "drained" 0.0 (State.leaf_up_remaining st ~cable:c)
+
+let test_release_unclaimed_rejected () =
+  let st = State.create topo in
+  Alcotest.(check bool) "release of free node raises" true
+    (try
+       State.release st (mk_alloc [| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_clone_independent () =
+  let st = State.create topo in
+  State.claim_exn st (mk_alloc [| 0; 1 |]);
+  let c = State.clone st in
+  State.claim_exn c (mk_alloc ~job:2 [| 2 |]);
+  Alcotest.(check int) "original unchanged" 126 (State.total_free_nodes st);
+  Alcotest.(check int) "clone changed" 125 (State.total_free_nodes c)
+
+let test_alloc_helpers () =
+  let a = Alloc.nodes_only ~job:3 ~size:2 [| 4; 9 |] in
+  Alcotest.(check int) "node count" 2 (Alloc.node_count a);
+  Alcotest.(check int) "padding" 0 (Alloc.padding a);
+  let padded = { a with nodes = [| 4; 9; 10 |] } in
+  Alcotest.(check int) "padding counted" 1 (Alloc.padding padded);
+  let b = Alloc.nodes_only ~job:4 ~size:1 [| 9 |] in
+  Alcotest.(check bool) "overlap detected" false (Alloc.disjoint a b);
+  let c = Alloc.nodes_only ~job:5 ~size:1 [| 11 |] in
+  Alcotest.(check bool) "disjoint" true (Alloc.disjoint a c)
+
+let prop_claim_release_identity =
+  QCheck2.Test.make ~name:"claim then release restores free state" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (int_range 0 127))
+    (fun nodes ->
+      let nodes = List.sort_uniq compare nodes in
+      let st = State.create topo in
+      let a = mk_alloc (Array.of_list nodes) in
+      State.claim_exn st a;
+      State.release st a;
+      State.total_free_nodes st = 128
+      && State.leaf_fully_free st 0
+      && State.node_utilization st = 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "fresh state" `Quick test_fresh_state;
+    Alcotest.test_case "claim/release nodes" `Quick test_claim_release_nodes;
+    Alcotest.test_case "double claim rejected atomically" `Quick test_double_claim_rejected;
+    Alcotest.test_case "duplicate node rejected" `Quick test_duplicate_node_in_alloc;
+    Alcotest.test_case "cables are exclusive at bw 1.0" `Quick test_cable_exclusive;
+    Alcotest.test_case "fractional link sharing" `Quick test_fractional_sharing;
+    Alcotest.test_case "demand boundary (epsilon)" `Quick test_demand_boundary;
+    Alcotest.test_case "release of unclaimed rejected" `Quick test_release_unclaimed_rejected;
+    Alcotest.test_case "clone independence" `Quick test_clone_independent;
+    Alcotest.test_case "alloc helpers" `Quick test_alloc_helpers;
+    QCheck_alcotest.to_alcotest prop_claim_release_identity;
+  ]

@@ -1,0 +1,97 @@
+(* Tests for Sim.Stats. *)
+
+open Sim
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.check feq "empty" 0.0 (Stats.mean [||])
+
+let test_variance () =
+  Alcotest.check feq "variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.check feq "singleton" 0.0 (Stats.variance [| 5.0 |])
+
+let test_stddev () =
+  Alcotest.check feq "stddev" 2.0 (Stats.stddev [| 2.0; 2.0; 6.0; 6.0 |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  Alcotest.check feq "min" (-1.0) lo;
+  Alcotest.check feq "max" 7.0 hi;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty array")
+    (fun () -> ignore (Stats.min_max [||]))
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check feq "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.check feq "p50" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.check feq "p100" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.check feq "p25 interpolated" 2.0 (Stats.percentile xs 25.0);
+  Alcotest.check feq "p10 interpolated" 1.4 (Stats.percentile xs 10.0)
+
+let test_percentile_unsorted_input () =
+  Alcotest.check feq "median of unsorted" 3.0 (Stats.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |])
+
+let test_acc () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Acc.count acc);
+  Alcotest.check feq "total" 10.0 (Stats.Acc.total acc);
+  Alcotest.check feq "mean" 2.5 (Stats.Acc.mean acc);
+  Alcotest.check feq "min" 1.0 (Stats.Acc.min acc);
+  Alcotest.check feq "max" 4.0 (Stats.Acc.max acc);
+  Alcotest.check (Alcotest.float 1e-6) "stddev matches array version"
+    (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |])
+    (Stats.Acc.stddev acc)
+
+let test_acc_empty () =
+  let acc = Stats.Acc.create () in
+  Alcotest.check feq "mean empty" 0.0 (Stats.Acc.mean acc);
+  Alcotest.check_raises "min empty" (Invalid_argument "Stats.Acc.min: empty")
+    (fun () -> ignore (Stats.Acc.min acc))
+
+let test_hist_buckets () =
+  let h = Stats.Hist.create ~boundaries:[| 0.6; 0.8; 0.9 |] in
+  List.iter (Stats.Hist.add h) [ 0.1; 0.59; 0.6; 0.7; 0.85; 0.95; 1.0 ];
+  Alcotest.(check (array int)) "counts" [| 2; 2; 1; 2 |] (Stats.Hist.counts h);
+  Alcotest.(check int) "total" 7 (Stats.Hist.total h)
+
+let test_hist_weighted () =
+  let h = Stats.Hist.create ~boundaries:[| 1.0 |] in
+  Stats.Hist.add_weighted h 0.5 ~weight:3;
+  Stats.Hist.add_weighted h 1.5 ~weight:2;
+  Alcotest.(check (array int)) "weighted" [| 3; 2 |] (Stats.Hist.counts h)
+
+let test_hist_bad_boundaries () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Stats.Hist.create: boundaries must be strictly increasing")
+    (fun () -> ignore (Stats.Hist.create ~boundaries:[| 1.0; 1.0 |]))
+
+let prop_percentile_in_range =
+  QCheck2.Test.make ~name:"percentile lies within extrema" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (float_bound_inclusive 100.0))
+        (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Sim.Stats.percentile arr p in
+      let lo, hi = Sim.Stats.min_max arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile on unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "streaming accumulator" `Quick test_acc;
+    Alcotest.test_case "accumulator empty" `Quick test_acc_empty;
+    Alcotest.test_case "histogram buckets" `Quick test_hist_buckets;
+    Alcotest.test_case "histogram weights" `Quick test_hist_weighted;
+    Alcotest.test_case "histogram bad boundaries" `Quick test_hist_bad_boundaries;
+    QCheck_alcotest.to_alcotest prop_percentile_in_range;
+  ]

@@ -1,0 +1,94 @@
+(* Tests for the Standard Workload Format parser/printer. *)
+
+let sample =
+  "; comment line\n\
+   ;another\n\
+   1 0 5 3600 64 -1 -1 64 3600 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+   \n\
+   2 100 0 60 8 -1 -1 16 120 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+   3 200 0 -1 4 -1 -1 4 -1 -1 0 -1 -1 -1 -1 -1 -1 -1\n"
+
+let test_parse_basics () =
+  match Trace.Swf.parse_string ~name:"s" ~system_nodes:128 sample with
+  | Error m -> Alcotest.fail m
+  | Ok w ->
+      (* Third line has runtime -1 and is skipped. *)
+      Alcotest.(check int) "two jobs" 2 (Trace.Workload.num_jobs w);
+      let j0 = w.jobs.(0) and j1 = w.jobs.(1) in
+      Alcotest.(check int) "size from requested procs" 64 j0.size;
+      Alcotest.(check (float 1e-9)) "runtime" 3600.0 j0.runtime;
+      Alcotest.(check (float 1e-9)) "arrival" 0.0 j0.arrival;
+      Alcotest.(check int) "second size (requested over allocated)" 16 j1.size;
+      Alcotest.(check (float 1e-9)) "second arrival" 100.0 j1.arrival
+
+let test_estimate_from_requested_time () =
+  (* Field 9 (requested time) becomes the estimate, clamped >= runtime. *)
+  let line = "1 0 0 60 8 -1 -1 8 600 -1 1 -1 -1 -1 -1 -1 -1 -1" in
+  (match Trace.Swf.parse_line 0 line with
+  | Ok (Some j) ->
+      Alcotest.(check (float 1e-9)) "estimate" 600.0 j.est_runtime;
+      Alcotest.(check (float 1e-9)) "runtime" 60.0 j.runtime
+  | _ -> Alcotest.fail "expected a job");
+  (* Under-estimates clamp to the runtime. *)
+  let line = "1 0 0 60 8 -1 -1 8 10 -1 1 -1 -1 -1 -1 -1 -1 -1" in
+  match Trace.Swf.parse_line 0 line with
+  | Ok (Some j) -> Alcotest.(check (float 1e-9)) "clamped" 60.0 j.est_runtime
+  | _ -> Alcotest.fail "expected a job"
+
+let test_requested_fallback () =
+  (* Requested procs -1: fall back to allocated (field 5). *)
+  let line = "1 0 0 60 24 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1" in
+  match Trace.Swf.parse_line 0 line with
+  | Ok (Some j) -> Alcotest.(check int) "fallback" 24 j.size
+  | _ -> Alcotest.fail "expected a job"
+
+let test_malformed () =
+  (match Trace.Swf.parse_line 0 "1 2 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short line accepted");
+  match Trace.Swf.parse_line 0 "a b c d e f g h" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric accepted"
+
+let test_roundtrip () =
+  let w = Trace.Synthetic.synth ~mean_size:8 ~n_jobs:200 ~seed:11 ~max_size:64 in
+  let text = Trace.Swf.to_string w in
+  match Trace.Swf.parse_string ~name:w.name ~system_nodes:64 text with
+  | Error m -> Alcotest.fail m
+  | Ok w' ->
+      Alcotest.(check int) "count" (Trace.Workload.num_jobs w) (Trace.Workload.num_jobs w');
+      Array.iteri
+        (fun i (j : Trace.Job.t) ->
+          let j' = w'.jobs.(i) in
+          Alcotest.(check int) "size" j.size j'.size;
+          (* SWF stores whole seconds. *)
+          Alcotest.(check bool) "runtime within 1s" true
+            (Float.abs (j.runtime -. j'.runtime) <= 0.5))
+        w.jobs
+
+let test_file_roundtrip () =
+  let w = Trace.Synthetic.synth ~mean_size:4 ~n_jobs:50 ~seed:13 ~max_size:32 in
+  let path = Filename.temp_file "jigsaw_swf" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.Swf.save w path;
+      match Trace.Swf.load ~name:"x" ~system_nodes:32 path with
+      | Ok w' -> Alcotest.(check int) "count" 50 (Trace.Workload.num_jobs w')
+      | Error m -> Alcotest.fail m)
+
+let test_load_missing_file () =
+  match Trace.Swf.load ~name:"x" ~system_nodes:1 "/nonexistent/file.swf" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let suite =
+  [
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "requested-procs fallback" `Quick test_requested_fallback;
+    Alcotest.test_case "estimate from requested time" `Quick test_estimate_from_requested_time;
+    Alcotest.test_case "malformed lines rejected" `Quick test_malformed;
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "missing file" `Quick test_load_missing_file;
+  ]

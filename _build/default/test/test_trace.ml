@@ -1,0 +1,218 @@
+(* Tests for the workload substrate: jobs, traces, generators,
+   scenarios. *)
+
+let test_job_validation () =
+  Alcotest.check_raises "size 0" (Invalid_argument "Job.v: size must be >= 1")
+    (fun () -> ignore (Trace.Job.v ~id:0 ~size:0 ~runtime:1.0 ()));
+  Alcotest.check_raises "runtime 0"
+    (Invalid_argument "Job.v: runtime must be positive") (fun () ->
+      ignore (Trace.Job.v ~id:0 ~size:1 ~runtime:0.0 ()));
+  Alcotest.check_raises "negative arrival"
+    (Invalid_argument "Job.v: arrival must be >= 0") (fun () ->
+      ignore (Trace.Job.v ~id:0 ~size:1 ~runtime:1.0 ~arrival:(-1.0) ()))
+
+let test_is_large () =
+  Alcotest.(check bool) "100 not large" false
+    (Trace.Job.is_large (Trace.Job.v ~id:0 ~size:100 ~runtime:1.0 ()));
+  Alcotest.(check bool) "101 large" true
+    (Trace.Job.is_large (Trace.Job.v ~id:0 ~size:101 ~runtime:1.0 ()))
+
+let test_workload_sorted () =
+  let jobs =
+    [|
+      Trace.Job.v ~id:0 ~size:1 ~runtime:10.0 ~arrival:5.0 ();
+      Trace.Job.v ~id:1 ~size:1 ~runtime:10.0 ~arrival:1.0 ();
+      Trace.Job.v ~id:2 ~size:1 ~runtime:10.0 ~arrival:1.0 ();
+    |]
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:8 jobs in
+  Alcotest.(check (list int)) "by arrival then id" [ 1; 2; 0 ]
+    (Array.to_list (Array.map (fun (j : Trace.Job.t) -> j.id) w.jobs));
+  Alcotest.(check bool) "has arrivals" true w.has_arrivals;
+  let z = Trace.Workload.zero_arrivals w in
+  Alcotest.(check bool) "zeroed" false z.has_arrivals
+
+let test_workload_stats () =
+  let jobs =
+    [|
+      Trace.Job.v ~id:0 ~size:4 ~runtime:100.0 ();
+      Trace.Job.v ~id:1 ~size:9 ~runtime:10.0 ();
+    |]
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:16 jobs in
+  Alcotest.(check int) "max job" 9 (Trace.Workload.max_job_size w);
+  Alcotest.(check (float 1e-9)) "node-seconds" 490.0 (Trace.Workload.total_node_seconds w);
+  let s = Trace.Workload.summarize w in
+  Alcotest.(check int) "summary jobs" 2 s.s_num_jobs;
+  Alcotest.(check (float 1e-9)) "min runtime" 10.0 s.s_min_runtime
+
+let test_scale_truncate () =
+  let jobs =
+    Array.init 10 (fun i ->
+        Trace.Job.v ~id:i ~size:1 ~runtime:10.0 ~arrival:(float_of_int i) ())
+  in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:8 jobs in
+  let scaled = Trace.Workload.scale_arrivals w 0.5 in
+  Alcotest.(check (float 1e-9)) "scaled" 4.5 scaled.jobs.(9).arrival;
+  let cut = Trace.Workload.truncate w 3 in
+  Alcotest.(check int) "truncated" 3 (Trace.Workload.num_jobs cut)
+
+let test_synth_generator () =
+  let w = Trace.Synthetic.synth ~mean_size:16 ~n_jobs:5000 ~seed:1 ~max_size:1024 in
+  Alcotest.(check int) "count" 5000 (Trace.Workload.num_jobs w);
+  Alcotest.(check bool) "no arrivals" false w.has_arrivals;
+  Array.iter
+    (fun (j : Trace.Job.t) ->
+      Alcotest.(check bool) "size >= 1" true (j.size >= 1);
+      Alcotest.(check bool) "runtime in range" true
+        (j.runtime >= 20.0 && j.runtime <= 3000.0))
+    w.jobs;
+  (* Mean should be near 16 (exponential, clamped below by 1). *)
+  let mean =
+    Array.fold_left (fun a (j : Trace.Job.t) -> a +. float_of_int j.size) 0.0 w.jobs
+    /. 5000.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean size ~16 (got %.1f)" mean)
+    true
+    (mean > 14.0 && mean < 18.0)
+
+let test_generators_deterministic () =
+  let a = Trace.Synthetic.thunder_like ~n_jobs:100 ~seed:3 () in
+  let b = Trace.Synthetic.thunder_like ~n_jobs:100 ~seed:3 () in
+  Alcotest.(check bool) "same trace" true
+    (Array.for_all2
+       (fun (x : Trace.Job.t) (y : Trace.Job.t) ->
+         x.size = y.size && x.runtime = y.runtime)
+       a.jobs b.jobs);
+  let c = Trace.Synthetic.thunder_like ~n_jobs:100 ~seed:4 () in
+  Alcotest.(check bool) "different seeds differ" false
+    (Array.for_all2
+       (fun (x : Trace.Job.t) (y : Trace.Job.t) ->
+         x.size = y.size && x.runtime = y.runtime)
+       a.jobs c.jobs)
+
+let test_cab_arrivals_increase () =
+  let w =
+    Trace.Synthetic.cab_like ~month:"T" ~n_jobs:500 ~seed:9 ~target_load:1.0
+      ~arrival_scale:1.0 ()
+  in
+  Alcotest.(check bool) "has arrivals" true w.has_arrivals;
+  let ok = ref true in
+  for i = 1 to 499 do
+    if w.jobs.(i).arrival < w.jobs.(i - 1).arrival then ok := false
+  done;
+  Alcotest.(check bool) "non-decreasing" true !ok
+
+let test_bw_classes () =
+  let w = Trace.Synthetic.synth ~mean_size:8 ~n_jobs:1000 ~seed:2 ~max_size:64 in
+  let classes =
+    List.sort_uniq compare
+      (Array.to_list (Array.map (fun (j : Trace.Job.t) -> j.bw_class) w.jobs))
+  in
+  Alcotest.(check (list (float 1e-9))) "four classes (5.4.2)"
+    [ 0.125; 0.25; 0.375; 0.5 ] classes
+
+let test_scenarios () =
+  let seed = 7 in
+  let small = Trace.Job.v ~id:1 ~size:4 ~runtime:100.0 () in
+  let big = Trace.Job.v ~id:2 ~size:200 ~runtime:100.0 () in
+  (* None: no change. *)
+  Alcotest.(check (float 1e-9)) "none" 100.0
+    (Trace.Scenario.isolated_runtime Trace.Scenario.No_speedup ~seed big);
+  (* Fixed: only jobs > 4 nodes. *)
+  Alcotest.(check (float 1e-9)) "fixed small untouched" 100.0
+    (Trace.Scenario.isolated_runtime (Trace.Scenario.Fixed 10) ~seed small);
+  Alcotest.(check (float 1e-6)) "fixed big" (100.0 /. 1.1)
+    (Trace.Scenario.isolated_runtime (Trace.Scenario.Fixed 10) ~seed big);
+  (* Random: only jobs > 64 nodes; speed-up within {0,5,15,30}%. *)
+  let s = Trace.Scenario.speedup Trace.Scenario.Random ~seed big in
+  Alcotest.(check bool) "random bucket" true
+    (List.exists (fun x -> Float.abs (s -. x) < 1e-9) [ 0.0; 0.05; 0.15; 0.3 ]);
+  Alcotest.(check (float 1e-9)) "random small" 0.0
+    (Trace.Scenario.speedup Trace.Scenario.Random ~seed small);
+  (* V2: within [0, 0.30], deterministic per (seed, job). *)
+  let v1 = Trace.Scenario.speedup Trace.Scenario.V2 ~seed big in
+  let v2 = Trace.Scenario.speedup Trace.Scenario.V2 ~seed big in
+  Alcotest.(check (float 1e-12)) "V2 deterministic" v1 v2;
+  Alcotest.(check bool) "V2 range" true (v1 >= 0.0 && v1 <= 0.30);
+  Alcotest.(check int) "six scenarios" 6 (List.length Trace.Scenario.all)
+
+let test_scenario_speedup_shortens () =
+  let seed = 3 in
+  let j = Trace.Job.v ~id:5 ~size:128 ~runtime:1000.0 () in
+  List.iter
+    (fun scen ->
+      let iso = Trace.Scenario.isolated_runtime scen ~seed j in
+      Alcotest.(check bool)
+        (Trace.Scenario.name scen ^ " never lengthens")
+        true (iso <= 1000.0 +. 1e-9))
+    Trace.Scenario.all
+
+let test_v2_scales_with_size () =
+  (* Within a bucket, V2 speed-up grows linearly with node count; across
+     many jobs the average speed-up of big jobs must exceed that of small
+     ones. *)
+  let seed = 11 in
+  let avg size =
+    let acc = ref 0.0 in
+    for id = 0 to 499 do
+      let j = Trace.Job.v ~id ~size ~runtime:1.0 () in
+      acc := !acc +. Trace.Scenario.speedup Trace.Scenario.V2 ~seed j
+    done;
+    !acc /. 500.0
+  in
+  Alcotest.(check bool) "bigger jobs speed up more on average" true
+    (avg 256 > avg 8)
+
+let test_inflate_estimates () =
+  let jobs = [| Trace.Job.v ~id:0 ~size:2 ~runtime:100.0 () |] in
+  let w = Trace.Workload.create ~name:"t" ~system_nodes:8 jobs in
+  let w2 = Trace.Workload.inflate_estimates w 3.0 in
+  Alcotest.(check (float 1e-9)) "estimate scaled" 300.0 w2.jobs.(0).est_runtime;
+  Alcotest.(check (float 1e-9)) "runtime untouched" 100.0 w2.jobs.(0).runtime;
+  Alcotest.check_raises "factor < 1"
+    (Invalid_argument "Workload.inflate_estimates: factor must be >= 1")
+    (fun () -> ignore (Trace.Workload.inflate_estimates w 0.5))
+
+let test_job_estimate_validation () =
+  Alcotest.check_raises "estimate below runtime"
+    (Invalid_argument "Job.v: est_runtime must be >= runtime") (fun () ->
+      ignore (Trace.Job.v ~id:0 ~size:1 ~runtime:10.0 ~est_runtime:5.0 ()));
+  let j = Trace.Job.v ~id:0 ~size:1 ~runtime:10.0 () in
+  Alcotest.(check (float 1e-9)) "defaults to runtime" 10.0 j.est_runtime
+
+let test_presets_consistent () =
+  List.iter
+    (fun (e : Trace.Presets.entry) ->
+      let w = e.workload in
+      Alcotest.(check bool)
+        (w.name ^ " max job fits cluster")
+        true
+        (Trace.Workload.max_job_size w
+        <= Fattree.Topology.num_nodes (Fattree.Topology.of_radix e.cluster_radix)))
+    (Trace.Presets.all ~full:false);
+  Alcotest.(check int) "nine traces" 9 (List.length (Trace.Presets.all ~full:false));
+  Alcotest.(check bool) "lookup" true
+    (Trace.Presets.by_name ~full:false "Thunder" <> None);
+  Alcotest.(check bool) "lookup miss" true
+    (Trace.Presets.by_name ~full:false "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "job validation" `Quick test_job_validation;
+    Alcotest.test_case "large-job threshold" `Quick test_is_large;
+    Alcotest.test_case "workload sorting" `Quick test_workload_sorted;
+    Alcotest.test_case "workload statistics" `Quick test_workload_stats;
+    Alcotest.test_case "scale and truncate" `Quick test_scale_truncate;
+    Alcotest.test_case "synth generator ranges" `Quick test_synth_generator;
+    Alcotest.test_case "generators deterministic" `Quick test_generators_deterministic;
+    Alcotest.test_case "cab arrivals monotone" `Quick test_cab_arrivals_increase;
+    Alcotest.test_case "bandwidth classes" `Quick test_bw_classes;
+    Alcotest.test_case "speed-up scenarios" `Quick test_scenarios;
+    Alcotest.test_case "speed-ups never lengthen" `Quick test_scenario_speedup_shortens;
+    Alcotest.test_case "V2 scales with size" `Quick test_v2_scales_with_size;
+    Alcotest.test_case "estimate inflation" `Quick test_inflate_estimates;
+    Alcotest.test_case "estimate validation" `Quick test_job_estimate_validation;
+    Alcotest.test_case "presets consistent" `Quick test_presets_consistent;
+  ]

@@ -1,0 +1,63 @@
+(* Tests for the XGFT notation module. *)
+
+open Fattree
+
+let test_create_validation () =
+  Alcotest.check_raises "w1 must be 1"
+    (Invalid_argument "Xgft.create: w1 must be 1 (nodes have one parent)")
+    (fun () -> ignore (Xgft.create ~m:[| 2; 2 |] ~w:[| 2; 2 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Xgft.create: m and w must have the same length")
+    (fun () -> ignore (Xgft.create ~m:[| 2; 2 |] ~w:[| 1 |]))
+
+let test_paper_figure9 () =
+  (* Figure 9: XGFT(2; 3,4; 1,3) — full bandwidth two-level tree. *)
+  let x = Xgft.create ~m:[| 3; 4 |] ~w:[| 1; 3 |] in
+  Alcotest.(check int) "nodes" 12 (Xgft.num_nodes x);
+  Alcotest.(check bool) "full bandwidth" true (Xgft.is_full_bandwidth x);
+  Alcotest.(check int) "leaves" 4 (Xgft.num_switches_at_level x 1);
+  Alcotest.(check int) "l2" 3 (Xgft.num_switches_at_level x 2)
+
+let test_paper_figure10 () =
+  (* Figure 10: XGFT(3; 2,3,2; 1,2,3). *)
+  let x = Xgft.create ~m:[| 2; 3; 2 |] ~w:[| 1; 2; 3 |] in
+  Alcotest.(check int) "nodes" 12 (Xgft.num_nodes x);
+  Alcotest.(check bool) "full bandwidth" true (Xgft.is_full_bandwidth x);
+  Alcotest.(check int) "leaves" 6 (Xgft.num_switches_at_level x 1);
+  Alcotest.(check int) "l2 switches" 4 (Xgft.num_switches_at_level x 2);
+  Alcotest.(check int) "spines" 6 (Xgft.num_switches_at_level x 3);
+  Alcotest.(check string) "pp" "XGFT(3; 2,3,2; 1,2,3)" (Xgft.to_string x)
+
+let test_not_full_bandwidth () =
+  let x = Xgft.create ~m:[| 4; 4 |] ~w:[| 1; 2 |] in
+  Alcotest.(check bool) "tapered" false (Xgft.is_full_bandwidth x)
+
+let test_topology_roundtrip () =
+  let t = Topology.of_radix 16 in
+  let x = Xgft.of_topology t in
+  Alcotest.(check bool) "full bandwidth" true (Xgft.is_full_bandwidth x);
+  Alcotest.(check int) "nodes match" (Topology.num_nodes t) (Xgft.num_nodes x);
+  (match Xgft.to_topology x with
+  | Some t' ->
+      Alcotest.(check int) "roundtrip nodes" (Topology.num_nodes t) (Topology.num_nodes t')
+  | None -> Alcotest.fail "roundtrip failed");
+  (* Spine count of a three-level XGFT = switches at level 3. *)
+  Alcotest.(check int) "spines" (Topology.num_spines t) (Xgft.num_switches_at_level x 3);
+  Alcotest.(check int) "l2" (Topology.num_l2 t) (Xgft.num_switches_at_level x 2);
+  Alcotest.(check int) "leaves" (Topology.num_leaves t) (Xgft.num_switches_at_level x 1)
+
+let test_to_topology_rejects_non3level () =
+  let x = Xgft.create ~m:[| 3; 4 |] ~w:[| 1; 3 |] in
+  Alcotest.(check bool) "two-level has no topology" true (Xgft.to_topology x = None);
+  let tapered = Xgft.create ~m:[| 2; 3; 2 |] ~w:[| 1; 1; 3 |] in
+  Alcotest.(check bool) "tapered rejected" true (Xgft.to_topology tapered = None)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "paper Figure 9 tree" `Quick test_paper_figure9;
+    Alcotest.test_case "paper Figure 10 tree" `Quick test_paper_figure10;
+    Alcotest.test_case "tapered tree detected" `Quick test_not_full_bandwidth;
+    Alcotest.test_case "topology roundtrip" `Quick test_topology_roundtrip;
+    Alcotest.test_case "to_topology rejects others" `Quick test_to_topology_rejects_non3level;
+  ]
