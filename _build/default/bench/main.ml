@@ -2,7 +2,7 @@
    evaluation (Smith & Lowenthal, HPDC'21), plus a Bechamel micro-suite
    for allocator latency.
 
-   Usage:   dune exec bench/main.exe [-- table1 fig6 table2 fig7 fig8 table3 micro]
+   Usage:   dune exec bench/main.exe [-- table1 fig6 table2 fig7 fig8 table3 micro json ablation]
    Default (no args): everything, in paper order.
    REPRO_FULL=1 switches to paper-scale traces (much slower).
 
@@ -240,9 +240,9 @@ let load_cluster ~radix ~seed ~target =
   st
 
 let micro () =
-  section "Bechamel micro-benchmarks (radix-18 cluster, ~70% loaded)";
+  section "Bechamel micro-benchmarks (radix-24 cluster, ~80% loaded)";
   let open Bechamel in
-  let st = load_cluster ~radix:18 ~seed:77 ~target:0.7 in
+  let st = load_cluster ~radix:24 ~seed:77 ~target:0.8 in
   (* One group per job class: leaf-scale, pod-scale and machine-scale
      requests hit different search paths (Algorithm 1's two- vs
      three-level branches). *)
@@ -312,6 +312,94 @@ let micro () =
         (List.sort compare !rows);
       Format.printf "@.")
     groups
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_0001.json: machine-readable perf trajectory across PRs.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Emits allocator micro-latencies (mean try_alloc on a busy radix-24
+   cluster) and per-trace scheduler costs for the Table 3 traces, so
+   regressions show up as a diff of this file rather than a human
+   re-reading bench output.  Traces are truncated in default mode to
+   keep the target in the ~minute range; REPRO_FULL=1 uses paper scale. *)
+
+let bench_json_file = "BENCH_0001.json"
+
+let bench_json () =
+  section (Printf.sprintf "%s (machine-readable perf trajectory)" bench_json_file);
+  let radix = 24 and target = 0.8 in
+  let st = load_cluster ~radix ~seed:77 ~target in
+  let mean_try_alloc_ns (a : Sched.Allocator.t) size =
+    let job = Trace.Job.v ~id:999_999 ~size ~runtime:100.0 () in
+    for _ = 1 to 5 do
+      ignore (a.try_alloc st job)
+    done;
+    let iters = 200 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (a.try_alloc st job)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let micro_rows =
+    List.concat_map
+      (fun (label, size) ->
+        List.map
+          (fun (a : Sched.Allocator.t) -> (a.name, label, size, mean_try_alloc_ns a size))
+          Sched.Allocator.all)
+      [ ("leaf", 6); ("pod", 40); ("multi-pod", 200) ]
+  in
+  let entries =
+    [
+      Trace.Presets.synth_16 ~full;
+      Trace.Presets.sep_cab ~full;
+      Trace.Presets.thunder ~full;
+      Trace.Presets.synth_28 ~full;
+    ]
+    |> List.map (sweep_entry ~cap:1_500)
+  in
+  let trace_rows =
+    List.concat_map
+      (fun (e : Trace.Presets.entry) ->
+        List.map
+          (fun (a : Sched.Allocator.t) ->
+            let m = run_sim e a in
+            ( e.workload.Trace.Workload.name,
+              Trace.Workload.num_jobs e.workload,
+              a.name,
+              m.sched_time_per_job,
+              m.avg_utilization ))
+          Sched.Allocator.all)
+      entries
+  in
+  let oc = open_out bench_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench_id\": \"BENCH_0001\",\n";
+  out "  \"scale\": \"%s\",\n" (if full then "full" else "default");
+  out "  \"micro_try_alloc\": {\n";
+  out "    \"cluster\": { \"radix\": %d, \"target_occupancy\": %.2f },\n" radix
+    target;
+  out "    \"rows\": [\n";
+  List.iteri
+    (fun i (name, label, size, ns) ->
+      out "      { \"allocator\": %S, \"class\": %S, \"size\": %d, \"mean_ns\": %.1f }%s\n"
+        name label size ns
+        (if i = List.length micro_rows - 1 then "" else ","))
+    micro_rows;
+  out "    ]\n  },\n";
+  out "  \"traces\": [\n";
+  List.iteri
+    (fun i (trace, jobs, scheme, stpj, util) ->
+      out
+        "    { \"trace\": %S, \"jobs\": %d, \"scheme\": %S, \"sched_time_per_job_s\": %.6e, \"avg_utilization\": %.6f }%s\n"
+        trace jobs scheme stpj util
+        (if i = List.length trace_rows - 1 then "" else ","))
+    trace_rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d micro rows, %d trace rows)@." bench_json_file
+    (List.length micro_rows) (List.length trace_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                  *)
@@ -395,6 +483,7 @@ let all_targets =
     ("fig8", fig8);
     ("table3", table3);
     ("micro", micro);
+    ("json", bench_json);
     ("ablation", ablation);
   ]
 
@@ -412,7 +501,7 @@ let () =
           Format.printf "[%s took %.1fs]@." name (Unix.gettimeofday () -. t0)
       | None ->
           Format.eprintf
-            "unknown target %s (expected: table1 fig6 table2 fig7 fig8 table3 micro ablation)@."
+            "unknown target %s (expected: table1 fig6 table2 fig7 fig8 table3 micro json ablation)@."
             name;
           exit 1)
     chosen

@@ -1,1 +1,1 @@
-lib/baselines/baseline.ml: Alloc Array Fattree State Topology
+lib/baselines/baseline.ml: Alloc Array Fattree Jigsaw_core State Topology

@@ -1,1 +1,1 @@
-lib/baselines/ta.ml: Alloc Array Fattree Fun Jigsaw_core List State Topology
+lib/baselines/ta.ml: Alloc Array Fattree Fun Jigsaw_core List Sim State Topology

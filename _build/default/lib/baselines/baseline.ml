@@ -1,19 +1,31 @@
 open Fattree
 
+(* First [size] free nodes in id order.  Walks leaves through the
+   state's cached per-leaf summaries (free counts and slot masks), which
+   skips busy leaves in O(1) instead of testing every node bit. *)
 let get_allocation st ~job ~size =
   if size <= 0 || State.total_free_nodes st < size then None
   else begin
     let topo = State.topo st in
-    let num = Topology.num_nodes topo in
+    let num_leaves = Topology.num_leaves topo in
     let nodes = Array.make size (-1) in
     let found = ref 0 in
-    let n = ref 0 in
-    while !found < size && !n < num do
-      if State.node_free st !n then begin
-        nodes.(!found) <- !n;
-        incr found
+    let leaf = ref 0 in
+    while !found < size && !leaf < num_leaves do
+      let free = State.free_nodes_on_leaf st !leaf in
+      if free > 0 then begin
+        let first = Topology.leaf_first_node topo !leaf in
+        let take = min free (size - !found) in
+        let slots =
+          Jigsaw_core.Mask.take_lowest (State.free_slot_mask st !leaf) take
+        in
+        Array.iter
+          (fun s ->
+            nodes.(!found) <- first + s;
+            incr found)
+          (Jigsaw_core.Mask.to_array slots)
       end;
-      incr n
+      incr leaf
     done;
     if !found < size then None
     else Some (Alloc.nodes_only ~job ~size nodes)

@@ -7,14 +7,19 @@ open Fattree
    one pod is placed exactly as Jigsaw would place it, with no padding.
    Only allocations spanning pods go through LaaS's reduction to two
    levels, which makes leaves atomic and rounds the request up. *)
-let get_allocation ?budget st ~job ~size =
-  if size <= 0 || State.total_free_nodes st < size then None
+let probe ?budget st ~job ~size =
+  if size <= 0 || State.total_free_nodes st < size then
+    Jigsaw_core.Partition.Infeasible
   else begin
     match
-      Jigsaw_core.Jigsaw.get_allocation ?budget ~two_level_only:true st ~job
-        ~size
+      Jigsaw_core.Jigsaw.probe ?budget ~two_level_only:true st ~job ~size
     with
-    | Some _ as ok -> ok
-    | None ->
-        Jigsaw_core.Jigsaw.get_allocation_whole_leaves ?budget st ~job ~size
+    | Jigsaw_core.Partition.Found _ as ok -> ok
+    | Jigsaw_core.Partition.Infeasible | Jigsaw_core.Partition.Exhausted ->
+        (* The two-level pass is unbudgeted, so only the padded
+           three-level search can report a cut-off. *)
+        Jigsaw_core.Jigsaw.probe_whole_leaves ?budget st ~job ~size
   end
+
+let get_allocation ?budget st ~job ~size =
+  Jigsaw_core.Partition.to_option (probe ?budget st ~job ~size)

@@ -76,8 +76,8 @@ let alloc_medium st ~job ~size =
           eligible;
         Some
           (Alloc.exclusive ~job ~size
-             ~nodes:(Array.of_list (List.sort compare !nodes))
-             ~leaf_cables:(Array.of_list (List.sort compare !cables))
+             ~nodes:(Sim.Intsort.of_list !nodes)
+             ~leaf_cables:(Sim.Intsort.of_list !cables)
              ~l2_cables:[||])
       end
       else go (pod + 1)
@@ -152,9 +152,9 @@ let alloc_large st ~job ~size =
         chosen;
       Some
         (Alloc.exclusive ~job ~size
-           ~nodes:(Array.of_list (List.sort compare !nodes))
-           ~leaf_cables:(Array.of_list (List.sort compare !lc))
-           ~l2_cables:(Array.of_list (List.sort compare !l2c)))
+           ~nodes:(Sim.Intsort.of_list !nodes)
+           ~leaf_cables:(Sim.Intsort.of_list !lc)
+           ~l2_cables:(Sim.Intsort.of_list !l2c))
 
 let get_allocation st ~job ~size =
   if

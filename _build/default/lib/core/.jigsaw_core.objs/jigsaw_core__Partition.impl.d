@@ -1,1 +1,1 @@
-lib/core/partition.ml: Alloc Array Fattree Format List String Topology
+lib/core/partition.ml: Alloc Array Fattree Format List Sim String Topology

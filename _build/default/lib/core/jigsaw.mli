@@ -19,6 +19,28 @@ val default_budget : int
     bound is orders of magnitude above what searches use in practice and
     exists to keep adversarial states from hanging a simulation). *)
 
+val probe :
+  ?demand:float ->
+  ?budget:int ->
+  ?two_level_only:bool ->
+  Fattree.State.t ->
+  job:int ->
+  size:int ->
+  Partition.probe
+(** Like {!get_allocation} but reports {e why} no partition was returned:
+    [Infeasible] (definitive, search space covered) vs [Exhausted]
+    (budget cut the search short).  The scheduler's no-fit memo may only
+    cache [Infeasible]. *)
+
+val probe_whole_leaves :
+  ?demand:float ->
+  ?budget:int ->
+  Fattree.State.t ->
+  job:int ->
+  size:int ->
+  Partition.probe
+(** {!get_allocation_whole_leaves} with the same outcome reporting. *)
+
 val get_allocation :
   ?demand:float ->
   ?budget:int ->

@@ -329,14 +329,20 @@ let try_two_level st ~job ~size ~demand =
   in
   over_shapes shapes
 
-let get_allocation ?(demand = 1.0) ?(budget = default_budget) st ~job ~size =
+let probe ?(demand = 1.0) ?(budget = default_budget) st ~job ~size =
   let topo = State.topo st in
   if size <= 0 || size > Topology.num_nodes topo || State.total_free_nodes st < size
-  then None
+  then Partition.Infeasible
   else begin
     match try_two_level st ~job ~size ~demand with
-    | Some _ as ok -> ok
-    | None ->
+    | Some p -> Partition.Found p
+    | None -> (
         let budget = ref budget in
-        try_three_level st ~job ~size ~demand ~budget
+        match try_three_level st ~job ~size ~demand ~budget with
+        | Some p -> Partition.Found p
+        | None ->
+            if !budget <= 0 then Partition.Exhausted else Partition.Infeasible)
   end
+
+let get_allocation ?demand ?budget st ~job ~size =
+  Partition.to_option (probe ?demand ?budget st ~job ~size)

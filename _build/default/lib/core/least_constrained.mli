@@ -15,6 +15,17 @@ val default_budget : int
     attempts complete while adversarial states cut off in well under a
     second of wall-clock time. *)
 
+val probe :
+  ?demand:float ->
+  ?budget:int ->
+  Fattree.State.t ->
+  job:int ->
+  size:int ->
+  Partition.probe
+(** Like {!get_allocation} but distinguishes a definitive no-fit
+    ([Infeasible]) from a budget cut-off ([Exhausted]) — the latter is
+    common for this scheduler and must never enter a no-fit memo. *)
+
 val get_allocation :
   ?demand:float ->
   ?budget:int ->

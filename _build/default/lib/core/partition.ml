@@ -17,6 +17,9 @@ type t = {
 }
 
 type kind = Two_level | Three_level
+type probe = Found of t | Infeasible | Exhausted
+
+let to_option = function Found p -> Some p | Infeasible | Exhausted -> None
 
 let all_trees p =
   match p.rem_tree with
@@ -44,7 +47,7 @@ let node_count p =
 let nodes p =
   let ls = leaves p in
   let all = Array.concat (List.map (fun la -> la.nodes) (Array.to_list ls)) in
-  Array.sort compare all;
+  Sim.Intsort.sort all;
   all
 
 let pods_used p =
@@ -93,11 +96,10 @@ let to_alloc topo p ~bw =
             spines)
         tr.spine_sets)
     (all_trees p);
-  let arr l =
-    let a = Array.of_list l in
-    Array.sort compare a;
-    a
-  in
+  (* Monomorphic sort: these arrays reach a few hundred entries on
+     machine-scale partitions and a closure-calling sort dominates the
+     whole materialization otherwise. *)
+  let arr = Sim.Intsort.of_list in
   {
     Alloc.job = p.job;
     size = p.size;

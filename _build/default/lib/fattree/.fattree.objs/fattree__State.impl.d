@@ -1,1 +1,1 @@
-lib/fattree/state.ml: Alloc Array Float Int Printf Set Sim Topology
+lib/fattree/state.ml: Alloc Array Float Int Lazy Printf Set Sim Sys Topology

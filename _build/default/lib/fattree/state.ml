@@ -1,24 +1,51 @@
 let eps = 1e-9
 
+(* Derived availability summaries are maintained incrementally on every
+   claim/release so allocator probes never rescan the machine:
+
+   - [slot_mask]:      per leaf, bitmask of free node slots;
+   - [leaf_full_mask]: per leaf, bitmask of uplink indices whose cable is
+                       at full capacity (remaining >= 1.0 - eps);
+   - [l2_full_mask]:   per L2 switch, same for its spine uplinks;
+   - [pod_free_leaves]: per pod, count of fully-free leaves (all nodes
+                       free and all uplinks at full capacity).
+
+   The float capacity arrays remain the source of truth; the masks cache
+   exactly the predicate the demand-1.0 queries would recompute, so a
+   cached answer is bit-identical to a from-scratch scan (the property
+   test in test_incremental.ml checks this). *)
 type t = {
   topo : Topology.t;
   free : Sim.Bitset.t; (* node id -> free *)
   free_per_leaf : int array;
+  slot_mask : int array; (* leaf -> bitmask of free slots *)
   leaf_up : float array; (* leaf-l2 cable -> remaining capacity *)
   l2_up : float array; (* l2-spine cable -> remaining capacity *)
+  leaf_full_mask : int array; (* leaf -> full-capacity uplink indices *)
+  l2_full_mask : int array; (* l2 -> full-capacity spine indices *)
+  pod_free_leaves : int array; (* pod -> # fully-free leaves *)
   mutable busy : int;
+  mutable claims : int; (* # successful claims since creation *)
+  mutable releases : int; (* # releases since creation *)
 }
 
 let create topo =
   let free = Sim.Bitset.create (Topology.num_nodes topo) in
   Sim.Bitset.fill free;
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
   {
     topo;
     free;
-    free_per_leaf = Array.make (Topology.num_leaves topo) (Topology.m1 topo);
+    free_per_leaf = Array.make (Topology.num_leaves topo) m1;
+    slot_mask = Array.make (Topology.num_leaves topo) ((1 lsl m1) - 1);
     leaf_up = Array.make (Topology.num_leaf_l2_cables topo) 1.0;
     l2_up = Array.make (Topology.num_l2_spine_cables topo) 1.0;
+    leaf_full_mask = Array.make (Topology.num_leaves topo) ((1 lsl m1) - 1);
+    l2_full_mask = Array.make (Topology.num_l2 topo) ((1 lsl m2) - 1);
+    pod_free_leaves = Array.make (Topology.pods topo) m2;
     busy = 0;
+    claims = 0;
+    releases = 0;
   }
 
 let topo t = t.topo
@@ -28,54 +55,108 @@ let clone t =
     topo = t.topo;
     free = Sim.Bitset.copy t.free;
     free_per_leaf = Array.copy t.free_per_leaf;
+    slot_mask = Array.copy t.slot_mask;
     leaf_up = Array.copy t.leaf_up;
     l2_up = Array.copy t.l2_up;
+    leaf_full_mask = Array.copy t.leaf_full_mask;
+    l2_full_mask = Array.copy t.l2_full_mask;
+    pod_free_leaves = Array.copy t.pod_free_leaves;
     busy = t.busy;
+    claims = t.claims;
+    releases = t.releases;
   }
 
 let node_free t n = Sim.Bitset.mem t.free n
 let free_nodes_on_leaf t l = t.free_per_leaf.(l)
-
-let free_slot_mask t leaf =
-  let first = Topology.leaf_first_node t.topo leaf in
-  let m1 = Topology.m1 t.topo in
-  let mask = ref 0 in
-  for s = 0 to m1 - 1 do
-    if Sim.Bitset.mem t.free (first + s) then mask := !mask lor (1 lsl s)
-  done;
-  !mask
-
+let free_slot_mask t leaf = t.slot_mask.(leaf)
 let leaf_up_remaining t ~cable = t.leaf_up.(cable)
 let l2_up_remaining t ~cable = t.l2_up.(cable)
 
 let leaf_up_mask t ~leaf ~demand =
-  let m1 = Topology.m1 t.topo in
-  let mask = ref 0 in
-  for i = 0 to m1 - 1 do
-    let c = Topology.leaf_l2_cable t.topo ~leaf ~l2_index:i in
-    if t.leaf_up.(c) >= demand -. eps then mask := !mask lor (1 lsl i)
-  done;
-  !mask
+  if demand = 1.0 then t.leaf_full_mask.(leaf)
+  else begin
+    let m1 = Topology.m1 t.topo in
+    let mask = ref 0 in
+    for i = 0 to m1 - 1 do
+      let c = Topology.leaf_l2_cable t.topo ~leaf ~l2_index:i in
+      if t.leaf_up.(c) >= demand -. eps then mask := !mask lor (1 lsl i)
+    done;
+    !mask
+  end
 
 let l2_up_mask t ~l2 ~demand =
-  let m2 = Topology.m2 t.topo in
-  let mask = ref 0 in
-  for j = 0 to m2 - 1 do
-    let c = Topology.l2_spine_cable t.topo ~l2 ~spine_index:j in
-    if t.l2_up.(c) >= demand -. eps then mask := !mask lor (1 lsl j)
-  done;
-  !mask
+  if demand = 1.0 then t.l2_full_mask.(l2)
+  else begin
+    let m2 = Topology.m2 t.topo in
+    let mask = ref 0 in
+    for j = 0 to m2 - 1 do
+      let c = Topology.l2_spine_cable t.topo ~l2 ~spine_index:j in
+      if t.l2_up.(c) >= demand -. eps then mask := !mask lor (1 lsl j)
+    done;
+    !mask
+  end
 
 let leaf_fully_free t leaf =
   let m1 = Topology.m1 t.topo in
-  t.free_per_leaf.(leaf) = m1
-  && leaf_up_mask t ~leaf ~demand:1.0 = (1 lsl m1) - 1
+  t.free_per_leaf.(leaf) = m1 && t.leaf_full_mask.(leaf) = (1 lsl m1) - 1
+
+let pod_fully_free_leaves t ~pod = t.pod_free_leaves.(pod)
+let generation t = t.claims + t.releases
+let claim_generation t = t.claims
+let release_generation t = t.releases
 
 let total_free_nodes t = Topology.num_nodes t.topo - t.busy
 let busy_node_count t = t.busy
 
 let node_utilization t =
   float_of_int t.busy /. float_of_int (Topology.num_nodes t.topo)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pod_delta t leaf was =
+  let now = leaf_fully_free t leaf in
+  if was <> now then begin
+    let pod = Topology.leaf_pod t.topo leaf in
+    t.pod_free_leaves.(pod) <- t.pod_free_leaves.(pod) + (if now then 1 else -1)
+  end
+
+let take_node t n =
+  let leaf = Topology.node_leaf t.topo n in
+  let was = leaf_fully_free t leaf in
+  Sim.Bitset.remove t.free n;
+  t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) - 1;
+  t.slot_mask.(leaf) <- t.slot_mask.(leaf) land lnot (1 lsl Topology.node_slot t.topo n);
+  pod_delta t leaf was
+
+let give_node t n =
+  let leaf = Topology.node_leaf t.topo n in
+  let was = leaf_fully_free t leaf in
+  Sim.Bitset.add t.free n;
+  t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) + 1;
+  t.slot_mask.(leaf) <- t.slot_mask.(leaf) lor (1 lsl Topology.node_slot t.topo n);
+  pod_delta t leaf was
+
+let set_leaf_up t c v =
+  let leaf = Topology.leaf_l2_cable_leaf t.topo c in
+  let was = leaf_fully_free t leaf in
+  t.leaf_up.(c) <- v;
+  let bit = 1 lsl Topology.leaf_l2_cable_l2_index t.topo c in
+  if v >= 1.0 -. eps then t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) lor bit
+  else t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) land lnot bit;
+  pod_delta t leaf was
+
+let set_l2_up t c v =
+  let l2 = Topology.l2_spine_cable_l2 t.topo c in
+  t.l2_up.(c) <- v;
+  let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
+  if v >= 1.0 -. eps then t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
+  else t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit
+
+(* ------------------------------------------------------------------ *)
+(* Claim / release                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let no_dups arr =
   let module IS = Set.Make (Int) in
@@ -107,23 +188,35 @@ let check_claim t (a : Alloc.t) =
     match !bad with Some m -> Error m | None -> Ok ()
   end
 
-let claim t (a : Alloc.t) =
-  match check_claim t a with
-  | Error _ as e -> e
-  | Ok () ->
-      Array.iter
-        (fun n ->
-          Sim.Bitset.remove t.free n;
-          let leaf = Topology.node_leaf t.topo n in
-          t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) - 1)
-        a.nodes;
-      Array.iter (fun c -> t.leaf_up.(c) <- t.leaf_up.(c) -. a.bw) a.leaf_cables;
-      Array.iter (fun c -> t.l2_up.(c) <- t.l2_up.(c) -. a.bw) a.l2_cables;
-      t.busy <- t.busy + Array.length a.nodes;
-      Ok ()
+let apply_claim t (a : Alloc.t) =
+  Array.iter (fun n -> take_node t n) a.nodes;
+  Array.iter (fun c -> set_leaf_up t c (t.leaf_up.(c) -. a.bw)) a.leaf_cables;
+  Array.iter (fun c -> set_l2_up t c (t.l2_up.(c) -. a.bw)) a.l2_cables;
+  t.busy <- t.busy + Array.length a.nodes;
+  t.claims <- t.claims + 1
 
-let claim_exn t a =
-  match claim t a with
+(* The full claim validation is O(n log n) in the allocation size and
+   dominated simulator hot loops; callers that have already proved the
+   allocation legal (the simulator claims exactly what a pure probe on
+   the same state proposed) pass ~validate:false.  JIGSAW_VALIDATE=1
+   forces validation everywhere regardless. *)
+let forced_validation =
+  lazy (Sys.getenv_opt "JIGSAW_VALIDATE" = Some "1")
+
+let claim ?(validate = true) t (a : Alloc.t) =
+  if validate || Lazy.force forced_validation then
+    match check_claim t a with
+    | Error _ as e -> e
+    | Ok () ->
+        apply_claim t a;
+        Ok ()
+  else begin
+    apply_claim t a;
+    Ok ()
+  end
+
+let claim_exn ?validate t a =
+  match claim ?validate t a with
   | Ok () -> ()
   | Error m -> invalid_arg ("State.claim_exn: " ^ m)
 
@@ -143,18 +236,14 @@ let release t (a : Alloc.t) =
       if t.l2_up.(c) +. a.bw > 1.0 +. eps then
         invalid_arg (Printf.sprintf "State.release: l2 cable %d over-released" c))
     a.l2_cables;
+  Array.iter (fun n -> give_node t n) a.nodes;
   Array.iter
-    (fun n ->
-      Sim.Bitset.add t.free n;
-      let leaf = Topology.node_leaf t.topo n in
-      t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) + 1)
-    a.nodes;
-  Array.iter
-    (fun c -> t.leaf_up.(c) <- Float.min 1.0 (t.leaf_up.(c) +. a.bw))
+    (fun c -> set_leaf_up t c (Float.min 1.0 (t.leaf_up.(c) +. a.bw)))
     a.leaf_cables;
   Array.iter
-    (fun c -> t.l2_up.(c) <- Float.min 1.0 (t.l2_up.(c) +. a.bw))
+    (fun c -> set_l2_up t c (Float.min 1.0 (t.l2_up.(c) +. a.bw)))
     a.l2_cables;
-  t.busy <- t.busy - Array.length a.nodes
+  t.busy <- t.busy - Array.length a.nodes;
+  t.releases <- t.releases + 1
 
 let snapshot_free_nodes t = Sim.Bitset.copy t.free

@@ -30,13 +30,33 @@ val free_slot_mask : t -> int -> int
     nodes on [leaf]. *)
 
 val leaf_fully_free : t -> int -> bool
-(** All nodes free {e and} all uplink cables at full capacity. *)
+(** All nodes free {e and} all uplink cables at full capacity.  O(1):
+    answered from the incrementally maintained summaries. *)
+
+val pod_fully_free_leaves : t -> pod:int -> int
+(** Number of fully-free leaves in [pod], maintained incrementally. *)
 
 val total_free_nodes : t -> int
 val busy_node_count : t -> int
 
 val node_utilization : t -> float
 (** [busy_node_count / num_nodes]. *)
+
+(** {1 Generations}
+
+    Monotone mutation counters, for caches layered above the state (the
+    scheduler's no-fit memo, incremental consistency checks).  A failed
+    allocation probe stays valid while {!release_generation} is
+    unchanged: claims only remove resources. *)
+
+val generation : t -> int
+(** Total successful claims + releases since creation. *)
+
+val claim_generation : t -> int
+(** Successful claims since creation. *)
+
+val release_generation : t -> int
+(** Releases since creation. *)
 
 (** {1 Cables}
 
@@ -54,13 +74,21 @@ val l2_up_mask : t -> l2:int -> demand:float -> int
 
 (** {1 Claim / release} *)
 
-val claim : t -> Alloc.t -> (unit, string) result
+val claim : ?validate:bool -> t -> Alloc.t -> (unit, string) result
 (** [claim t a] atomically marks [a]'s nodes busy and subtracts [a.bw]
     from each listed cable.  Fails (leaving [t] unchanged) if any node is
     busy, any cable lacks capacity, or the allocation lists a node or
-    cable twice. *)
+    cable twice.
 
-val claim_exn : t -> Alloc.t -> unit
+    [~validate:false] skips those checks (the duplicate scan is
+    O(n log n) and dominates simulator hot loops) — callers must have
+    established legality themselves, e.g. by claiming exactly what a
+    pure allocator probe against the same state proposed.  Setting the
+    environment variable [JIGSAW_VALIDATE=1] re-enables validation
+    everywhere, turning any illegal unchecked claim back into an
+    error. *)
+
+val claim_exn : ?validate:bool -> t -> Alloc.t -> unit
 (** Like {!claim} but raises [Invalid_argument] on failure. *)
 
 val release : t -> Alloc.t -> unit

@@ -1,1 +1,1 @@
-lib/sched/allocator.ml: Alloc Baselines Fattree Jigsaw_core List Option State Trace
+lib/sched/allocator.ml: Alloc Baselines Fattree Jigsaw_core List State Trace

@@ -1,1 +1,1 @@
-lib/sched/simulator.ml: Alloc Allocator Array Fattree Float Hashtbl Int List Metrics Queue Set Sim State Trace Unix
+lib/sched/simulator.ml: Alloc Allocator Array Fattree Float Hashtbl List Metrics Queue Sim State Trace Unix

@@ -1,1 +1,1 @@
-lib/sched/simulator.mli: Allocator Metrics Trace
+lib/sched/simulator.mli: Allocator Fattree Metrics Trace

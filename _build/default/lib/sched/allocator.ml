@@ -1,73 +1,72 @@
 open Fattree
 
+type verdict =
+  | Alloc of Fattree.Alloc.t
+  | No_fit
+  | Gave_up
+
 type t = {
   name : string;
   isolating : bool;
+  budgeted : bool;
   try_alloc : State.t -> Trace.Job.t -> Alloc.t option;
+  probe : State.t -> Trace.Job.t -> verdict;
 }
+
+let make ~name ~isolating ?(budgeted = false) probe =
+  {
+    name;
+    isolating;
+    budgeted;
+    probe;
+    try_alloc =
+      (fun st j -> match probe st j with Alloc a -> Some a | No_fit | Gave_up -> None);
+  }
 
 let of_partition st ~bw p =
   Jigsaw_core.Partition.to_alloc (State.topo st) p ~bw
 
+(* Lift a [Partition.probe]-returning search into a verdict, claiming
+   the stated bandwidth. *)
+let of_partition_probe st ~bw = function
+  | Jigsaw_core.Partition.Found p -> Alloc (of_partition st ~bw p)
+  | Jigsaw_core.Partition.Infeasible -> No_fit
+  | Jigsaw_core.Partition.Exhausted -> Gave_up
+
 let baseline =
-  {
-    name = "Baseline";
-    isolating = false;
-    try_alloc =
-      (fun st (j : Trace.Job.t) ->
-        Baselines.Baseline.get_allocation st ~job:j.id ~size:j.size);
-  }
+  make ~name:"Baseline" ~isolating:false (fun st (j : Trace.Job.t) ->
+      (* Unbudgeted first-fit scan: a [None] is always definitive. *)
+      match Baselines.Baseline.get_allocation st ~job:j.id ~size:j.size with
+      | Some a -> Alloc a
+      | None -> No_fit)
 
 let jigsaw =
-  {
-    name = "Jigsaw";
-    isolating = true;
-    try_alloc =
-      (fun st (j : Trace.Job.t) ->
-        Jigsaw_core.Jigsaw.get_allocation st ~job:j.id ~size:j.size
-        |> Option.map (of_partition st ~bw:1.0));
-  }
+  make ~name:"Jigsaw" ~isolating:true (fun st (j : Trace.Job.t) ->
+      Jigsaw_core.Jigsaw.probe st ~job:j.id ~size:j.size
+      |> of_partition_probe st ~bw:1.0)
 
 let laas =
-  {
-    name = "LaaS";
-    isolating = true;
-    try_alloc =
-      (fun st (j : Trace.Job.t) ->
-        Baselines.Laas.get_allocation st ~job:j.id ~size:j.size
-        |> Option.map (of_partition st ~bw:1.0));
-  }
+  make ~name:"LaaS" ~isolating:true (fun st (j : Trace.Job.t) ->
+      Baselines.Laas.probe st ~job:j.id ~size:j.size
+      |> of_partition_probe st ~bw:1.0)
 
 let ta =
-  {
-    name = "TA";
-    isolating = true;
-    try_alloc =
-      (fun st (j : Trace.Job.t) ->
-        Baselines.Ta.get_allocation st ~job:j.id ~size:j.size);
-  }
+  make ~name:"TA" ~isolating:true (fun st (j : Trace.Job.t) ->
+      (* TA's placement rules are first-fit scans with no budget. *)
+      match Baselines.Ta.get_allocation st ~job:j.id ~size:j.size with
+      | Some a -> Alloc a
+      | None -> No_fit)
 
 let lcs ?budget () =
-  {
-    name = "LC+S";
-    isolating = true;
-    try_alloc =
-      (fun st (j : Trace.Job.t) ->
-        Jigsaw_core.Least_constrained.get_allocation ?budget
-          ~demand:j.bw_class st ~job:j.id ~size:j.size
-        |> Option.map (of_partition st ~bw:j.bw_class));
-  }
+  make ~name:"LC+S" ~isolating:true ~budgeted:true (fun st (j : Trace.Job.t) ->
+      Jigsaw_core.Least_constrained.probe ?budget ~demand:j.bw_class st
+        ~job:j.id ~size:j.size
+      |> of_partition_probe st ~bw:j.bw_class)
 
 let lc_exclusive ?budget () =
-  {
-    name = "LC";
-    isolating = true;
-    try_alloc =
-      (fun st (j : Trace.Job.t) ->
-        Jigsaw_core.Least_constrained.get_allocation ?budget st ~job:j.id
-          ~size:j.size
-        |> Option.map (of_partition st ~bw:1.0));
-  }
+  make ~name:"LC" ~isolating:true ~budgeted:true (fun st (j : Trace.Job.t) ->
+      Jigsaw_core.Least_constrained.probe ?budget st ~job:j.id ~size:j.size
+      |> of_partition_probe st ~bw:1.0)
 
 let all = [ baseline; lcs (); jigsaw; laas; ta ]
 let isolating = [ ta; laas; jigsaw ]

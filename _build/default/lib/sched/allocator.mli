@@ -5,14 +5,35 @@
     through [Fattree.State], so isolation violations surface as claim
     errors rather than silent overlaps. *)
 
+type verdict =
+  | Alloc of Fattree.Alloc.t  (** A claimable allocation. *)
+  | No_fit
+      (** Definitively infeasible on this state.  The verdict is
+          monotone under claims: it stays [No_fit] until a release adds
+          resources back, which is what lets the simulator memoize it. *)
+  | Gave_up
+      (** The search budget ran out before the space was covered
+          (LC/LC+S under the paper's §5.3 timeout stand-in); feasibility
+          is unknown, so this must never be cached. *)
+
 type t = {
   name : string;
   isolating : bool;
       (** Whether jobs run at their isolated (sped-up) runtime under the
           active performance scenario.  True for every scheme except
           Baseline. *)
+  budgeted : bool;
+      (** Whether a failing probe may burn a large search budget before
+          giving up (LC/LC+S).  Cost model only — the simulator's
+          reservation search minimizes {e probe count} for budgeted
+          allocators and {e state-rebuild count} for the cheap definitive
+          ones; both orders return the same reservation. *)
   try_alloc : Fattree.State.t -> Trace.Job.t -> Fattree.Alloc.t option;
       (** Pure probe; must not mutate the state. *)
+  probe : Fattree.State.t -> Trace.Job.t -> verdict;
+      (** Like [try_alloc] with failure provenance.  [try_alloc] is
+          always [probe] with both failure verdicts collapsed to
+          [None]. *)
 }
 
 val baseline : t

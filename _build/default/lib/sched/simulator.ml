@@ -36,6 +36,13 @@ type sim = {
   pending_ids : int Queue.t;
   pending : (int, Trace.Job.t) Hashtbl.t;
   running : (int, running) Hashtbl.t;
+  (* No-fit memo: job classes (size, bw demand) whose probe against the
+     live state returned a definitive [No_fit].  Claims only remove
+     resources, so an entry stays valid until the next release; the memo
+     is invalidated wholesale when [State.release_generation] moves.
+     [Gave_up] verdicts (budget cut-offs) are never recorded. *)
+  nofit : (int * float, unit) Hashtbl.t;
+  mutable nofit_release_gen : int;
   mutable pass_scheduled : bool;
   mutable sched_clock : float; (* wall time spent deciding *)
   (* step function samples: (time, allocated_busy, requested_busy,
@@ -71,9 +78,107 @@ let timed sim f =
   sim.sched_clock <- sim.sched_clock +. (Unix.gettimeofday () -. t0);
   r
 
-(* Start a job now: claim its allocation and schedule its completion. *)
+(* Earliest estimated completion time at which [job] could be placed,
+   with the allocation it would get then.  [running] pairs each live
+   allocation with its estimated end time; [None] means the job cannot
+   be placed even on the fully drained machine.
+
+   Completions sharing an estimated end free resources together, so they
+   form one candidate instant.  Feasibility after releasing groups 0..k
+   is monotone in k (releases only add resources); a single working
+   clone therefore walks the groups forward, releasing each group
+   incrementally and probing once per instant, and the first success is
+   the earliest.  This replaces a clone-per-probe binary search: one
+   O(machine) clone per blocked pass instead of O(log groups) of them,
+   with each probe running against state that is bit-identical to the
+   old rebuild (same release sequence). *)
+let reservation (alloc : Allocator.t) st ~running ~job =
+  let completions =
+    List.sort (fun (a, _) (b, _) -> compare a b) running |> Array.of_list
+  in
+  (* Group completions sharing an estimated end: freed together. *)
+  let groups =
+    let acc = ref [] in
+    Array.iter
+      (fun (t, a) ->
+        match !acc with
+        | (t', rs) :: rest when t' = t -> acc := (t, a :: rs) :: rest
+        | _ -> acc := (t, [ a ]) :: !acc)
+      completions;
+    Array.of_list (List.rev !acc)
+  in
+  let g = Array.length groups in
+  if g = 0 then None
+  else if alloc.budgeted then begin
+    (* A failing LC/LC+S probe can burn its whole search budget, so
+       minimize the number of probes: binary search over drained
+       prefixes (feasibility is monotone in released groups), paying a
+       clone + prefix rebuild per probe instead. *)
+    let attempt k =
+      let probe = State.clone st in
+      for i = 0 to k do
+        List.iter (fun a -> State.release probe a) (snd groups.(i))
+      done;
+      alloc.try_alloc probe job
+    in
+    match attempt (g - 1) with
+    | None -> None
+    | Some last_alloc ->
+        let lo = ref 0 and hi = ref (g - 1) in
+        let best = ref last_alloc in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          match attempt mid with
+          | Some a ->
+              best := a;
+              hi := mid
+          | None -> lo := mid + 1
+        done;
+        Some (fst groups.(!hi), !best)
+  end
+  else begin
+    (* Cheap definitive probes: a single working clone walks the
+       completion groups forward, releasing each incrementally — one
+       state rebuild total instead of one per probe. *)
+    let probe = State.clone st in
+    let rec walk k =
+      if k >= g then None
+      else begin
+        List.iter (fun a -> State.release probe a) (snd groups.(k));
+        match alloc.try_alloc probe job with
+        | Some a -> Some (fst groups.(k), a)
+        | None -> walk (k + 1)
+      end
+    in
+    walk 0
+  end
+
+(* Probe the live state through the no-fit memo: a job class that
+   definitively failed is not re-searched until something is released.
+   Only used against [sim.st] — reservation probes run on clones whose
+   resources differ, so they bypass the memo entirely. *)
+let probe_memo sim (j : Trace.Job.t) =
+  let rg = State.release_generation sim.st in
+  if rg <> sim.nofit_release_gen then begin
+    Hashtbl.reset sim.nofit;
+    sim.nofit_release_gen <- rg
+  end;
+  let key = (j.size, j.bw_class) in
+  if Hashtbl.mem sim.nofit key then None
+  else
+    match sim.cfg.allocator.probe sim.st j with
+    | Allocator.Alloc a -> Some a
+    | Allocator.No_fit ->
+        Hashtbl.replace sim.nofit key ();
+        None
+    | Allocator.Gave_up -> None
+
+(* Start a job now: claim its allocation and schedule its completion.
+   The allocation came from a pure probe against this same state, so the
+   expensive claim validation is skipped (JIGSAW_VALIDATE=1 re-enables
+   it; the test suite covers the checked path). *)
 let rec start_job sim (j : Trace.Job.t) (alloc : Alloc.t) =
-  State.claim_exn sim.st alloc;
+  State.claim_exn ~validate:false sim.st alloc;
   let now = Sim.Engine.now sim.engine in
   let dur = job_runtime sim j in
   let r_end = now +. dur in
@@ -120,50 +225,10 @@ and compute_reservation sim (head : Trace.Job.t) =
      actual runtimes.  Since estimates are >= actuals, the reservation is
      conservative; the head still starts earlier if resources free up
      sooner (every completion triggers a scheduling pass). *)
-  let completions =
-    Hashtbl.fold (fun _ r acc -> r :: acc) sim.running []
-    |> List.sort (fun a b -> compare a.r_est_end b.r_est_end)
-    |> Array.of_list
+  let running =
+    Hashtbl.fold (fun _ r acc -> (r.r_est_end, r.r_alloc) :: acc) sim.running []
   in
-  (* Group completions sharing an estimated end: freed together. *)
-  let groups =
-    let acc = ref [] in
-    Array.iter
-      (fun r ->
-        match !acc with
-        | (t, rs) :: rest when t = r.r_est_end -> acc := (t, r :: rs) :: rest
-        | _ -> acc := (r.r_est_end, [ r ]) :: !acc)
-      completions;
-    Array.of_list (List.rev !acc)
-  in
-  let g = Array.length groups in
-  if g = 0 then None
-  else begin
-    (* Feasibility after releasing groups 0..k is monotone in k (releases
-       only add resources), so the earliest feasible completion time can
-       be found by binary search rather than a linear scan. *)
-    let attempt k =
-      let probe = State.clone sim.st in
-      for i = 0 to k do
-        List.iter (fun r -> State.release probe r.r_alloc) (snd groups.(i))
-      done;
-      sim.cfg.allocator.try_alloc probe head
-    in
-    match attempt (g - 1) with
-    | None -> None
-    | Some last_alloc ->
-        let lo = ref 0 and hi = ref (g - 1) in
-        let best = ref last_alloc in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          match attempt mid with
-          | Some a ->
-              best := a;
-              hi := mid
-          | None -> lo := mid + 1
-        done;
-        Some (fst groups.(!lo), !best)
-  end
+  reservation sim.cfg.allocator sim.st ~running ~job:head
 
 and schedule_pass sim =
   (* Pop deleted ids off the queue head. *)
@@ -182,7 +247,7 @@ and schedule_pass sim =
     match head_job () with
     | None -> None
     | Some j -> (
-        match timed sim (fun () -> sim.cfg.allocator.try_alloc sim.st j) with
+        match timed sim (fun () -> probe_memo sim j) with
         | Some alloc ->
             ignore (Queue.pop sim.pending_ids);
             Hashtbl.remove sim.pending j.id;
@@ -216,13 +281,29 @@ and schedule_pass sim =
           sim.rejected <- sim.rejected + 1;
           request_pass sim
       | Some (res_time, res_alloc) ->
-          (* ...phase 3: EASY backfill within the lookahead window. *)
-          let module IS = Set.Make (Int) in
-          let res_nodes = IS.of_list (Array.to_list res_alloc.nodes) in
-          let res_leaf = IS.of_list (Array.to_list res_alloc.leaf_cables) in
-          let res_l2 = IS.of_list (Array.to_list res_alloc.l2_cables) in
+          (* ...phase 3: EASY backfill within the lookahead window.  The
+             reserved resources become bitsets so each candidate's
+             disjointness test is an O(1)-per-element membership probe
+             with no per-pass set construction. *)
+          let topo = State.topo sim.st in
+          let of_array n arr =
+            let b = Sim.Bitset.create n in
+            Array.iter (fun x -> Sim.Bitset.add b x) arr;
+            b
+          in
+          let res_nodes =
+            of_array (Fattree.Topology.num_nodes topo) res_alloc.nodes
+          in
+          let res_leaf =
+            of_array (Fattree.Topology.num_leaf_l2_cables topo)
+              res_alloc.leaf_cables
+          in
+          let res_l2 =
+            of_array (Fattree.Topology.num_l2_spine_cables topo)
+              res_alloc.l2_cables
+          in
           let disjoint_from_reservation (a : Alloc.t) =
-            let hits set arr = Array.exists (fun x -> IS.mem x set) arr in
+            let hits set arr = Array.exists (fun x -> Sim.Bitset.mem set x) arr in
             (not (hits res_nodes a.nodes))
             && (not (hits res_leaf a.leaf_cables))
             && not (hits res_l2 a.l2_cables)
@@ -245,7 +326,7 @@ and schedule_pass sim =
           List.iter
             (fun (j : Trace.Job.t) ->
               if State.total_free_nodes sim.st >= j.size then begin
-                match timed sim (fun () -> sim.cfg.allocator.try_alloc sim.st j) with
+                match timed sim (fun () -> probe_memo sim j) with
                 | Some alloc ->
                     let now = Sim.Engine.now sim.engine in
                     let fits_before = now +. job_estimate j <= res_time in
@@ -274,6 +355,8 @@ let run_detailed cfg (w : Trace.Workload.t) =
       pending_ids = Queue.create ();
       pending = Hashtbl.create 1024;
       running = Hashtbl.create 256;
+      nofit = Hashtbl.create 64;
+      nofit_release_gen = 0;
       pass_scheduled = false;
       sched_clock = 0.0;
       samples = [];

@@ -1,0 +1,1 @@
+scratch/fingerprint.ml: Array Format List Sched String Trace

@@ -1,0 +1,1 @@
+scratch/prof_probe.ml: Array Fattree Gc Int Jigsaw_core Printf Sched Sim Trace Unix

@@ -1,0 +1,1 @@
+scratch/prof_probe.mli:

@@ -1,0 +1,102 @@
+(* Scratch profiling: where does a multi-pod try_alloc on a busy
+   radix-24 cluster spend its time? *)
+
+let load_cluster ~radix ~seed ~target =
+  let topo = Fattree.Topology.of_radix radix in
+  let st = Fattree.State.create topo in
+  let prng = Sim.Prng.create ~seed in
+  let continue = ref true in
+  let id = ref 0 in
+  while !continue && Fattree.State.node_utilization st < target do
+    let size =
+      max 1
+        (min
+           (Fattree.Topology.num_nodes topo / 8)
+           (int_of_float (Sim.Prng.exponential prng ~mean:16.0)))
+    in
+    (match Jigsaw_core.Jigsaw.get_allocation st ~job:!id ~size with
+    | Some p ->
+        Fattree.State.claim_exn st
+          (Jigsaw_core.Partition.to_alloc topo p ~bw:1.0)
+    | None -> continue := false);
+    incr id
+  done;
+  st
+
+let time label iters f =
+  for _ = 1 to 10 do ignore (f ()) done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do ignore (f ()) done;
+  Printf.printf "%-40s %10.0f ns\n%!" label
+    ((Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters)
+
+let () =
+  let st = load_cluster ~radix:24 ~seed:77 ~target:0.8 in
+  let topo = Fattree.State.topo st in
+  Printf.printf "util: %.3f\n" (Fattree.State.node_utilization st);
+  (match Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:200 with
+  | Some _ -> print_endline "size 200: fits"
+  | None -> print_endline "size 200: no fit");
+  time "probe 200" 200 (fun () ->
+      Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:200);
+  time "probe 40" 200 (fun () ->
+      Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:40);
+  time "probe 6" 200 (fun () ->
+      Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:6);
+  time "shapes.two_level 200" 200 (fun () ->
+      Jigsaw_core.Shapes.two_level topo ~size:200);
+  time "shapes.three_level 200" 200 (fun () ->
+      Jigsaw_core.Shapes.three_level topo ~size:200
+        ~n_l:(Fattree.Topology.m1 topo));
+  time "shapes.two_level 40" 200 (fun () ->
+      Jigsaw_core.Shapes.two_level topo ~size:40);
+  time "probe 200 two_level_only" 200 (fun () ->
+      Jigsaw_core.Jigsaw.get_allocation ~two_level_only:true st ~job:1
+        ~size:200)
+
+(* Replicate the json-harness interleaving: does running LC+S first
+   distort the following Jigsaw measurement (GC state)? *)
+let () =
+  let st = load_cluster ~radix:24 ~seed:77 ~target:0.8 in
+  let lcs = match Sched.Allocator.by_name "LC+S" with Some a -> a | None -> assert false in
+  let jig = Sched.Allocator.jigsaw in
+  let job = Trace.Job.v ~id:999_999 ~size:200 ~runtime:100.0 () in
+  time "lcs 200 (json-style)" 200 (fun () -> lcs.try_alloc st job);
+  time "jigsaw 200 after lcs" 200 (fun () -> jig.try_alloc st job);
+  time "jigsaw 200 again" 200 (fun () -> jig.try_alloc st job);
+  Gc.full_major ();
+  time "jigsaw 200 after full_major" 200 (fun () -> jig.try_alloc st job)
+
+(* Break down try_alloc: search vs to_alloc materialization. *)
+let () =
+  let st = load_cluster ~radix:24 ~seed:77 ~target:0.8 in
+  let topo = Fattree.State.topo st in
+  let p =
+    match Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:200 with
+    | Some p -> p
+    | None -> assert false
+  in
+  time "search only (get_allocation 200)" 200 (fun () ->
+      Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:200);
+  time "to_alloc only" 200 (fun () ->
+      Jigsaw_core.Partition.to_alloc topo p ~bw:1.0)
+
+(* Narrow down the 65us inside to_alloc. *)
+let () =
+  let st = load_cluster ~radix:24 ~seed:77 ~target:0.8 in
+  let p =
+    match Jigsaw_core.Jigsaw.get_allocation st ~job:1 ~size:200 with
+    | Some p -> p
+    | None -> assert false
+  in
+  let a = Jigsaw_core.Partition.to_alloc (Fattree.State.topo st) p ~bw:1.0 in
+  Printf.printf "sizes: nodes=%d leaf_cables=%d l2_cables=%d\n%!"
+    (Array.length a.Fattree.Alloc.nodes)
+    (Array.length a.Fattree.Alloc.leaf_cables)
+    (Array.length a.Fattree.Alloc.l2_cables);
+  time "Partition.nodes" 200 (fun () -> Jigsaw_core.Partition.nodes p);
+  time "Partition.leaves" 200 (fun () -> Jigsaw_core.Partition.leaves p);
+  let arr = Array.init 400 (fun i -> (i * 7919) mod 1000) in
+  time "sort 400 ints (Int.compare)" 200 (fun () ->
+      let c = Array.copy arr in
+      Array.sort Int.compare c)

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Alloc Array Fattree Jigsaw_core List Printf Sched Sim State Topology Trace

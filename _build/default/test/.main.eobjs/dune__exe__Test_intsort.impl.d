@@ -1,0 +1,1 @@
+test/test_intsort.ml: Alcotest Array Int List QCheck2 QCheck_alcotest Sim

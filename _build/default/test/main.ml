@@ -7,12 +7,14 @@ let () =
       ("prng", Test_prng.suite);
       ("stats", Test_stats.suite);
       ("bitset", Test_bitset.suite);
+      ("intsort", Test_intsort.suite);
       ("engine", Test_engine.suite);
       ("topology", Test_topology.suite);
       ("xgft", Test_xgft.suite);
       ("clos", Test_clos.suite);
       ("render", Test_render.suite);
       ("state", Test_state.suite);
+      ("incremental", Test_incremental.suite);
       ("mask", Test_mask.suite);
       ("shapes", Test_shapes.suite);
       ("conditions", Test_conditions.suite);

@@ -11,6 +11,15 @@
     (full leaves, no remainder leaf), so this module delegates to
     [Jigsaw.get_allocation_whole_leaves]. *)
 
+val probe :
+  ?budget:int ->
+  Fattree.State.t ->
+  job:int ->
+  size:int ->
+  Jigsaw_core.Partition.probe
+(** Like {!get_allocation} but distinguishes a definitive no-fit from a
+    search-budget cut-off (see {!Jigsaw_core.Partition.probe}). *)
+
 val get_allocation :
   ?budget:int ->
   Fattree.State.t ->

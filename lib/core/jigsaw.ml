@@ -45,17 +45,29 @@ type pod_info = {
   spine_masks : int array; (* per L2 index i: available spine indices *)
 }
 
+(* All three summary sources ([pod_fully_free_leaves], [leaf_fully_free]
+   and [l2_up_mask] at demand 1.0) are O(1) reads of State's incremental
+   caches, so a whole snapshot costs O(pods * (m1 + m2)) instead of the
+   former O(pods * m1 * m2) rescan. *)
 let pod_infos st ~demand =
   let topo = State.topo st in
   let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
   Array.init (Topology.m3 topo) (fun pod ->
+      let count = State.pod_fully_free_leaves st ~pod in
       let free_leaves =
-        let acc = ref [] in
-        for l = m2 - 1 downto 0 do
-          let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
-          if State.leaf_fully_free st leaf then acc := leaf :: !acc
-        done;
-        Array.of_list !acc
+        if count = 0 then [||]
+        else begin
+          let arr = Array.make count 0 in
+          let k = ref 0 in
+          for l = 0 to m2 - 1 do
+            let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
+            if !k < count && State.leaf_fully_free st leaf then begin
+              arr.(!k) <- leaf;
+              incr k
+            end
+          done;
+          arr
+        end
       in
       let spine_masks =
         Array.init m1 (fun i ->
@@ -292,23 +304,32 @@ let allocate ?(demand = 1.0) ?(budget = default_budget) ?(two_level_only = false
     || alloc_size < size
     || alloc_size > Topology.num_nodes topo
     || State.total_free_nodes st < alloc_size
-  then None
+  then Partition.Infeasible
   else begin
     match try_two_level st ~job ~size ~alloc_size ~demand with
-    | Some _ as ok -> ok
+    | Some p -> Partition.Found p
     | None ->
-        if two_level_only then None
+        if two_level_only then Partition.Infeasible
         else begin
           let budget = ref budget in
-          try_three_level st ~job ~size ~alloc_size ~demand ~budget
+          match try_three_level st ~job ~size ~alloc_size ~demand ~budget with
+          | Some p -> Partition.Found p
+          | None ->
+              if !budget <= 0 then Partition.Exhausted else Partition.Infeasible
         end
   end
 
-let get_allocation ?demand ?budget ?two_level_only st ~job ~size =
+let probe ?demand ?budget ?two_level_only st ~job ~size =
   allocate ?demand ?budget ?two_level_only st ~job ~size ~alloc_size:size
 
-let get_allocation_whole_leaves ?demand ?budget st ~job ~size =
+let probe_whole_leaves ?demand ?budget st ~job ~size =
   let topo = State.topo st in
   let m1 = Topology.m1 topo in
   let alloc_size = (size + m1 - 1) / m1 * m1 in
   allocate ?demand ?budget st ~job ~size ~alloc_size
+
+let get_allocation ?demand ?budget ?two_level_only st ~job ~size =
+  Partition.to_option (probe ?demand ?budget ?two_level_only st ~job ~size)
+
+let get_allocation_whole_leaves ?demand ?budget st ~job ~size =
+  Partition.to_option (probe_whole_leaves ?demand ?budget st ~job ~size)

@@ -49,6 +49,18 @@ type t = {
 
 type kind = Two_level | Three_level
 
+type probe = Found of t | Infeasible | Exhausted
+(** Outcome of an allocation search.  [Infeasible] is a {e definitive}
+    no-fit: the search covered its whole space without finding a legal
+    partition, and since claims only remove resources the verdict stays
+    valid until some allocation is released (the scheduler's no-fit memo
+    relies on exactly this monotonicity).  [Exhausted] means the step
+    budget ran out first, so feasibility is unknown and the result must
+    not be memoized. *)
+
+val to_option : probe -> t option
+(** [Found p] as [Some p]; the two failure outcomes as [None]. *)
+
 val kind : t -> kind
 (** [Two_level] iff the partition occupies a single pod and allocates no
     spine cables. *)

@@ -1,0 +1,27 @@
+(* Metric fingerprint for allocation-for-allocation equivalence checks:
+   runs every scheme on truncated traces and prints full-precision
+   metrics that depend only on allocation decisions (never on wall
+   clock).  Run before and after an allocator/simulator change and diff
+   the output. *)
+
+let () =
+  let entries =
+    [ (Trace.Presets.synth_16 ~full:false, 800);
+      (Trace.Presets.thunder ~full:false, 600);
+      (Trace.Presets.atlas ~full:false, 400);
+      (Trace.Presets.aug_cab ~full:false, 600) ]
+  in
+  List.iter
+    (fun ((e : Trace.Presets.entry), cap) ->
+      let w = Trace.Workload.truncate e.workload cap in
+      List.iter
+        (fun (a : Sched.Allocator.t) ->
+          let cfg = Sched.Simulator.default_config a ~radix:e.cluster_radix in
+          let m = Sched.Simulator.run cfg w in
+          Format.printf "%s/%s util=%.17g alloc_util=%.17g makespan=%.17g tat=%.17g rejected=%d hist=%s@."
+            w.name a.name m.avg_utilization m.alloc_utilization m.makespan
+            m.avg_turnaround_all m.rejected
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int m.inst_hist))))
+        Sched.Allocator.all)
+    entries

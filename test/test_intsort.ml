@@ -1,0 +1,31 @@
+(* The monomorphic int sort must agree exactly with [Array.sort
+   Int.compare] — allocation materialization depends on it for the
+   canonical ordering of node and cable id arrays. *)
+
+let prop_matches_stdlib =
+  QCheck2.Test.make ~name:"Intsort.sort = Array.sort Int.compare" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 600) (int_range (-1000) 1000))
+    (fun l ->
+      let a = Array.of_list l in
+      let b = Array.of_list l in
+      Sim.Intsort.sort a;
+      Array.sort Int.compare b;
+      a = b)
+
+let test_edges () =
+  let check l =
+    let got = Sim.Intsort.of_list l in
+    let want = Array.of_list (List.sort Int.compare l) in
+    Alcotest.(check (array int)) "sorted" want got
+  in
+  check [];
+  check [ 5 ];
+  check [ 3; 3; 3 ];
+  check (List.init 100 (fun i -> 99 - i));
+  check (List.init 100 (fun i -> i))
+
+let suite =
+  [
+    Alcotest.test_case "edge cases" `Quick test_edges;
+    QCheck_alcotest.to_alcotest prop_matches_stdlib;
+  ]
