@@ -3,11 +3,14 @@
    Examples:
      jigsaw-sim --trace Thunder --sched Jigsaw
      jigsaw-sim --trace Synth-16 --sched all --scenario 10%
-     jigsaw-sim --swf my_trace.swf --radix 18 --sched Jigsaw --table2 *)
+     jigsaw-sim --swf my_trace.swf --radix 18 --sched Jigsaw --table2
+     jigsaw-sim --trace Synth-22 --sched all --mtbf 2e6 --mttr 2e4 --requeue 3 *)
 
 open Cmdliner
 
-let run preset swf radix sched scenario seed window jobs full table2 series =
+let run preset swf radix sched scenario seed window jobs full table2 series
+    mtbf mttr fault_seed fault_trace fault_horizon requeue resubmit_delay
+    charge_lost_work =
   let entry =
     match (preset, swf) with
     | Some name, None -> (
@@ -65,12 +68,63 @@ let run preset swf radix sched scenario seed window jobs full table2 series =
           Format.eprintf "unknown scheduler %s (Baseline|LC+S|LC|Jigsaw|LaaS|TA|all)@." sched;
           exit 1
   in
+  let topo = Fattree.Topology.of_radix entry.cluster_radix in
+  let faults =
+    match (fault_trace, mtbf) with
+    | Some _, Some _ ->
+        Format.eprintf "--fault-trace and --mtbf are mutually exclusive@.";
+        exit 1
+    | Some path, None -> (
+        match Trace.Faults.load path with
+        | Ok f -> f
+        | Error m ->
+            Format.eprintf "cannot load fault trace %s: %s@." path m;
+            exit 1)
+    | None, Some mtbf ->
+        let horizon =
+          match fault_horizon with
+          | Some h -> h
+          | None ->
+              (* Up to the last arrival plus twice the longest request —
+                 roughly the span the queue is still draining. *)
+              let jobs = workload.jobs in
+              let last_arrival =
+                if Array.length jobs = 0 then 0.0
+                else jobs.(Array.length jobs - 1).arrival
+              in
+              let max_est =
+                Array.fold_left
+                  (fun acc (j : Trace.Job.t) -> Float.max acc j.est_runtime)
+                  0.0 jobs
+              in
+              last_arrival +. (2.0 *. max_est)
+        in
+        Trace.Faults.generate ~seed:fault_seed ~mtbf ~mttr ~horizon topo
+    | None, None -> Trace.Faults.none
+  in
+  let resilience =
+    match requeue with
+    | None -> { Sched.Simulator.no_resilience with charge_lost_work }
+    | Some max_retries ->
+        {
+          Sched.Simulator.requeue = true;
+          resubmit_delay;
+          max_retries;
+          charge_lost_work;
+        }
+  in
   Format.printf "trace: %a@." Trace.Workload.pp_summary
     (Trace.Workload.summarize workload);
-  Format.printf "cluster: %a; scenario %s; backfill window %d@.@."
-    Fattree.Topology.pp
-    (Fattree.Topology.of_radix entry.cluster_radix)
-    (Trace.Scenario.name scenario) window;
+  Format.printf "cluster: %a; scenario %s; backfill window %d@."
+    Fattree.Topology.pp topo (Trace.Scenario.name scenario) window;
+  if not (Trace.Faults.is_empty faults) then
+    Format.printf "faults: %d events%s@."
+      (Trace.Faults.num_events faults)
+      (match requeue with
+      | Some n ->
+          Printf.sprintf "; requeue up to %d times after %.0fs" n resubmit_delay
+      | None -> "; no requeue (killed jobs are abandoned)");
+  Format.printf "@.";
   List.iter
     (fun alloc ->
       let cfg =
@@ -81,6 +135,8 @@ let run preset swf radix sched scenario seed window jobs full table2 series =
           scenario_seed = seed;
           backfill_window = window;
           backfill = window > 0;
+          faults;
+          resilience;
         }
       in
       let m = Sched.Simulator.run cfg workload in
@@ -148,10 +204,49 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "series" ] ~docv:"PREFIX"
            ~doc:"Dump the utilization time series to PREFIX.<scheme>.csv.")
   in
+  let mtbf =
+    Arg.(value & opt (some float) None & info [ "mtbf" ] ~docv:"SECONDS"
+           ~doc:"Inject exponential failures: per-component mean time between \
+                 failures (nodes, cables and switches each fail independently). \
+                 Expected unavailable fraction per component is mttr/(mtbf+mttr).")
+  in
+  let mttr =
+    Arg.(value & opt float 3600.0 & info [ "mttr" ] ~docv:"SECONDS"
+           ~doc:"Mean time to repair for --mtbf failures.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
+           ~doc:"Seed for the --mtbf failure streams.")
+  in
+  let fault_trace =
+    Arg.(value & opt (some file) None & info [ "fault-trace" ] ~docv:"FILE"
+           ~doc:"Scripted fault trace: one '<time> fail|repair \
+                 node|leaf-cable|l2-cable|leaf|l2|spine <id>' per line.")
+  in
+  let fault_horizon =
+    Arg.(value & opt (some float) None & info [ "fault-horizon" ] ~docv:"SECONDS"
+           ~doc:"Stop generating new --mtbf failures after this simulated time \
+                 (default: last arrival + twice the longest runtime request).")
+  in
+  let requeue =
+    Arg.(value & opt (some int) None & info [ "requeue" ] ~docv:"RETRIES"
+           ~doc:"Resubmit jobs killed by a fault, up to RETRIES times each; \
+                 without this flag killed jobs are abandoned.")
+  in
+  let resubmit_delay =
+    Arg.(value & opt float 0.0 & info [ "resubmit-delay" ] ~docv:"SECONDS"
+           ~doc:"Delay between a fault killing a job and its resubmission.")
+  in
+  let charge_lost_work =
+    Arg.(value & opt bool true & info [ "charge-lost-work" ] ~docv:"BOOL"
+           ~doc:"Count every killed attempt's node-seconds as lost work \
+                 (false: only jobs abandoned for good are charged).")
+  in
   let term =
     Term.(
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
-      $ jobs $ full $ table2 $ series)
+      $ jobs $ full $ table2 $ series $ mtbf $ mttr $ fault_seed $ fault_trace
+      $ fault_horizon $ requeue $ resubmit_delay $ charge_lost_work)
   in
   Cmd.v
     (Cmd.info "jigsaw-sim" ~version:"1.0.0"

@@ -13,10 +13,20 @@ let eps = 1e-9
    The float capacity arrays remain the source of truth; the masks cache
    exactly the predicate the demand-1.0 queries would recompute, so a
    cached answer is bit-identical to a from-scratch scan (the property
-   test in test_incremental.ml checks this). *)
+   test in test_incremental.ml checks this).
+
+   Failures are a ref-counted overlay on top of the claim accounting: a
+   resource with a positive failure count is withdrawn from every
+   availability summary (so allocators avoid it through their normal
+   mask/summary probes) but keeps its logical claim state, so a fault
+   landing on claimed resources and the eventual release/repair compose
+   in either order.  The counts make overlapping faults (a node failed
+   both individually and via its leaf switch) repair correctly: the
+   resource returns only when every covering fault is repaired. *)
 type t = {
   topo : Topology.t;
-  free : Sim.Bitset.t; (* node id -> free *)
+  free : Sim.Bitset.t; (* node id -> available (not claimed, not failed) *)
+  claimed : Sim.Bitset.t; (* node id -> held by a live allocation *)
   free_per_leaf : int array;
   slot_mask : int array; (* leaf -> bitmask of free slots *)
   leaf_up : float array; (* leaf-l2 cable -> remaining capacity *)
@@ -24,9 +34,16 @@ type t = {
   leaf_full_mask : int array; (* leaf -> full-capacity uplink indices *)
   l2_full_mask : int array; (* l2 -> full-capacity spine indices *)
   pod_free_leaves : int array; (* pod -> # fully-free leaves *)
+  node_fail : int array; (* node -> # live faults covering it *)
+  leaf_cable_fail : int array; (* leaf-l2 cable -> # live faults *)
+  l2_cable_fail : int array; (* l2-spine cable -> # live faults *)
+  mutable failed_nodes : int; (* # nodes with node_fail > 0 *)
+  mutable failed_claimed : int; (* # failed nodes also claimed *)
   mutable busy : int;
   mutable claims : int; (* # successful claims since creation *)
   mutable releases : int; (* # releases since creation *)
+  mutable failures : int; (* # fail operations since creation *)
+  mutable repairs : int; (* # repair operations since creation *)
 }
 
 let create topo =
@@ -36,6 +53,7 @@ let create topo =
   {
     topo;
     free;
+    claimed = Sim.Bitset.create (Topology.num_nodes topo);
     free_per_leaf = Array.make (Topology.num_leaves topo) m1;
     slot_mask = Array.make (Topology.num_leaves topo) ((1 lsl m1) - 1);
     leaf_up = Array.make (Topology.num_leaf_l2_cables topo) 1.0;
@@ -43,9 +61,16 @@ let create topo =
     leaf_full_mask = Array.make (Topology.num_leaves topo) ((1 lsl m1) - 1);
     l2_full_mask = Array.make (Topology.num_l2 topo) ((1 lsl m2) - 1);
     pod_free_leaves = Array.make (Topology.pods topo) m2;
+    node_fail = Array.make (Topology.num_nodes topo) 0;
+    leaf_cable_fail = Array.make (Topology.num_leaf_l2_cables topo) 0;
+    l2_cable_fail = Array.make (Topology.num_l2_spine_cables topo) 0;
+    failed_nodes = 0;
+    failed_claimed = 0;
     busy = 0;
     claims = 0;
     releases = 0;
+    failures = 0;
+    repairs = 0;
   }
 
 let topo t = t.topo
@@ -54,6 +79,7 @@ let clone t =
   {
     topo = t.topo;
     free = Sim.Bitset.copy t.free;
+    claimed = Sim.Bitset.copy t.claimed;
     free_per_leaf = Array.copy t.free_per_leaf;
     slot_mask = Array.copy t.slot_mask;
     leaf_up = Array.copy t.leaf_up;
@@ -61,16 +87,34 @@ let clone t =
     leaf_full_mask = Array.copy t.leaf_full_mask;
     l2_full_mask = Array.copy t.l2_full_mask;
     pod_free_leaves = Array.copy t.pod_free_leaves;
+    node_fail = Array.copy t.node_fail;
+    leaf_cable_fail = Array.copy t.leaf_cable_fail;
+    l2_cable_fail = Array.copy t.l2_cable_fail;
+    failed_nodes = t.failed_nodes;
+    failed_claimed = t.failed_claimed;
     busy = t.busy;
     claims = t.claims;
     releases = t.releases;
+    failures = t.failures;
+    repairs = t.repairs;
   }
 
 let node_free t n = Sim.Bitset.mem t.free n
+let node_claimed t n = Sim.Bitset.mem t.claimed n
+let node_failed t n = t.node_fail.(n) > 0
+let leaf_cable_failed t c = t.leaf_cable_fail.(c) > 0
+let l2_cable_failed t c = t.l2_cable_fail.(c) > 0
 let free_nodes_on_leaf t l = t.free_per_leaf.(l)
 let free_slot_mask t leaf = t.slot_mask.(leaf)
-let leaf_up_remaining t ~cable = t.leaf_up.(cable)
-let l2_up_remaining t ~cable = t.l2_up.(cable)
+
+(* Remaining capacities are reported through the failure overlay: a
+   failed cable has no usable capacity, whatever its claim accounting
+   says. *)
+let leaf_up_remaining t ~cable =
+  if t.leaf_cable_fail.(cable) > 0 then 0.0 else t.leaf_up.(cable)
+
+let l2_up_remaining t ~cable =
+  if t.l2_cable_fail.(cable) > 0 then 0.0 else t.l2_up.(cable)
 
 let leaf_up_mask t ~leaf ~demand =
   if demand = 1.0 then t.leaf_full_mask.(leaf)
@@ -79,7 +123,8 @@ let leaf_up_mask t ~leaf ~demand =
     let mask = ref 0 in
     for i = 0 to m1 - 1 do
       let c = Topology.leaf_l2_cable t.topo ~leaf ~l2_index:i in
-      if t.leaf_up.(c) >= demand -. eps then mask := !mask lor (1 lsl i)
+      if t.leaf_cable_fail.(c) = 0 && t.leaf_up.(c) >= demand -. eps then
+        mask := !mask lor (1 lsl i)
     done;
     !mask
   end
@@ -91,7 +136,8 @@ let l2_up_mask t ~l2 ~demand =
     let mask = ref 0 in
     for j = 0 to m2 - 1 do
       let c = Topology.l2_spine_cable t.topo ~l2 ~spine_index:j in
-      if t.l2_up.(c) >= demand -. eps then mask := !mask lor (1 lsl j)
+      if t.l2_cable_fail.(c) = 0 && t.l2_up.(c) >= demand -. eps then
+        mask := !mask lor (1 lsl j)
     done;
     !mask
   end
@@ -101,15 +147,40 @@ let leaf_fully_free t leaf =
   t.free_per_leaf.(leaf) = m1 && t.leaf_full_mask.(leaf) = (1 lsl m1) - 1
 
 let pod_fully_free_leaves t ~pod = t.pod_free_leaves.(pod)
-let generation t = t.claims + t.releases
-let claim_generation t = t.claims
-let release_generation t = t.releases
 
-let total_free_nodes t = Topology.num_nodes t.topo - t.busy
+(* Failures count as claims and repairs as releases for generation
+   purposes: both pairs move resources in the same direction, which is
+   exactly the monotonicity the no-fit memo layered above relies on. *)
+let generation t = t.claims + t.releases + t.failures + t.repairs
+let claim_generation t = t.claims + t.failures
+let release_generation t = t.releases + t.repairs
+
+let failed_node_count t = t.failed_nodes
+let healthy_node_count t = Topology.num_nodes t.topo - t.failed_nodes
+
+let total_free_nodes t =
+  Topology.num_nodes t.topo - t.busy - (t.failed_nodes - t.failed_claimed)
+
 let busy_node_count t = t.busy
 
 let node_utilization t =
   float_of_int t.busy /. float_of_int (Topology.num_nodes t.topo)
+
+(* For error messages: the precise current state of a resource. *)
+let describe_node t n =
+  match (node_claimed t n, node_failed t n) with
+  | true, true -> "failed while claimed"
+  | true, false -> "claimed"
+  | false, true -> "failed"
+  | false, false -> "free"
+
+let describe_leaf_cable t c =
+  if leaf_cable_failed t c then Printf.sprintf "failed (%.3f claimed-free)" t.leaf_up.(c)
+  else Printf.sprintf "%.3f remaining" t.leaf_up.(c)
+
+let describe_l2_cable t c =
+  if l2_cable_failed t c then Printf.sprintf "failed (%.3f claimed-free)" t.l2_up.(c)
+  else Printf.sprintf "%.3f remaining" t.l2_up.(c)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental maintenance                                             *)
@@ -122,6 +193,9 @@ let pod_delta t leaf was =
     t.pod_free_leaves.(pod) <- t.pod_free_leaves.(pod) + (if now then 1 else -1)
   end
 
+(* Withdraw / restore a node from the availability summaries.  Claim
+   state is tracked separately ([claimed]): both claiming and failing a
+   node take it, and it comes back only when neither applies. *)
 let take_node t n =
   let leaf = Topology.node_leaf t.topo n in
   let was = leaf_fully_free t leaf in
@@ -138,12 +212,15 @@ let give_node t n =
   t.slot_mask.(leaf) <- t.slot_mask.(leaf) lor (1 lsl Topology.node_slot t.topo n);
   pod_delta t leaf was
 
+(* The full-capacity mask bit is the conjunction of the claim accounting
+   (remaining >= 1.0) and the failure overlay (no live fault). *)
 let set_leaf_up t c v =
   let leaf = Topology.leaf_l2_cable_leaf t.topo c in
   let was = leaf_fully_free t leaf in
   t.leaf_up.(c) <- v;
   let bit = 1 lsl Topology.leaf_l2_cable_l2_index t.topo c in
-  if v >= 1.0 -. eps then t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) lor bit
+  if v >= 1.0 -. eps && t.leaf_cable_fail.(c) = 0 then
+    t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) lor bit
   else t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) land lnot bit;
   pod_delta t leaf was
 
@@ -151,7 +228,8 @@ let set_l2_up t c v =
   let l2 = Topology.l2_spine_cable_l2 t.topo c in
   t.l2_up.(c) <- v;
   let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
-  if v >= 1.0 -. eps then t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
+  if v >= 1.0 -. eps && t.l2_cable_fail.(c) = 0 then
+    t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
   else t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit
 
 (* ------------------------------------------------------------------ *)
@@ -173,23 +251,34 @@ let check_claim t (a : Alloc.t) =
     Array.iter
       (fun n ->
         if !bad = None && not (Sim.Bitset.mem t.free n) then
-          bad := Some (Printf.sprintf "node %d is busy" n))
+          bad :=
+            Some (Printf.sprintf "node %d is not free (%s)" n (describe_node t n)))
       a.nodes;
     Array.iter
       (fun c ->
-        if !bad = None && t.leaf_up.(c) < a.bw -. eps then
-          bad := Some (Printf.sprintf "leaf cable %d lacks capacity" c))
+        if !bad = None && leaf_up_remaining t ~cable:c < a.bw -. eps then
+          bad :=
+            Some
+              (Printf.sprintf "leaf cable %d lacks capacity for demand %g (%s)"
+                 c a.bw (describe_leaf_cable t c)))
       a.leaf_cables;
     Array.iter
       (fun c ->
-        if !bad = None && t.l2_up.(c) < a.bw -. eps then
-          bad := Some (Printf.sprintf "l2 cable %d lacks capacity" c))
+        if !bad = None && l2_up_remaining t ~cable:c < a.bw -. eps then
+          bad :=
+            Some
+              (Printf.sprintf "l2 cable %d lacks capacity for demand %g (%s)" c
+                 a.bw (describe_l2_cable t c)))
       a.l2_cables;
     match !bad with Some m -> Error m | None -> Ok ()
   end
 
 let apply_claim t (a : Alloc.t) =
-  Array.iter (fun n -> take_node t n) a.nodes;
+  Array.iter
+    (fun n ->
+      take_node t n;
+      Sim.Bitset.add t.claimed n)
+    a.nodes;
   Array.iter (fun c -> set_leaf_up t c (t.leaf_up.(c) -. a.bw)) a.leaf_cables;
   Array.iter (fun c -> set_l2_up t c (t.l2_up.(c) -. a.bw)) a.l2_cables;
   t.busy <- t.busy + Array.length a.nodes;
@@ -223,20 +312,35 @@ let claim_exn ?validate t a =
 let release t (a : Alloc.t) =
   Array.iter
     (fun n ->
-      if Sim.Bitset.mem t.free n then
-        invalid_arg (Printf.sprintf "State.release: node %d was not busy" n))
+      if not (Sim.Bitset.mem t.claimed n) then
+        invalid_arg
+          (Printf.sprintf "State.release: node %d is not claimed (%s)" n
+             (describe_node t n)))
     a.nodes;
   Array.iter
     (fun c ->
       if t.leaf_up.(c) +. a.bw > 1.0 +. eps then
-        invalid_arg (Printf.sprintf "State.release: leaf cable %d over-released" c))
+        invalid_arg
+          (Printf.sprintf
+             "State.release: leaf cable %d over-released by demand %g (%s)" c
+             a.bw (describe_leaf_cable t c)))
     a.leaf_cables;
   Array.iter
     (fun c ->
       if t.l2_up.(c) +. a.bw > 1.0 +. eps then
-        invalid_arg (Printf.sprintf "State.release: l2 cable %d over-released" c))
+        invalid_arg
+          (Printf.sprintf
+             "State.release: l2 cable %d over-released by demand %g (%s)" c a.bw
+             (describe_l2_cable t c)))
     a.l2_cables;
-  Array.iter (fun n -> give_node t n) a.nodes;
+  Array.iter
+    (fun n ->
+      Sim.Bitset.remove t.claimed n;
+      (* A node failed while claimed stays withdrawn; it returns to the
+         free summaries only on repair. *)
+      if t.node_fail.(n) = 0 then give_node t n
+      else t.failed_claimed <- t.failed_claimed - 1)
+    a.nodes;
   Array.iter
     (fun c -> set_leaf_up t c (Float.min 1.0 (t.leaf_up.(c) +. a.bw)))
     a.leaf_cables;
@@ -245,5 +349,87 @@ let release t (a : Alloc.t) =
     a.l2_cables;
   t.busy <- t.busy - Array.length a.nodes;
   t.releases <- t.releases + 1
+
+(* ------------------------------------------------------------------ *)
+(* Fail / repair                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fail_node t n =
+  let c = t.node_fail.(n) in
+  t.node_fail.(n) <- c + 1;
+  if c = 0 then begin
+    t.failed_nodes <- t.failed_nodes + 1;
+    if Sim.Bitset.mem t.claimed n then t.failed_claimed <- t.failed_claimed + 1
+    else take_node t n
+  end;
+  t.failures <- t.failures + 1
+
+let repair_node t n =
+  let c = t.node_fail.(n) in
+  if c = 0 then
+    invalid_arg
+      (Printf.sprintf "State.repair_node: node %d is not failed (%s)" n
+         (describe_node t n));
+  t.node_fail.(n) <- c - 1;
+  if c = 1 then begin
+    t.failed_nodes <- t.failed_nodes - 1;
+    if Sim.Bitset.mem t.claimed n then t.failed_claimed <- t.failed_claimed - 1
+    else give_node t n
+  end;
+  t.repairs <- t.repairs + 1
+
+let fail_leaf_cable t c =
+  let k = t.leaf_cable_fail.(c) in
+  t.leaf_cable_fail.(c) <- k + 1;
+  if k = 0 then begin
+    let leaf = Topology.leaf_l2_cable_leaf t.topo c in
+    let was = leaf_fully_free t leaf in
+    let bit = 1 lsl Topology.leaf_l2_cable_l2_index t.topo c in
+    t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) land lnot bit;
+    pod_delta t leaf was
+  end;
+  t.failures <- t.failures + 1
+
+let repair_leaf_cable t c =
+  let k = t.leaf_cable_fail.(c) in
+  if k = 0 then
+    invalid_arg
+      (Printf.sprintf "State.repair_leaf_cable: cable %d is not failed (%s)" c
+         (describe_leaf_cable t c));
+  t.leaf_cable_fail.(c) <- k - 1;
+  if k = 1 then begin
+    let leaf = Topology.leaf_l2_cable_leaf t.topo c in
+    let was = leaf_fully_free t leaf in
+    if t.leaf_up.(c) >= 1.0 -. eps then begin
+      let bit = 1 lsl Topology.leaf_l2_cable_l2_index t.topo c in
+      t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) lor bit
+    end;
+    pod_delta t leaf was
+  end;
+  t.repairs <- t.repairs + 1
+
+let fail_l2_cable t c =
+  let k = t.l2_cable_fail.(c) in
+  t.l2_cable_fail.(c) <- k + 1;
+  if k = 0 then begin
+    let l2 = Topology.l2_spine_cable_l2 t.topo c in
+    let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
+    t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit
+  end;
+  t.failures <- t.failures + 1
+
+let repair_l2_cable t c =
+  let k = t.l2_cable_fail.(c) in
+  if k = 0 then
+    invalid_arg
+      (Printf.sprintf "State.repair_l2_cable: cable %d is not failed (%s)" c
+         (describe_l2_cable t c));
+  t.l2_cable_fail.(c) <- k - 1;
+  if k = 1 && t.l2_up.(c) >= 1.0 -. eps then begin
+    let l2 = Topology.l2_spine_cable_l2 t.topo c in
+    let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
+    t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
+  end;
+  t.repairs <- t.repairs + 1
 
 let snapshot_free_nodes t = Sim.Bitset.copy t.free

@@ -9,7 +9,17 @@
     it and leaves the state untouched.  This is what makes the scheduler's
     isolation guarantee checkable — double allocation of a node or
     over-subscription of a cable is a claim-time error, not a silent
-    overlap. *)
+    overlap.
+
+    Failures are a ref-counted overlay on the claim accounting
+    ({!fail_node} and friends): a failed resource is withdrawn from every
+    availability summary, so allocators avoid it through their normal
+    mask/summary probes, while its claim state is preserved — a fault
+    landing on claimed resources and the eventual release/repair compose
+    in either order.  Ref counting makes overlapping faults (a node
+    failed both individually and via its whole leaf switch) repair
+    correctly: a resource returns only when every covering fault is
+    repaired. *)
 
 type t
 
@@ -22,6 +32,11 @@ val clone : t -> t
 (** {1 Nodes} *)
 
 val node_free : t -> int -> bool
+(** Available: neither claimed nor failed. *)
+
+val node_claimed : t -> int -> bool
+(** Held by a live allocation (possibly also failed). *)
+
 val free_nodes_on_leaf : t -> int -> int
 (** Number of free nodes on a (global) leaf. *)
 
@@ -37,7 +52,17 @@ val pod_fully_free_leaves : t -> pod:int -> int
 (** Number of fully-free leaves in [pod], maintained incrementally. *)
 
 val total_free_nodes : t -> int
+(** Nodes neither claimed nor failed. *)
+
 val busy_node_count : t -> int
+(** Claimed nodes (failed-while-claimed ones included). *)
+
+val failed_node_count : t -> int
+(** Nodes currently covered by at least one live fault. *)
+
+val healthy_node_count : t -> int
+(** [num_nodes - failed_node_count]: the degraded machine size, the
+    denominator of failure-aware utilization metrics. *)
 
 val node_utilization : t -> float
 (** [busy_node_count / num_nodes]. *)
@@ -47,16 +72,17 @@ val node_utilization : t -> float
     Monotone mutation counters, for caches layered above the state (the
     scheduler's no-fit memo, incremental consistency checks).  A failed
     allocation probe stays valid while {!release_generation} is
-    unchanged: claims only remove resources. *)
+    unchanged: claims and failures only remove resources; releases and
+    repairs only add them back. *)
 
 val generation : t -> int
-(** Total successful claims + releases since creation. *)
+(** Total claims + releases + failures + repairs since creation. *)
 
 val claim_generation : t -> int
-(** Successful claims since creation. *)
+(** Resource-removing mutations: successful claims + fail operations. *)
 
 val release_generation : t -> int
-(** Releases since creation. *)
+(** Resource-adding mutations: releases + repair operations. *)
 
 (** {1 Cables}
 
@@ -92,9 +118,32 @@ val claim_exn : ?validate:bool -> t -> Alloc.t -> unit
 (** Like {!claim} but raises [Invalid_argument] on failure. *)
 
 val release : t -> Alloc.t -> unit
-(** [release t a] returns [a]'s resources.  Raises [Invalid_argument] if a
-    node was not busy or a cable's capacity would exceed 1.0 — that is,
-    if [a] was not currently claimed. *)
+(** [release t a] returns [a]'s resources.  Raises [Invalid_argument],
+    naming the offending resource and its current state, if a node was
+    not claimed or a cable's capacity would exceed 1.0 — that is, if [a]
+    was not currently claimed.  Nodes of [a] that failed while claimed
+    stay withdrawn from the availability summaries until repaired. *)
+
+(** {1 Fail / repair}
+
+    Each operation covers one resource with one fault (or removes one).
+    Failing a free resource withdraws it from the availability summaries
+    exactly like a claim; failing a claimed resource leaves the claim
+    intact and the two overlays unwind independently.  All operations
+    are O(1) against the incremental summaries. *)
+
+val fail_node : t -> int -> unit
+val repair_node : t -> int -> unit
+(** Raises [Invalid_argument] if the node has no live fault. *)
+
+val fail_leaf_cable : t -> int -> unit
+val repair_leaf_cable : t -> int -> unit
+val fail_l2_cable : t -> int -> unit
+val repair_l2_cable : t -> int -> unit
+
+val node_failed : t -> int -> bool
+val leaf_cable_failed : t -> int -> bool
+val l2_cable_failed : t -> int -> bool
 
 val snapshot_free_nodes : t -> Sim.Bitset.t
 (** A copy of the free-node set (for tests and diagnostics). *)

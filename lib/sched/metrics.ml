@@ -20,6 +20,13 @@ type t = {
   sched_time_per_job : float;
   steady_start : float;
   steady_end : float;
+  fault_events : int;
+  interrupted : int;
+  requeued : int;
+  abandoned : int;
+  lost_node_time : float;
+  healthy_fraction : float;
+  util_vs_healthy : float;
   series : (float * float) array;
 }
 
@@ -44,4 +51,13 @@ let pp_row ppf m =
     m.trace_name m.sched_name m.scenario_name
     (100.0 *. m.avg_utilization)
     (100.0 *. m.alloc_utilization)
-    m.makespan m.avg_turnaround_all m.avg_turnaround_large m.sched_time_per_job
+    m.makespan m.avg_turnaround_all m.avg_turnaround_large m.sched_time_per_job;
+  (* The failure layer is pay-for-what-you-use: a zero-fault run prints
+     the exact line it always did. *)
+  if m.fault_events > 0 then
+    Format.fprintf ppf
+      " | faults=%d healthy=%5.2f%% util/healthy=%5.1f%% interrupted=%d requeued=%d abandoned=%d lost=%.0f node-s"
+      m.fault_events
+      (100.0 *. m.healthy_fraction)
+      (100.0 *. m.util_vs_healthy)
+      m.interrupted m.requeued m.abandoned m.lost_node_time

@@ -43,6 +43,25 @@ type t = {
   sched_time_per_job : float;
   steady_start : float;
   steady_end : float;
+  fault_events : int;
+      (** Fail events applied during the run (0 on a healthy machine). *)
+  interrupted : int;
+      (** Running jobs killed because a fault landed on their partition. *)
+  requeued : int;  (** Killed attempts resubmitted by the resilience policy. *)
+  abandoned : int;
+      (** Killed jobs dropped for good (policy off or retry cap hit). *)
+  lost_node_time : float;
+      (** Node-seconds of killed work ("lost node-hours" in the trace's
+          time unit).  With [charge_lost_work = false], only abandoning
+          kills are charged. *)
+  healthy_fraction : float;
+      (** Time-weighted fraction of nodes not failed over the steady
+          window; 1.0 on a healthy machine. *)
+  util_vs_healthy : float;
+      (** [avg_utilization] measured against surviving capacity instead
+          of nameplate capacity: requested node-seconds over healthy
+          node-seconds.  Equals [avg_utilization] (up to rounding) when
+          nothing fails. *)
   series : (float * float) array;
       (** Instantaneous utilization over the whole run: (time, requested
           nodes / system nodes) at every schedule/completion event.  For

@@ -1,5 +1,21 @@
 open Fattree
 
+(* What happens to a job whose partition loses a resource to a fault:
+   the attempt is killed (its work is lost) and the job is either
+   resubmitted after [resubmit_delay] — at most [max_retries] times —
+   or abandoned. *)
+type resilience = {
+  requeue : bool;
+  resubmit_delay : float;
+  max_retries : int;
+  charge_lost_work : bool;
+      (* true: every killed attempt's node-seconds count as lost work;
+         false: only abandoning kills are charged. *)
+}
+
+let no_resilience =
+  { requeue = false; resubmit_delay = 0.0; max_retries = 0; charge_lost_work = true }
+
 type config = {
   allocator : Allocator.t;
   radix : int;
@@ -7,6 +23,8 @@ type config = {
   scenario_seed : int;
   backfill_window : int;
   backfill : bool;
+  faults : Trace.Faults.t;
+  resilience : resilience;
 }
 
 let default_config allocator ~radix =
@@ -17,6 +35,8 @@ let default_config allocator ~radix =
     scenario_seed = 1;
     backfill_window = 50;
     backfill = true;
+    faults = Trace.Faults.none;
+    resilience = no_resilience;
   }
 
 type running = {
@@ -25,6 +45,7 @@ type running = {
   r_start : float;
   r_end : float; (* actual completion *)
   r_est_end : float; (* what the scheduler believes: start + user estimate *)
+  r_attempt : int; (* 0 for the first run, +1 per requeue *)
 }
 
 type sim = {
@@ -46,8 +67,8 @@ type sim = {
   mutable pass_scheduled : bool;
   mutable sched_clock : float; (* wall time spent deciding *)
   (* step function samples: (time, allocated_busy, requested_busy,
-     pending_count) recorded at every change *)
-  mutable samples : (float * int * int * int) list;
+     pending_count, failed_nodes) recorded at every change *)
+  mutable samples : (float * int * int * int * int) list;
   mutable alloc_busy : int;
   mutable req_busy : int;
   mutable finished : Metrics.per_job list;
@@ -55,11 +76,22 @@ type sim = {
   mutable first_start_time : float;
   mutable first_blocked_time : float;
   mutable rejected : int;
+  (* resilience accounting *)
+  kills : (int, int) Hashtbl.t; (* job id -> attempts killed so far *)
+  mutable fault_events : int;
+  mutable interrupted : int;
+  mutable requeued : int;
+  mutable abandoned : int;
+  mutable lost_node_time : float;
 }
 
 let record sim =
   sim.samples <-
-    (Sim.Engine.now sim.engine, sim.alloc_busy, sim.req_busy, Hashtbl.length sim.pending)
+    ( Sim.Engine.now sim.engine,
+      sim.alloc_busy,
+      sim.req_busy,
+      Hashtbl.length sim.pending,
+      Fattree.State.failed_node_count sim.st )
     :: sim.samples
 
 let job_runtime sim (j : Trace.Job.t) =
@@ -182,20 +214,24 @@ let rec start_job sim (j : Trace.Job.t) (alloc : Alloc.t) =
   let now = Sim.Engine.now sim.engine in
   let dur = job_runtime sim j in
   let r_end = now +. dur in
+  let attempt = Option.value (Hashtbl.find_opt sim.kills j.id) ~default:0 in
   Hashtbl.replace sim.running j.id
     { r_job = j; r_alloc = alloc; r_start = now; r_end;
-      r_est_end = now +. job_estimate j };
+      r_est_end = now +. job_estimate j; r_attempt = attempt };
   sim.alloc_busy <- sim.alloc_busy + Array.length alloc.nodes;
   sim.req_busy <- sim.req_busy + j.size;
   sim.last_start_time <- now;
   if sim.first_start_time < 0.0 then sim.first_start_time <- now;
+  (* The attempt number guards against a stale completion: a killed and
+     requeued job must not be finished by its first attempt's event. *)
   Sim.Engine.schedule sim.engine ~time:r_end ~priority:0 (fun _ ->
-      complete_job sim j.id);
+      complete_job sim j.id ~attempt);
   record sim
 
-and complete_job sim id =
+and complete_job sim id ~attempt =
   match Hashtbl.find_opt sim.running id with
   | None -> ()
+  | Some r when r.r_attempt <> attempt -> ()
   | Some r ->
       Hashtbl.remove sim.running id;
       State.release sim.st r.r_alloc;
@@ -345,6 +381,82 @@ let arrive sim (j : Trace.Job.t) =
      completion events only, and arrivals do not change occupancy. *)
   request_pass sim
 
+(* ---- faults -------------------------------------------------------- *)
+
+(* Kill a running job whose partition lost a resource: release what is
+   left of its allocation (failed nodes stay withdrawn), then either
+   resubmit the job after the configured delay or abandon it. *)
+let kill_job sim (r : running) =
+  Hashtbl.remove sim.running r.r_job.id;
+  State.release sim.st r.r_alloc;
+  sim.alloc_busy <- sim.alloc_busy - Array.length r.r_alloc.nodes;
+  sim.req_busy <- sim.req_busy - r.r_job.size;
+  sim.interrupted <- sim.interrupted + 1;
+  let now = Sim.Engine.now sim.engine in
+  let kills =
+    1 + Option.value (Hashtbl.find_opt sim.kills r.r_job.id) ~default:0
+  in
+  Hashtbl.replace sim.kills r.r_job.id kills;
+  let requeue =
+    sim.cfg.resilience.requeue && kills <= sim.cfg.resilience.max_retries
+  in
+  if sim.cfg.resilience.charge_lost_work || not requeue then
+    sim.lost_node_time <-
+      sim.lost_node_time +. ((now -. r.r_start) *. float_of_int r.r_job.size);
+  if requeue then begin
+    sim.requeued <- sim.requeued + 1;
+    Sim.Engine.schedule sim.engine
+      ~time:(now +. sim.cfg.resilience.resubmit_delay)
+      ~priority:1
+      (fun _ -> arrive sim r.r_job)
+  end
+  else sim.abandoned <- sim.abandoned + 1
+
+let fault_event sim (e : Trace.Faults.event) =
+  match e.kind with
+  | Trace.Faults.Repair ->
+      (* Behaves like a release: bumps the state's release generation,
+         which invalidates the no-fit memo, and may unblock the queue. *)
+      Trace.Faults.revert sim.st e.target;
+      record sim;
+      request_pass sim
+  | Trace.Faults.Fail ->
+      Trace.Faults.apply sim.st e.target;
+      sim.fault_events <- sim.fault_events + 1;
+      let topo = State.topo sim.st in
+      let nodes, leaf_cables, l2_cables =
+        Trace.Faults.resources topo e.target
+      in
+      let of_array n arr =
+        let b = Sim.Bitset.create n in
+        Array.iter (fun x -> Sim.Bitset.add b x) arr;
+        b
+      in
+      let f_nodes = of_array (Fattree.Topology.num_nodes topo) nodes in
+      let f_leaf =
+        of_array (Fattree.Topology.num_leaf_l2_cables topo) leaf_cables
+      in
+      let f_l2 =
+        of_array (Fattree.Topology.num_l2_spine_cables topo) l2_cables
+      in
+      let victims =
+        Hashtbl.fold
+          (fun _ r acc ->
+            let hits set arr = Array.exists (fun x -> Sim.Bitset.mem set x) arr in
+            if
+              hits f_nodes r.r_alloc.nodes
+              || hits f_leaf r.r_alloc.leaf_cables
+              || hits f_l2 r.r_alloc.l2_cables
+            then r :: acc
+            else acc)
+          sim.running []
+      in
+      List.iter (kill_job sim) victims;
+      record sim;
+      (* Kills released healthy resources; the fault alone only removed
+         some, so a pass is useful only after a kill. *)
+      if victims <> [] then request_pass sim
+
 let run_detailed cfg (w : Trace.Workload.t) =
   let topo = Fattree.Topology.of_radix cfg.radix in
   let sim =
@@ -367,6 +479,12 @@ let run_detailed cfg (w : Trace.Workload.t) =
       first_start_time = -1.0;
       first_blocked_time = -1.0;
       rejected = 0;
+      kills = Hashtbl.create 64;
+      fault_events = 0;
+      interrupted = 0;
+      requeued = 0;
+      abandoned = 0;
+      lost_node_time = 0.0;
     }
   in
   Array.iter
@@ -374,6 +492,13 @@ let run_detailed cfg (w : Trace.Workload.t) =
       Sim.Engine.schedule sim.engine ~time:j.arrival ~priority:1 (fun _ ->
           arrive sim j))
     w.jobs;
+  (* Fault events run at completion priority: a failure at instant [t]
+     lands before [t]'s arrivals and scheduling passes. *)
+  Array.iter
+    (fun (e : Trace.Faults.event) ->
+      Sim.Engine.schedule sim.engine ~time:e.time ~priority:0 (fun _ ->
+          fault_event sim e))
+    (Trace.Faults.events cfg.faults);
   Sim.Engine.run sim.engine;
   (* ---- metrics ---- *)
   let n_nodes = Fattree.Topology.num_nodes topo in
@@ -387,24 +512,28 @@ let run_detailed cfg (w : Trace.Workload.t) =
     else Float.max 0.0 sim.first_start_time
   in
   let steady_end = sim.last_start_time in
-  let alloc_area = ref 0.0 and req_area = ref 0.0 in
+  let alloc_area = ref 0.0 and req_area = ref 0.0 and healthy_area = ref 0.0 in
   let hist = Sim.Stats.Hist.create ~boundaries:Metrics.table2_boundaries in
   let prev_t = ref steady_start
   and prev_alloc = ref 0
-  and prev_req = ref 0 in
+  and prev_req = ref 0
+  and prev_failed = ref 0 in
   Array.iter
-    (fun (t, ab, rb, _pending) ->
+    (fun (t, ab, rb, _pending, fl) ->
       if t > !prev_t && !prev_t >= steady_start && t <= steady_end then begin
         let dt = t -. !prev_t in
         alloc_area := !alloc_area +. (float_of_int !prev_alloc *. dt);
-        req_area := !req_area +. (float_of_int !prev_req *. dt)
+        req_area := !req_area +. (float_of_int !prev_req *. dt);
+        healthy_area :=
+          !healthy_area +. (float_of_int (n_nodes - !prev_failed) *. dt)
       end;
       if t >= steady_start && t <= steady_end then
         Sim.Stats.Hist.add hist (float_of_int rb /. float_of_int n_nodes);
       if t <= steady_end then begin
         prev_t := Float.max t steady_start;
         prev_alloc := ab;
-        prev_req := rb
+        prev_req := rb;
+        prev_failed := fl
       end)
     samples;
   let duration = steady_end -. steady_start in
@@ -415,6 +544,13 @@ let run_detailed cfg (w : Trace.Workload.t) =
   let alloc_utilization =
     if duration > 0.0 then !alloc_area /. (float_of_int n_nodes *. duration)
     else 0.0
+  in
+  let healthy_fraction =
+    if duration > 0.0 then !healthy_area /. (float_of_int n_nodes *. duration)
+    else 1.0
+  in
+  let util_vs_healthy =
+    if !healthy_area > 0.0 then !req_area /. !healthy_area else 0.0
   in
   let finished = sim.finished in
   let makespan =
@@ -442,9 +578,16 @@ let run_detailed cfg (w : Trace.Workload.t) =
         (if n_all > 0 then sim.sched_clock /. float_of_int n_all else 0.0);
       steady_start;
       steady_end;
+      fault_events = sim.fault_events;
+      interrupted = sim.interrupted;
+      requeued = sim.requeued;
+      abandoned = sim.abandoned;
+      lost_node_time = sim.lost_node_time;
+      healthy_fraction;
+      util_vs_healthy;
       series =
         Array.map
-          (fun (t, _, rb, _) -> (t, float_of_int rb /. float_of_int n_nodes))
+          (fun (t, _, rb, _, _) -> (t, float_of_int rb /. float_of_int n_nodes))
           samples;
     }
   in

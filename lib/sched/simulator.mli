@@ -18,7 +18,29 @@
       isolated runtime; Baseline runs the trace runtime.
 
     Claims and releases go through [Fattree.State], so any isolation bug
-    in an allocator aborts the simulation instead of skewing results. *)
+    in an allocator aborts the simulation instead of skewing results.
+
+    A fault trace ([config.faults]) injects fail/repair events for
+    nodes, cables and whole switches.  Failed resources are withdrawn
+    from the state's availability summaries, so every allocator avoids
+    them through its normal probe paths; a fault landing on a running
+    job's partition kills the attempt, and the [resilience] policy
+    decides whether the job is resubmitted or abandoned.  Repairs
+    invalidate the no-fit memo exactly like releases do. *)
+
+(** Per-job failure-resilience policy. *)
+type resilience = {
+  requeue : bool;  (** Resubmit killed jobs (else: abandon on first kill). *)
+  resubmit_delay : float;
+      (** Simulated time between the kill and the re-arrival. *)
+  max_retries : int;  (** Kills tolerated before the job is abandoned. *)
+  charge_lost_work : bool;
+      (** [true]: every killed attempt's node-seconds count into
+          [Metrics.lost_node_time]; [false]: only abandoning kills. *)
+}
+
+val no_resilience : resilience
+(** No requeue, zero delay, zero retries, charge everything. *)
 
 type config = {
   allocator : Allocator.t;
@@ -30,10 +52,14 @@ type config = {
       (** [false] disables EASY entirely (plain FIFO) — the mode the LaaS
           simulator originally shipped with (paper section 5.3); used by
           the backfilling ablation. *)
+  faults : Trace.Faults.t;  (** [Trace.Faults.none] for a healthy machine. *)
+  resilience : resilience;
 }
 
 val default_config : Allocator.t -> radix:int -> config
-(** Scenario [No_speedup], seed 1, window 50, backfilling on. *)
+(** Scenario [No_speedup], seed 1, window 50, backfilling on, no faults,
+    {!no_resilience} — behaviourally identical to the pre-fault
+    simulator. *)
 
 val reservation :
   Allocator.t ->

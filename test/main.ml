@@ -15,6 +15,7 @@ let () =
       ("render", Test_render.suite);
       ("state", Test_state.suite);
       ("incremental", Test_incremental.suite);
+      ("faults", Test_faults.suite);
       ("mask", Test_mask.suite);
       ("shapes", Test_shapes.suite);
       ("conditions", Test_conditions.suite);
@@ -38,6 +39,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("allocators", Test_allocators.suite);
       ("simulator", Test_simulator.suite);
+      ("resilience", Test_resilience.suite);
       ("metrics", Test_metrics.suite);
       ("perf", Test_perf.suite);
       ("reproduction", Test_reproduction.suite);

@@ -33,7 +33,9 @@ let test_double_claim_rejected () =
   let st = State.create topo in
   State.claim_exn st (mk_alloc [| 7 |]);
   (match State.claim st (mk_alloc ~job:2 [| 7; 8 |]) with
-  | Error m -> Alcotest.(check string) "names the busy node" "node 7 is busy" m
+  | Error m ->
+      Alcotest.(check string) "names the busy node and its state"
+        "node 7 is not free (claimed)" m
   | Ok () -> Alcotest.fail "double claim must fail");
   (* Atomicity: node 8 must still be free after the failed claim. *)
   Alcotest.(check bool) "atomic rejection" true (State.node_free st 8)
