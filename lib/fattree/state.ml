@@ -158,6 +158,11 @@ let release_generation t = t.releases + t.repairs
 let failed_node_count t = t.failed_nodes
 let healthy_node_count t = Topology.num_nodes t.topo - t.failed_nodes
 
+(* Every repair operation retires exactly one live fault (repairing a
+   non-failed resource raises), so the op counters double as a live-fault
+   census covering nodes and both cable tiers. *)
+let has_failures t = t.failures > t.repairs
+
 let total_free_nodes t =
   Topology.num_nodes t.topo - t.busy - (t.failed_nodes - t.failed_claimed)
 

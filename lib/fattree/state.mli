@@ -64,6 +64,12 @@ val healthy_node_count : t -> int
 (** [num_nodes - failed_node_count]: the degraded machine size, the
     denominator of failure-aware utilization metrics. *)
 
+val has_failures : t -> bool
+(** Any resource — node or cable of either tier — currently covered by a
+    live fault.  Distinguishes a definitive placement failure (nothing
+    withdrawn, the machine will never get bigger) from transient
+    degradation that a repair may undo. *)
+
 val node_utilization : t -> float
 (** [busy_node_count / num_nodes]. *)
 

@@ -9,6 +9,7 @@ type t = {
   cluster_nodes : int;
   num_jobs : int;
   rejected : int;
+  stuck_pending : int;
   avg_utilization : float;
   alloc_utilization : float;
   inst_hist : int array;
@@ -60,4 +61,8 @@ let pp_row ppf m =
       m.fault_events
       (100.0 *. m.healthy_fraction)
       (100.0 *. m.util_vs_healthy)
-      m.interrupted m.requeued m.abandoned m.lost_node_time
+      m.interrupted m.requeued m.abandoned m.lost_node_time;
+  (* A wedged queue is a result, not a footnote: jobs neither ran nor
+     were rejected, and no other number accounts for them. *)
+  if m.stuck_pending > 0 then
+    Format.fprintf ppf " | STUCK=%d jobs still pending at end" m.stuck_pending

@@ -19,6 +19,11 @@ type t = {
   cluster_nodes : int;
   num_jobs : int;  (** Jobs that ran. *)
   rejected : int;  (** Jobs impossible on this cluster under this policy. *)
+  stuck_pending : int;
+      (** Jobs still queued when the simulation drained its events — a
+          head wedged behind permanently lost capacity (e.g. FIFO mode
+          under an unrepaired fault) plus everything behind it.  Always
+          0 on a healthy machine. *)
   avg_utilization : float;
       (** Steady-state average node utilization in [0,1], the paper's U:
           node-seconds of {e requested} nodes over capacity between the

@@ -53,9 +53,16 @@ type sim = {
   st : State.t;
   engine : Sim.Engine.t;
   (* FIFO pending queue with lazy deletion: ids in arrival order plus a
-     live-job table. *)
-  pending_ids : int Queue.t;
+     live-job table.  Each queue entry is stamped with a per-job
+     enqueue generation; the entry is live only while [pending_gen]
+     still maps the id to that stamp.  Requeues (fault resilience) make
+     this necessary: a job started by backfill leaves a stale id in the
+     queue, and when the job re-arrives the stale entry must not come
+     back to life at its old position — only the back-of-queue entry
+     with the fresh stamp is live. *)
+  pending_ids : (int * int) Queue.t;
   pending : (int, Trace.Job.t) Hashtbl.t;
+  pending_gen : (int, int) Hashtbl.t; (* id -> live enqueue generation *)
   running : (int, running) Hashtbl.t;
   (* No-fit memo: job classes (size, bw demand) whose probe against the
      live state returned a definitive [No_fit].  Claims only remove
@@ -78,6 +85,7 @@ type sim = {
   mutable rejected : int;
   (* resilience accounting *)
   kills : (int, int) Hashtbl.t; (* job id -> attempts killed so far *)
+  mutable pending_repairs : int; (* repair events not yet applied *)
   mutable fault_events : int;
   mutable interrupted : int;
   mutable requeued : int;
@@ -267,16 +275,23 @@ and compute_reservation sim (head : Trace.Job.t) =
   reservation sim.cfg.allocator sim.st ~running ~job:head
 
 and schedule_pass sim =
-  (* Pop deleted ids off the queue head. *)
+  (* A queue entry is live iff the job is still pending AND the entry
+     carries the job's current enqueue stamp — a started-then-requeued
+     job's stale entry has an old stamp and is skipped even though the
+     pending table holds the id again. *)
+  let live (id, gen) =
+    Hashtbl.mem sim.pending id && Hashtbl.find_opt sim.pending_gen id = Some gen
+  in
+  (* Pop dead entries off the queue head. *)
   let rec head_job () =
     match Queue.peek_opt sim.pending_ids with
     | None -> None
-    | Some id -> (
-        match Hashtbl.find_opt sim.pending id with
-        | Some j -> Some j
-        | None ->
-            ignore (Queue.pop sim.pending_ids);
-            head_job ())
+    | Some ((id, _) as entry) ->
+        if live entry then Hashtbl.find_opt sim.pending id
+        else begin
+          ignore (Queue.pop sim.pending_ids);
+          head_job ()
+        end
   in
   (* Phase 1: start jobs from the head while they fit. *)
   let rec drain_head () =
@@ -310,12 +325,24 @@ and schedule_pass sim =
         sim.first_blocked_time <- Sim.Engine.now sim.engine;
       (* Phase 2: reservation for the head... *)
       match timed sim (fun () -> compute_reservation sim head) with
-      | None ->
-          (* Impossible request: reject and continue with the rest. *)
+      | None
+        when head.size > Fattree.Topology.num_nodes (State.topo sim.st)
+             || (not (State.has_failures sim.st))
+             || sim.pending_repairs = 0 ->
+          (* Definitively impossible: the job exceeds nameplate capacity,
+             or even the fully drained machine — healthy, or degraded
+             with no repair left to ever enlarge it.  Reject and continue
+             with the rest. *)
           ignore (Queue.pop sim.pending_ids);
           Hashtbl.remove sim.pending head.id;
           sim.rejected <- sim.rejected + 1;
           request_pass sim
+      | None ->
+          (* The head only exceeds *currently surviving* capacity: a
+             scheduled repair may make it feasible, so leave it blocked.
+             Each repair bumps [release_generation] and requests a pass,
+             which retries this reservation. *)
+          ()
       | Some (res_time, res_alloc) ->
           (* ...phase 3: EASY backfill within the lookahead window.  The
              reserved resources become bitsets so each candidate's
@@ -348,20 +375,26 @@ and schedule_pass sim =
             let acc = ref [] and count = ref 0 in
             (try
                Queue.iter
-                 (fun id ->
+                 (fun ((id, _) as entry) ->
                    if !count >= sim.cfg.backfill_window then raise Exit;
-                   match Hashtbl.find_opt sim.pending id with
-                   | Some j when j.id <> head.id ->
-                       incr count;
-                       acc := j :: !acc
-                   | _ -> ())
+                   if live entry && id <> head.id then begin
+                     incr count;
+                     acc := Hashtbl.find sim.pending id :: !acc
+                   end)
                  sim.pending_ids
              with Exit -> ());
             List.rev !acc
           in
           List.iter
             (fun (j : Trace.Job.t) ->
-              if State.total_free_nodes sim.st >= j.size then begin
+              (* Membership is re-checked at start time, not just at
+                 collection time: stamped entries make duplicates
+                 impossible today, but a double start would silently
+                 leak an allocation, so the guard is cheap insurance. *)
+              if
+                Hashtbl.mem sim.pending j.id
+                && State.total_free_nodes sim.st >= j.size
+              then begin
                 match timed sim (fun () -> probe_memo sim j) with
                 | Some alloc ->
                     let now = Sim.Engine.now sim.engine in
@@ -375,7 +408,12 @@ and schedule_pass sim =
             candidates)
 
 let arrive sim (j : Trace.Job.t) =
-  Queue.add j.id sim.pending_ids;
+  (* A fresh stamp per (re-)arrival: any stale queue entry left behind
+     by a backfill start of an earlier attempt goes permanently dead,
+     and the job is live only at the back of the queue. *)
+  let gen = 1 + Option.value (Hashtbl.find_opt sim.pending_gen j.id) ~default:(-1) in
+  Hashtbl.replace sim.pending_gen j.id gen;
+  Queue.add (j.id, gen) sim.pending_ids;
   Hashtbl.replace sim.pending j.id j;
   (* No sample here: Table 2 measures utilization at schedule and
      completion events only, and arrivals do not change occupancy. *)
@@ -418,6 +456,7 @@ let fault_event sim (e : Trace.Faults.event) =
       (* Behaves like a release: bumps the state's release generation,
          which invalidates the no-fit memo, and may unblock the queue. *)
       Trace.Faults.revert sim.st e.target;
+      sim.pending_repairs <- sim.pending_repairs - 1;
       record sim;
       request_pass sim
   | Trace.Faults.Fail ->
@@ -450,6 +489,10 @@ let fault_event sim (e : Trace.Faults.event) =
             then r :: acc
             else acc)
           sim.running []
+        (* Hash-table fold order is an implementation detail; kill (and
+           hence requeue) in job-id order so same-instant resubmissions
+           enter the queue deterministically across OCaml versions. *)
+        |> List.sort (fun a b -> compare a.r_job.id b.r_job.id)
       in
       List.iter (kill_job sim) victims;
       record sim;
@@ -466,6 +509,7 @@ let run_detailed cfg (w : Trace.Workload.t) =
       engine = Sim.Engine.create ();
       pending_ids = Queue.create ();
       pending = Hashtbl.create 1024;
+      pending_gen = Hashtbl.create 1024;
       running = Hashtbl.create 256;
       nofit = Hashtbl.create 64;
       nofit_release_gen = 0;
@@ -480,6 +524,12 @@ let run_detailed cfg (w : Trace.Workload.t) =
       first_blocked_time = -1.0;
       rejected = 0;
       kills = Hashtbl.create 64;
+      pending_repairs =
+        Array.fold_left
+          (fun acc (e : Trace.Faults.event) ->
+            if e.kind = Trace.Faults.Repair then acc + 1 else acc)
+          0
+          (Trace.Faults.events cfg.faults);
       fault_events = 0;
       interrupted = 0;
       requeued = 0;
@@ -566,6 +616,7 @@ let run_detailed cfg (w : Trace.Workload.t) =
       cluster_nodes = n_nodes;
       num_jobs = n_all;
       rejected = sim.rejected;
+      stuck_pending = Hashtbl.length sim.pending;
       avg_utilization;
       alloc_utilization;
       inst_hist = Sim.Stats.Hist.counts hist;

@@ -86,7 +86,11 @@ val run : config -> Trace.Workload.t -> Metrics.t
 (** Simulates the whole trace and gathers every metric.  Jobs that can
     never be placed on an empty cluster under the policy (e.g. requests
     whose LaaS padding exceeds the machine) are counted as [rejected]
-    and skipped. *)
+    and skipped.  Under faults, infeasibility against the {e degraded}
+    machine is only definitive when no repair event remains; otherwise
+    the head stays blocked and the reservation is retried when a repair
+    lands.  Jobs still queued when the event stream drains are reported
+    as [Metrics.stuck_pending]. *)
 
 (** Per-job records, for tests and custom analyses. *)
 val run_detailed : config -> Trace.Workload.t -> Metrics.t * Metrics.per_job list

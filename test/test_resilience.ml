@@ -164,6 +164,107 @@ let test_memo_invalidated_by_repair () =
     rb.start_time;
   Alcotest.(check (float 1e-9)) "B ends" 15.0 rb.end_time
 
+let test_backfilled_job_requeues_without_double_start () =
+  (* Regression: a job started by backfill leaves its id in the pending
+     queue (lazy deletion).  If a fault then kills and requeues it, the
+     stale entry must not come back to life — or one backfill pass could
+     collect the job twice and start it twice with the same attempt
+     number, leaking the first allocation forever.
+
+     Placements are forced by pre-failing nodes: A (126 nodes) takes
+     everything but nodes 0-1, so backfilled B (1 node) must sit on the
+     repaired node 0; failing node 0 at t=4 therefore kills exactly B.
+     After the t=5 repairs two nodes are free — enough for the buggy
+     double start, so a leak would show as a non-zero final sample. *)
+  let a = Trace.Job.v ~id:1 ~size:(nodes - 2) ~runtime:10.0 () in
+  let h = Trace.Job.v ~id:2 ~size:64 ~runtime:10.0 ~arrival:1.0 () in
+  let b = Trace.Job.v ~id:3 ~size:1 ~runtime:5.0 ~arrival:2.0 () in
+  let faults =
+    Trace.Faults.scripted
+      [
+        fev 0.0 Trace.Faults.Fail (Trace.Faults.Node 0);
+        fev 0.0 Trace.Faults.Fail (Trace.Faults.Node 1);
+        fev 1.5 Trace.Faults.Repair (Trace.Faults.Node 0);
+        fev 4.0 Trace.Faults.Fail (Trace.Faults.Node 0);
+        fev 5.0 Trace.Faults.Repair (Trace.Faults.Node 0);
+        fev 5.0 Trace.Faults.Repair (Trace.Faults.Node 1);
+      ]
+  in
+  let cfg = config ~faults ~resilience:(requeue 3) () in
+  let m, per_job = Sched.Simulator.run_detailed cfg (workload [ a; h; b ]) in
+  Alcotest.(check int) "all three finished" 3 m.num_jobs;
+  Alcotest.(check int) "one interruption" 1 m.interrupted;
+  Alcotest.(check int) "one requeue" 1 m.requeued;
+  Alcotest.(check int) "nothing stuck" 0 m.stuck_pending;
+  let b_records =
+    List.filter (fun (r : Sched.Metrics.per_job) -> r.job.id = 3) per_job
+  in
+  (match b_records with
+  | [ r ] ->
+      Alcotest.(check (float 1e-9)) "B restarts at the repair" 5.0 r.start_time;
+      Alcotest.(check (float 1e-9)) "B's rerun completes once" 10.0 r.end_time
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "B finished %d times, expected 1" (List.length l)));
+  (* A leaked allocation never releases: the requested-busy series would
+     end above zero. *)
+  let _, last = m.series.(Array.length m.series - 1) in
+  Alcotest.(check (float 0.0)) "no leaked allocation at end of run" 0.0 last
+
+let test_transient_infeasibility_waits_for_repair () =
+  (* A full-machine job arriving during a single-node outage is not
+     "impossible": the scheduled repair makes it feasible.  It must stay
+     blocked and start the instant the repair lands, not be rejected. *)
+  let job = Trace.Job.v ~id:1 ~size:nodes ~runtime:10.0 ~arrival:1.0 () in
+  let faults =
+    Trace.Faults.scripted
+      [
+        fev 0.0 Trace.Faults.Fail (Trace.Faults.Node 0);
+        fev 5.0 Trace.Faults.Repair (Trace.Faults.Node 0);
+      ]
+  in
+  let m, per_job =
+    Sched.Simulator.run_detailed (config ~faults ()) (workload [ job ])
+  in
+  Alcotest.(check int) "not rejected" 0 m.rejected;
+  Alcotest.(check int) "ran" 1 m.num_jobs;
+  Alcotest.(check int) "nothing stuck" 0 m.stuck_pending;
+  match per_job with
+  | [ r ] ->
+      Alcotest.(check (float 1e-9)) "starts when the repair lands" 5.0
+        r.start_time
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length l))
+
+let test_permanent_infeasibility_still_rejected () =
+  (* With no repair left in the trace the degradation is permanent, so
+     the oversized head is definitively infeasible: reject it (keeping
+     the run terminating) and let the queue behind it proceed. *)
+  let big = Trace.Job.v ~id:1 ~size:nodes ~runtime:10.0 ~arrival:1.0 () in
+  let small = Trace.Job.v ~id:2 ~size:4 ~runtime:10.0 ~arrival:1.0 () in
+  let faults =
+    Trace.Faults.scripted [ fev 0.0 Trace.Faults.Fail (Trace.Faults.Node 0) ]
+  in
+  let m = Sched.Simulator.run (config ~faults ()) (workload [ big; small ]) in
+  Alcotest.(check int) "big job rejected" 1 m.rejected;
+  Alcotest.(check int) "small job ran" 1 m.num_jobs;
+  Alcotest.(check int) "nothing stuck" 0 m.stuck_pending
+
+let test_fifo_wedged_queue_is_reported () =
+  (* Plain FIFO has no reservation path, so a head that fits nameplate
+     capacity but not the permanently degraded machine wedges the queue;
+     the run must end with those jobs visible in [stuck_pending] rather
+     than silently unaccounted. *)
+  let big = Trace.Job.v ~id:1 ~size:nodes ~runtime:10.0 ~arrival:1.0 () in
+  let small = Trace.Job.v ~id:2 ~size:4 ~runtime:10.0 ~arrival:2.0 () in
+  let faults =
+    Trace.Faults.scripted [ fev 0.0 Trace.Faults.Fail (Trace.Faults.Node 0) ]
+  in
+  let cfg = { (config ~faults ()) with backfill = false } in
+  let m = Sched.Simulator.run cfg (workload [ big; small ]) in
+  Alcotest.(check int) "nothing ran" 0 m.num_jobs;
+  Alcotest.(check int) "nothing rejected" 0 m.rejected;
+  Alcotest.(check int) "both jobs reported stuck" 2 m.stuck_pending
+
 let test_zero_fault_metrics_are_clean () =
   let entry =
     match Trace.Presets.by_name ~full:false "Synth-16" with
@@ -237,6 +338,14 @@ let suite =
       test_fault_on_idle_resources_kills_nothing;
     Alcotest.test_case "no-fit memo invalidated by repair" `Quick
       test_memo_invalidated_by_repair;
+    Alcotest.test_case "backfilled job requeues without double start" `Quick
+      test_backfilled_job_requeues_without_double_start;
+    Alcotest.test_case "transient infeasibility waits for repair" `Quick
+      test_transient_infeasibility_waits_for_repair;
+    Alcotest.test_case "permanent infeasibility still rejected" `Quick
+      test_permanent_infeasibility_still_rejected;
+    Alcotest.test_case "FIFO wedged queue reported as stuck" `Quick
+      test_fifo_wedged_queue_is_reported;
     Alcotest.test_case "zero-fault metrics are clean" `Quick
       test_zero_fault_metrics_are_clean;
     Alcotest.test_case "all schemes survive a seeded MTBF run" `Quick
