@@ -314,16 +314,19 @@ let micro () =
     groups
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_0001.json: machine-readable perf trajectory across PRs.       *)
+(* BENCH_0002.json: machine-readable perf trajectory across PRs.       *)
 (* ------------------------------------------------------------------ *)
 
 (* Emits allocator micro-latencies (mean try_alloc on a busy radix-24
-   cluster) and per-trace scheduler costs for the Table 3 traces, so
-   regressions show up as a diff of this file rather than a human
-   re-reading bench output.  Traces are truncated in default mode to
-   keep the target in the ~minute range; REPRO_FULL=1 uses paper scale. *)
+   cluster), per-trace scheduler costs for the Table 3 traces, and a
+   per-scheme profile (probe outcome counters incl. memo hit rate,
+   state clone/claim tallies, span totals) from an instrumented
+   Synth-16 run, so regressions show up as a diff of this file rather
+   than a human re-reading bench output.  Traces are truncated in
+   default mode to keep the target in the ~minute range; REPRO_FULL=1
+   uses paper scale. *)
 
-let bench_json_file = "BENCH_0001.json"
+let bench_json_file = "BENCH_0002.json"
 
 let bench_json () =
   section (Printf.sprintf "%s (machine-readable perf trajectory)" bench_json_file);
@@ -372,10 +375,42 @@ let bench_json () =
           Sched.Allocator.all)
       entries
   in
+  (* Per-scheme scheduling profile on one representative trace: probe
+     outcomes (memo hit rate), state operation tallies (clones, claims)
+     and span totals.  A dedicated instrumented run per scheme, outside
+     the shared cache, so the timing rows above stay un-instrumented. *)
+  let profile_entry = sweep_entry ~cap:1_500 (Trace.Presets.synth_16 ~full) in
+  let profile_rows =
+    List.map
+      (fun (a : Sched.Allocator.t) ->
+        let p = Obs.Prof.create () in
+        let cfg =
+          {
+            (Sched.Simulator.default_config a
+               ~radix:profile_entry.cluster_radix)
+            with
+            prof = Some p;
+          }
+        in
+        ignore (Sched.Simulator.run cfg profile_entry.workload);
+        let c = Obs.Prof.counter p in
+        let probes =
+          c "probe/fit" + c "probe/infeasible" + c "probe/exhausted"
+          + c "probe/memo_hit"
+        in
+        let memo_rate =
+          if probes = 0 then 0.0
+          else float_of_int (c "probe/memo_hit") /. float_of_int probes
+        in
+        let b = Buffer.create 1024 in
+        Obs.Prof.write_json b p;
+        (a.name, memo_rate, Buffer.contents b))
+      Sched.Allocator.all
+  in
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"bench_id\": \"BENCH_0001\",\n";
+  out "  \"bench_id\": \"BENCH_0002\",\n";
   out "  \"scale\": \"%s\",\n" (if full then "full" else "default");
   out "  \"micro_try_alloc\": {\n";
   out "    \"cluster\": { \"radix\": %d, \"target_occupancy\": %.2f },\n" radix
@@ -396,10 +431,22 @@ let bench_json () =
         trace jobs scheme stpj util
         (if i = List.length trace_rows - 1 then "" else ","))
     trace_rows;
-  out "  ]\n}\n";
+  out "  ],\n";
+  out "  \"profile\": {\n";
+  out "    \"trace\": %S,\n" profile_entry.workload.Trace.Workload.name;
+  out "    \"jobs\": %d,\n" (Trace.Workload.num_jobs profile_entry.workload);
+  out "    \"schemes\": {\n";
+  List.iteri
+    (fun i (name, memo_rate, prof_json) ->
+      out "      %S: { \"memo_hit_rate\": %.6f, \"registry\": %s }%s\n" name
+        memo_rate prof_json
+        (if i = List.length profile_rows - 1 then "" else ","))
+    profile_rows;
+  out "    }\n  }\n}\n";
   close_out oc;
-  Format.printf "wrote %s (%d micro rows, %d trace rows)@." bench_json_file
-    (List.length micro_rows) (List.length trace_rows)
+  Format.printf "wrote %s (%d micro rows, %d trace rows, %d profiles)@."
+    bench_json_file (List.length micro_rows) (List.length trace_rows)
+    (List.length profile_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                  *)

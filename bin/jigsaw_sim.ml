@@ -10,7 +10,7 @@ open Cmdliner
 
 let run preset swf radix sched scenario seed window jobs full table2 series
     mtbf mttr fault_seed fault_trace fault_horizon requeue resubmit_delay
-    charge_lost_work =
+    charge_lost_work trace_out trace_format profile json series_out =
   let entry =
     match (preset, swf) with
     | Some name, None -> (
@@ -113,20 +113,68 @@ let run preset swf radix sched scenario seed window jobs full table2 series
           charge_lost_work;
         }
   in
-  Format.printf "trace: %a@." Trace.Workload.pp_summary
-    (Trace.Workload.summarize workload);
-  Format.printf "cluster: %a; scenario %s; backfill window %d@."
-    Fattree.Topology.pp topo (Trace.Scenario.name scenario) window;
-  if not (Trace.Faults.is_empty faults) then
-    Format.printf "faults: %d events%s@."
-      (Trace.Faults.num_events faults)
-      (match requeue with
-      | Some n ->
-          Printf.sprintf "; requeue up to %d times after %.0fs" n resubmit_delay
-      | None -> "; no requeue (killed jobs are abandoned)");
-  Format.printf "@.";
+  (* All schemes of one invocation append to a single trace file; the
+     per-run [Run_meta] event delimits them (jigsaw-trace splits on it). *)
+  let trace_fmt =
+    match trace_format with
+    | None -> None
+    | Some s -> (
+        match Obs.Sink.format_of_name s with
+        | Some f -> Some f
+        | None ->
+            Format.eprintf "unknown trace format %s (jsonl|csv)@." s;
+            exit 1)
+  in
+  let trace_channel =
+    Option.map
+      (fun path ->
+        let fmt =
+          match trace_fmt with
+          | Some f -> f
+          | None -> Obs.Sink.format_of_path path
+        in
+        let oc = Out_channel.open_text path in
+        (path, oc, Obs.Sink.to_channel fmt oc))
+      trace_out
+  in
+  let sink =
+    match trace_channel with
+    | Some (_, _, s) -> s
+    | None -> Obs.Sink.null
+  in
+  let out_format =
+    if json then Sched.Metrics.Json else Sched.Metrics.Human
+  in
+  let multi = List.length allocs > 1 in
+  (* A FILE.csv series path grows the scheme name before its extension
+     when several schemes run (FILE.Jigsaw.csv), so runs never clobber
+     each other. *)
+  let series_file path scheme =
+    if not multi then path
+    else
+      Printf.sprintf "%s.%s%s"
+        (Filename.remove_extension path)
+        scheme
+        (Filename.extension path)
+  in
+  if not json then begin
+    Format.printf "trace: %a@." Trace.Workload.pp_summary
+      (Trace.Workload.summarize workload);
+    Format.printf "cluster: %a; scenario %s; backfill window %d@."
+      Fattree.Topology.pp topo (Trace.Scenario.name scenario) window;
+    if not (Trace.Faults.is_empty faults) then
+      Format.printf "faults: %d events%s@."
+        (Trace.Faults.num_events faults)
+        (match requeue with
+        | Some n ->
+            Printf.sprintf "; requeue up to %d times after %.0fs" n
+              resubmit_delay
+        | None -> "; no requeue (killed jobs are abandoned)");
+    Format.printf "@."
+  end;
   List.iter
-    (fun alloc ->
+    (fun (alloc : Sched.Allocator.t) ->
+      let prof = if profile then Some (Obs.Prof.create ()) else None in
       let cfg =
         {
           Sched.Simulator.allocator = alloc;
@@ -137,27 +185,47 @@ let run preset swf radix sched scenario seed window jobs full table2 series
           backfill = window > 0;
           faults;
           resilience;
+          sink;
+          prof;
         }
       in
       let m = Sched.Simulator.run cfg workload in
-      Format.printf "%a@." Sched.Metrics.pp_row m;
-      if table2 then begin
+      Format.printf "%a@." (Sched.Metrics.pp ~format:out_format) m;
+      (match prof with
+      | Some p ->
+          if json then begin
+            let b = Buffer.create 1024 in
+            Obs.Prof.write_json b p;
+            Format.printf "%s@." (Buffer.contents b)
+          end
+          else Format.printf "%a" Obs.Prof.pp_report p
+      | None -> ());
+      if table2 && not json then begin
         let h = m.inst_hist in
         Format.printf
           "  instantaneous utilization: >=98:%d  95-97:%d  90-95:%d  80-90:%d  60-80:%d  <=60:%d@."
           h.(5) h.(4) h.(3) h.(2) h.(1) h.(0)
       end;
-      match series with
+      (match series with
       | None -> ()
       | Some path ->
           let file = Printf.sprintf "%s.%s.csv" path alloc.name in
           Out_channel.with_open_text file (fun oc ->
-              Printf.fprintf oc "time,utilization\n";
-              Array.iter
-                (fun (t, u) -> Printf.fprintf oc "%.3f,%.5f\n" t u)
-                m.series);
-          Format.printf "  utilization series -> %s@." file)
-    allocs
+              Sched.Metrics.write_series_csv oc m);
+          if not json then Format.printf "  utilization series -> %s@." file);
+      match series_out with
+      | None -> ()
+      | Some path ->
+          let file = series_file path alloc.name in
+          Out_channel.with_open_text file (fun oc ->
+              Sched.Metrics.write_series_csv oc m);
+          if not json then Format.printf "  utilization series -> %s@." file)
+    allocs;
+  match trace_channel with
+  | Some (path, oc, _) ->
+      Out_channel.close oc;
+      if not json then Format.printf "event trace -> %s@." path
+  | None -> ()
 
 let cmd =
   let preset =
@@ -242,11 +310,41 @@ let cmd =
            ~doc:"Count every killed attempt's node-seconds as lost work \
                  (false: only jobs abandoned for good are charged).")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the structured event trace (arrivals, passes, \
+                 allocation attempts, starts, reservations, completions, \
+                 faults, kills) to FILE; all schemes of the invocation \
+                 append to it. Analyze with jigsaw-trace.")
+  in
+  let trace_format =
+    Arg.(value & opt (some string) None & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Trace format: jsonl or csv (default: csv for a .csv \
+                 FILE, jsonl otherwise).")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Collect and print per-phase wall-clock profiles: probe and \
+                 reservation span timers, probe-outcome and state-operation \
+                 counters, queue/occupancy gauges.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Machine-readable output: one flat JSON object per result \
+                 row (and per --profile report) instead of the human text.")
+  in
+  let series_out =
+    Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE"
+           ~doc:"Dump the utilization time series to FILE at full float \
+                 precision (with several schemes, FILE gains a .<scheme> \
+                 suffix before its extension).")
+  in
   let term =
     Term.(
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
       $ jobs $ full $ table2 $ series $ mtbf $ mttr $ fault_seed $ fault_trace
-      $ fault_horizon $ requeue $ resubmit_delay $ charge_lost_work)
+      $ fault_horizon $ requeue $ resubmit_delay $ charge_lost_work
+      $ trace_out $ trace_format $ profile $ json $ series_out)
   in
   Cmd.v
     (Cmd.info "jigsaw-sim" ~version:"1.0.0"

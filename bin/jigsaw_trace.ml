@@ -1,0 +1,60 @@
+(* jigsaw-trace: read an event trace written by `jigsaw-sim --trace-out`
+   and summarize it — per-job timelines, queue-depth percentiles,
+   submit-to-start latency histograms, attempt outcomes, and a fault
+   post-mortem associating each failure with the jobs it killed.
+
+   Examples:
+     jigsaw-sim --trace Synth-16 --sched all --trace-out t.jsonl
+     jigsaw-trace t.jsonl
+     jigsaw-trace --timeline t.jsonl *)
+
+open Cmdliner
+
+let run file format timeline =
+  let format =
+    match format with
+    | None | Some "auto" -> None
+    | Some s -> (
+        match Obs.Sink.format_of_name s with
+        | Some f -> Some f
+        | None ->
+            Format.eprintf "unknown format %s (auto|jsonl|csv)@." s;
+            exit 1)
+  in
+  match Obs.Reader.load ?format file with
+  | Error m ->
+      Format.eprintf "jigsaw-trace: %s@." m;
+      exit 1
+  | Ok [] ->
+      Format.eprintf "jigsaw-trace: %s holds no events@." file;
+      exit 1
+  | Ok runs ->
+      List.iteri
+        (fun i run ->
+          if i > 0 then Format.printf "@.";
+          Format.printf "%a"
+            (Obs.Analysis.pp_summary ~timeline)
+            (Obs.Analysis.of_run run))
+        runs
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Trace file written by jigsaw-sim --trace-out.")
+  in
+  let format =
+    Arg.(value & opt (some string) None & info [ "format" ] ~docv:"FMT"
+           ~doc:"Input format: auto (default, by file extension), jsonl, \
+                 or csv.")
+  in
+  let timeline =
+    Arg.(value & flag & info [ "timeline" ]
+           ~doc:"Also print one line per job: submission, every (re)start \
+                 and kill, completion, and the job's fate.")
+  in
+  Cmd.v
+    (Cmd.info "jigsaw-trace" ~version:"1.0.0"
+       ~doc:"Analyze event traces from jigsaw-sim")
+    Term.(const run $ file $ format $ timeline)
+
+let () = exit (Cmd.eval cmd)

@@ -44,6 +44,7 @@ type t = {
   mutable releases : int; (* # releases since creation *)
   mutable failures : int; (* # fail operations since creation *)
   mutable repairs : int; (* # repair operations since creation *)
+  mutable clones : int; (* # clones taken of this state *)
 }
 
 let create topo =
@@ -71,11 +72,13 @@ let create topo =
     releases = 0;
     failures = 0;
     repairs = 0;
+    clones = 0;
   }
 
 let topo t = t.topo
 
 let clone t =
+  t.clones <- t.clones + 1;
   {
     topo = t.topo;
     free = Sim.Bitset.copy t.free;
@@ -97,6 +100,7 @@ let clone t =
     releases = t.releases;
     failures = t.failures;
     repairs = t.repairs;
+    clones = 0;
   }
 
 let node_free t n = Sim.Bitset.mem t.free n
@@ -155,6 +159,11 @@ let generation t = t.claims + t.releases + t.failures + t.repairs
 let claim_generation t = t.claims + t.failures
 let release_generation t = t.releases + t.repairs
 
+let claim_count t = t.claims
+let release_count t = t.releases
+let failure_count t = t.failures
+let repair_count t = t.repairs
+let clone_count t = t.clones
 let failed_node_count t = t.failed_nodes
 let healthy_node_count t = Topology.num_nodes t.topo - t.failed_nodes
 

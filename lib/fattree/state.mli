@@ -90,6 +90,20 @@ val claim_generation : t -> int
 val release_generation : t -> int
 (** Resource-adding mutations: releases + repair operations. *)
 
+(** {1 Operation counters}
+
+    The raw tallies behind the generations, exposed individually for
+    profiling ([Obs.Prof]'s end-of-run ["state/*"] counters). *)
+
+val claim_count : t -> int
+val release_count : t -> int
+val failure_count : t -> int
+val repair_count : t -> int
+
+val clone_count : t -> int
+(** Clones taken {e of this state} ({!clone} resets the copy's tally to
+    0) — the cost driver of reservation walks and probe validation. *)
+
 (** {1 Cables}
 
     Remaining capacities are in [0, 1].  Masks report, per switch, which

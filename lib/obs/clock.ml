@@ -1,0 +1,9 @@
+(* Monotonic wall-clock for span timing.  Simulated time lives in
+   [Sim.Engine]; this clock only ever measures how long the *simulator
+   itself* took, so it must be monotone (gettimeofday can step
+   backwards under NTP) and never appears in the event trace — traces
+   stay bit-deterministic across runs. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns ~since = Int64.to_float (Int64.sub (Monotonic_clock.now ()) since)

@@ -1,0 +1,11 @@
+(** Monotonic clock for profiling spans (CLOCK_MONOTONIC, nanoseconds).
+
+    Wall-clock readings never enter the event trace — traces carry
+    simulated time only, which is what keeps them bit-identical across
+    runs of the same seed.  The profiling layer ({!Prof}) is the only
+    consumer. *)
+
+val now_ns : unit -> int64
+
+val elapsed_ns : since:int64 -> float
+(** Nanoseconds elapsed since a {!now_ns} reading. *)

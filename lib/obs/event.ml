@@ -1,0 +1,443 @@
+(* Structured trace events.
+
+   Every record carries *simulated* time and logical payloads only —
+   never wall-clock durations — so the stream produced by a run is a
+   pure function of (workload, scheme, seeds) and two runs with the same
+   inputs emit byte-identical traces.  Wall-clock profiling lives in
+   [Prof], outside the trace. *)
+
+type probe_outcome = Fit | Infeasible | Exhausted | Memo_hit
+type ctx = Head | Backfill
+
+type payload =
+  | Run_meta of {
+      trace : string;
+      scheme : string;
+      scenario : string;
+      radix : int;
+      nodes : int;
+      jobs : int;
+    }
+  | Arrival of { job : int; size : int }
+  | Pass_start of { pending : int }
+  | Pass_end of { started : int }
+  | Attempt of {
+      job : int;
+      ctx : ctx;
+      outcome : probe_outcome;
+      nodes : int;
+      leaf_cables : int;
+      l2_cables : int;
+    }
+  | Start of {
+      job : int;
+      ctx : ctx;
+      nodes : int;
+      leaf_cables : int;
+      l2_cables : int;
+      est_end : float;
+      attempt : int;
+    }
+  | Reservation_set of {
+      job : int;
+      at : float;
+      nodes : int;
+      leaf_cables : int;
+      l2_cables : int;
+    }
+  | Reservation_clear of { job : int }
+  | Complete of { job : int; started : float; waited : float }
+  | Reject of { job : int }
+  | Fail of {
+      target : string;
+      id : int;
+      nodes : int;
+      leaf_cables : int;
+      l2_cables : int;
+    }
+  | Repair of { target : string; id : int }
+  | Kill of { job : int; attempt : int; lost : float }
+  | Requeue of { job : int; attempt : int; resume_at : float }
+  | Abandon of { job : int; attempt : int }
+
+type t = { time : float; payload : payload }
+
+let outcome_name = function
+  | Fit -> "fit"
+  | Infeasible -> "infeasible"
+  | Exhausted -> "exhausted"
+  | Memo_hit -> "memo_hit"
+
+let outcome_of_name = function
+  | "fit" -> Fit
+  | "infeasible" -> Infeasible
+  | "exhausted" -> Exhausted
+  | "memo_hit" -> Memo_hit
+  | s -> raise (Json.Parse_error (Printf.sprintf "unknown probe outcome %S" s))
+
+let ctx_name = function Head -> "head" | Backfill -> "backfill"
+
+let ctx_of_name = function
+  | "head" -> Head
+  | "backfill" -> Backfill
+  | s -> raise (Json.Parse_error (Printf.sprintf "unknown attempt context %S" s))
+
+(* A [Start] from the backfill phase serializes as its own event kind:
+   the distinction is what trace analyses group on. *)
+let kind_name = function
+  | Run_meta _ -> "run"
+  | Arrival _ -> "arrival"
+  | Pass_start _ -> "pass_start"
+  | Pass_end _ -> "pass_end"
+  | Attempt _ -> "attempt"
+  | Start { ctx = Head; _ } -> "start"
+  | Start { ctx = Backfill; _ } -> "backfill_start"
+  | Reservation_set _ -> "reservation_set"
+  | Reservation_clear _ -> "reservation_clear"
+  | Complete _ -> "complete"
+  | Reject _ -> "reject"
+  | Fail _ -> "fail"
+  | Repair _ -> "repair"
+  | Kill _ -> "kill"
+  | Requeue _ -> "requeue"
+  | Abandon _ -> "abandon"
+
+let job_id = function
+  | Run_meta _ | Pass_start _ | Pass_end _ | Fail _ | Repair _ -> None
+  | Arrival { job; _ }
+  | Attempt { job; _ }
+  | Start { job; _ }
+  | Reservation_set { job; _ }
+  | Reservation_clear { job }
+  | Complete { job; _ }
+  | Reject { job }
+  | Kill { job; _ }
+  | Requeue { job; _ }
+  | Abandon { job; _ } ->
+      Some job
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let n x = Json.Num (float_of_int x)
+let f x = Json.Num x
+let s x = Json.Str x
+
+let json_fields e =
+  let base = [ ("t", f e.time); ("ev", s (kind_name e.payload)) ] in
+  base
+  @
+  match e.payload with
+  | Run_meta { trace; scheme; scenario; radix; nodes; jobs } ->
+      [
+        ("trace", s trace);
+        ("scheme", s scheme);
+        ("scenario", s scenario);
+        ("radix", n radix);
+        ("nodes", n nodes);
+        ("jobs", n jobs);
+      ]
+  | Arrival { job; size } -> [ ("job", n job); ("size", n size) ]
+  | Pass_start { pending } -> [ ("pending", n pending) ]
+  | Pass_end { started } -> [ ("started", n started) ]
+  | Attempt { job; ctx; outcome; nodes; leaf_cables; l2_cables } ->
+      [
+        ("job", n job);
+        ("ctx", s (ctx_name ctx));
+        ("outcome", s (outcome_name outcome));
+        ("nodes", n nodes);
+        ("leaf", n leaf_cables);
+        ("l2", n l2_cables);
+      ]
+  | Start { job; ctx = _; nodes; leaf_cables; l2_cables; est_end; attempt } ->
+      [
+        ("job", n job);
+        ("nodes", n nodes);
+        ("leaf", n leaf_cables);
+        ("l2", n l2_cables);
+        ("est_end", f est_end);
+        ("attempt", n attempt);
+      ]
+  | Reservation_set { job; at; nodes; leaf_cables; l2_cables } ->
+      [
+        ("job", n job);
+        ("at", f at);
+        ("nodes", n nodes);
+        ("leaf", n leaf_cables);
+        ("l2", n l2_cables);
+      ]
+  | Reservation_clear { job } -> [ ("job", n job) ]
+  | Complete { job; started; waited } ->
+      [ ("job", n job); ("started", f started); ("waited", f waited) ]
+  | Reject { job } -> [ ("job", n job) ]
+  | Fail { target; id; nodes; leaf_cables; l2_cables } ->
+      [
+        ("target", s target);
+        ("id", n id);
+        ("nodes", n nodes);
+        ("leaf", n leaf_cables);
+        ("l2", n l2_cables);
+      ]
+  | Repair { target; id } -> [ ("target", s target); ("id", n id) ]
+  | Kill { job; attempt; lost } ->
+      [ ("job", n job); ("attempt", n attempt); ("lost", f lost) ]
+  | Requeue { job; attempt; resume_at } ->
+      [ ("job", n job); ("attempt", n attempt); ("resume_at", f resume_at) ]
+  | Abandon { job; attempt } -> [ ("job", n job); ("attempt", n attempt) ]
+
+let to_jsonl b e =
+  Json.write b (json_fields e);
+  Buffer.add_char b '\n'
+
+let of_json_fields fields =
+  let time = Json.num fields "t" in
+  let job () = Json.int fields "job" in
+  let counts () =
+    (Json.int fields "nodes", Json.int fields "leaf", Json.int fields "l2")
+  in
+  let payload =
+    match Json.str fields "ev" with
+    | "run" ->
+        Run_meta
+          {
+            trace = Json.str fields "trace";
+            scheme = Json.str fields "scheme";
+            scenario = Json.str fields "scenario";
+            radix = Json.int fields "radix";
+            nodes = Json.int fields "nodes";
+            jobs = Json.int fields "jobs";
+          }
+    | "arrival" -> Arrival { job = job (); size = Json.int fields "size" }
+    | "pass_start" -> Pass_start { pending = Json.int fields "pending" }
+    | "pass_end" -> Pass_end { started = Json.int fields "started" }
+    | "attempt" ->
+        let nodes, leaf_cables, l2_cables = counts () in
+        Attempt
+          {
+            job = job ();
+            ctx = ctx_of_name (Json.str fields "ctx");
+            outcome = outcome_of_name (Json.str fields "outcome");
+            nodes;
+            leaf_cables;
+            l2_cables;
+          }
+    | ("start" | "backfill_start") as k ->
+        let nodes, leaf_cables, l2_cables = counts () in
+        Start
+          {
+            job = job ();
+            ctx = (if k = "start" then Head else Backfill);
+            nodes;
+            leaf_cables;
+            l2_cables;
+            est_end = Json.num fields "est_end";
+            attempt = Json.int fields "attempt";
+          }
+    | "reservation_set" ->
+        let nodes, leaf_cables, l2_cables = counts () in
+        Reservation_set
+          { job = job (); at = Json.num fields "at"; nodes; leaf_cables; l2_cables }
+    | "reservation_clear" -> Reservation_clear { job = job () }
+    | "complete" ->
+        Complete
+          {
+            job = job ();
+            started = Json.num fields "started";
+            waited = Json.num fields "waited";
+          }
+    | "reject" -> Reject { job = job () }
+    | "fail" ->
+        let nodes, leaf_cables, l2_cables = counts () in
+        Fail
+          {
+            target = Json.str fields "target";
+            id = Json.int fields "id";
+            nodes;
+            leaf_cables;
+            l2_cables;
+          }
+    | "repair" ->
+        Repair { target = Json.str fields "target"; id = Json.int fields "id" }
+    | "kill" ->
+        Kill
+          {
+            job = job ();
+            attempt = Json.int fields "attempt";
+            lost = Json.num fields "lost";
+          }
+    | "requeue" ->
+        Requeue
+          {
+            job = job ();
+            attempt = Json.int fields "attempt";
+            resume_at = Json.num fields "resume_at";
+          }
+    | "abandon" -> Abandon { job = job (); attempt = Json.int fields "attempt" }
+    | k -> raise (Json.Parse_error (Printf.sprintf "unknown event kind %S" k))
+  in
+  { time; payload }
+
+let of_jsonl line = of_json_fields (Json.parse_line line)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One fixed column set for every event kind; unused cells are empty.
+   [a] and [b] are the two generic numeric columns — the per-kind
+   meaning is in DESIGN.md's schema table (and in [to_csv] below). *)
+
+let csv_header = "time,event,job,ctx,outcome,target,nodes,leaf_cables,l2_cables,a,b"
+
+let add_float b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let to_csv b e =
+  (* job ctx outcome target nodes leaf l2 a b *)
+  let row ?job ?ctx ?outcome ?target ?(counts = (0, 0, 0)) ?(a = 0.0) ?(b = 0.0)
+      () =
+    (job, ctx, outcome, target, counts, a, b)
+  in
+  let job, ctx, outcome, target, (nodes, leaf, l2), a, bb =
+    match e.payload with
+    | Run_meta { trace; scheme; scenario; radix; nodes; jobs } ->
+        row ~ctx:scheme ~outcome:scenario ~target:trace
+          ~counts:(nodes, radix, jobs) ()
+    | Arrival { job; size } -> row ~job ~counts:(size, 0, 0) ()
+    | Pass_start { pending } -> row ~a:(float_of_int pending) ()
+    | Pass_end { started } -> row ~a:(float_of_int started) ()
+    | Attempt { job; ctx; outcome; nodes; leaf_cables; l2_cables } ->
+        row ~job ~ctx:(ctx_name ctx) ~outcome:(outcome_name outcome)
+          ~counts:(nodes, leaf_cables, l2_cables) ()
+    | Start { job; ctx = _; nodes; leaf_cables; l2_cables; est_end; attempt } ->
+        row ~job ~counts:(nodes, leaf_cables, l2_cables) ~a:est_end
+          ~b:(float_of_int attempt) ()
+    | Reservation_set { job; at; nodes; leaf_cables; l2_cables } ->
+        row ~job ~counts:(nodes, leaf_cables, l2_cables) ~a:at ()
+    | Reservation_clear { job } -> row ~job ()
+    | Complete { job; started; waited } -> row ~job ~a:started ~b:waited ()
+    | Reject { job } -> row ~job ()
+    | Fail { target; id; nodes; leaf_cables; l2_cables } ->
+        row ~target ~counts:(nodes, leaf_cables, l2_cables)
+          ~a:(float_of_int id) ()
+    | Repair { target; id } -> row ~target ~a:(float_of_int id) ()
+    | Kill { job; attempt; lost } ->
+        row ~job ~a:(float_of_int attempt) ~b:lost ()
+    | Requeue { job; attempt; resume_at } ->
+        row ~job ~a:(float_of_int attempt) ~b:resume_at ()
+    | Abandon { job; attempt } -> row ~job ~a:(float_of_int attempt) ()
+  in
+  add_float b e.time;
+  Buffer.add_char b ',';
+  Buffer.add_string b (kind_name e.payload);
+  Buffer.add_char b ',';
+  (match job with Some j -> Buffer.add_string b (string_of_int j) | None -> ());
+  Buffer.add_char b ',';
+  (match ctx with Some c -> Buffer.add_string b c | None -> ());
+  Buffer.add_char b ',';
+  (match outcome with Some o -> Buffer.add_string b o | None -> ());
+  Buffer.add_char b ',';
+  (match target with Some t -> Buffer.add_string b t | None -> ());
+  Buffer.add_char b ',';
+  Buffer.add_string b (string_of_int nodes);
+  Buffer.add_char b ',';
+  Buffer.add_string b (string_of_int leaf);
+  Buffer.add_char b ',';
+  Buffer.add_string b (string_of_int l2);
+  Buffer.add_char b ',';
+  add_float b a;
+  Buffer.add_char b ',';
+  add_float b bb;
+  Buffer.add_char b '\n'
+
+let of_csv line =
+  let cells = String.split_on_char ',' line in
+  match cells with
+  | [ time; event; job; ctx; outcome; target; nodes; leaf; l2; a; b ] ->
+      let fail fmt =
+        Printf.ksprintf (fun m -> raise (Json.Parse_error m)) fmt
+      in
+      let flt name v =
+        match float_of_string_opt v with
+        | Some x -> x
+        | None -> fail "column %s: malformed number %S" name v
+      in
+      let int_of name v =
+        let x = flt name v in
+        let i = int_of_float x in
+        if float_of_int i <> x then fail "column %s: not an integer (%s)" name v;
+        i
+      in
+      let time = flt "time" time in
+      let job () =
+        if job = "" then fail "column job: empty" else int_of "job" job
+      in
+      let counts () = (int_of "nodes" nodes, int_of "leaf" leaf, int_of "l2" l2) in
+      let a_f () = flt "a" a and b_f () = flt "b" b in
+      let a_i () = int_of "a" a and b_i () = int_of "b" b in
+      let payload =
+        match event with
+        | "run" ->
+            let nodes, radix, jobs = counts () in
+            Run_meta
+              { trace = target; scheme = ctx; scenario = outcome; radix; nodes; jobs }
+        | "arrival" ->
+            let size, _, _ = counts () in
+            Arrival { job = job (); size }
+        | "pass_start" -> Pass_start { pending = a_i () }
+        | "pass_end" -> Pass_end { started = a_i () }
+        | "attempt" ->
+            let nodes, leaf_cables, l2_cables = counts () in
+            Attempt
+              {
+                job = job ();
+                ctx = ctx_of_name ctx;
+                outcome = outcome_of_name outcome;
+                nodes;
+                leaf_cables;
+                l2_cables;
+              }
+        | "start" | "backfill_start" ->
+            let nodes, leaf_cables, l2_cables = counts () in
+            Start
+              {
+                job = job ();
+                ctx = (if event = "start" then Head else Backfill);
+                nodes;
+                leaf_cables;
+                l2_cables;
+                est_end = a_f ();
+                attempt = b_i ();
+              }
+        | "reservation_set" ->
+            let nodes, leaf_cables, l2_cables = counts () in
+            Reservation_set
+              { job = job (); at = a_f (); nodes; leaf_cables; l2_cables }
+        | "reservation_clear" -> Reservation_clear { job = job () }
+        | "complete" ->
+            Complete { job = job (); started = a_f (); waited = b_f () }
+        | "reject" -> Reject { job = job () }
+        | "fail" ->
+            let nodes, leaf_cables, l2_cables = counts () in
+            Fail { target; id = a_i (); nodes; leaf_cables; l2_cables }
+        | "repair" -> Repair { target; id = a_i () }
+        | "kill" -> Kill { job = job (); attempt = a_i (); lost = b_f () }
+        | "requeue" ->
+            Requeue { job = job (); attempt = a_i (); resume_at = b_f () }
+        | "abandon" -> Abandon { job = job (); attempt = a_i () }
+        | k -> fail "unknown event kind %S" k
+      in
+      { time; payload }
+  | cells ->
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "expected 11 CSV columns, found %d"
+              (List.length cells)))
+
+let pp ppf e =
+  let b = Buffer.create 128 in
+  Json.write b (json_fields e);
+  Format.pp_print_string ppf (Buffer.contents b)

@@ -1,0 +1,27 @@
+(** Flat JSON objects: the writer/parser pair behind the JSONL trace
+    format and every other machine-readable output (metrics [--json],
+    profile reports).
+
+    Deliberately not a JSON library: values are numbers or strings only
+    and objects are single-level, which is exactly what the emitters
+    produce.  The parser rejects anything nested. *)
+
+type value = Num of float | Str of string
+
+val write : Buffer.t -> (string * value) list -> unit
+(** Append one [{"k":v,...}] object (no trailing newline).  Floats are
+    printed with enough digits to round-trip exactly. *)
+
+exception Parse_error of string
+
+val parse_line : string -> (string * value) list
+(** Parse one flat object.  Raises {!Parse_error} with a position and
+    reason on malformed input. *)
+
+(** Typed field accessors; all raise {!Parse_error} on a missing field
+    or a type mismatch. *)
+
+val mem : (string * value) list -> string -> bool
+val str : (string * value) list -> string -> string
+val num : (string * value) list -> string -> float
+val int : (string * value) list -> string -> int

@@ -1,0 +1,235 @@
+(* Profiling registry: counters, gauges and span timers keyed by name.
+
+   This is the wall-clock side of observability — everything the event
+   trace deliberately excludes.  Names use a "phase/metric" convention
+   ("sched/head_probe", "state/clones", "gauge/queue_depth"); the report
+   groups by the prefix, which is what turns a flat registry into the
+   per-phase profile. *)
+
+type span = {
+  mutable s_count : int;
+  mutable s_total_ns : float;
+  mutable s_max_ns : float;
+  s_hist : Sim.Stats.Hist.t;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, Sim.Stats.Acc.t) Hashtbl.t;
+  spans : (string, span) Hashtbl.t;
+}
+
+(* Decade buckets from 1 us to 1 s: allocation probes on big clusters
+   span roughly this range (BENCH json has the exact means). *)
+let span_boundaries = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    spans = Hashtbl.create 16;
+  }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+let add t name by = counter_ref t name := !(counter_ref t name) + by
+let set t name v = counter_ref t name := v
+let counter t name = match Hashtbl.find_opt t.counters name with
+  | Some r -> !r
+  | None -> 0
+
+let sample t name v =
+  let acc =
+    match Hashtbl.find_opt t.gauges name with
+    | Some a -> a
+    | None ->
+        let a = Sim.Stats.Acc.create () in
+        Hashtbl.replace t.gauges name a;
+        a
+  in
+  Sim.Stats.Acc.add acc v
+
+let span t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_count = 0;
+          s_total_ns = 0.0;
+          s_max_ns = 0.0;
+          s_hist = Sim.Stats.Hist.create ~boundaries:span_boundaries;
+        }
+      in
+      Hashtbl.replace t.spans name s;
+      s
+
+let record_span t name ns =
+  let s = span t name in
+  s.s_count <- s.s_count + 1;
+  s.s_total_ns <- s.s_total_ns +. ns;
+  if ns > s.s_max_ns then s.s_max_ns <- ns;
+  Sim.Stats.Hist.add s.s_hist ns
+
+let time t name f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  record_span t name (Clock.elapsed_ns ~since:t0);
+  r
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (sorted t.counters)
+
+type gauge_view = { g_samples : int; g_mean : float; g_min : float; g_max : float }
+
+let gauge_view acc =
+  let n = Sim.Stats.Acc.count acc in
+  {
+    g_samples = n;
+    g_mean = Sim.Stats.Acc.mean acc;
+    g_min = (if n = 0 then 0.0 else Sim.Stats.Acc.min acc);
+    g_max = (if n = 0 then 0.0 else Sim.Stats.Acc.max acc);
+  }
+
+let gauges t = List.map (fun (k, a) -> (k, gauge_view a)) (sorted t.gauges)
+
+type span_view = {
+  sp_count : int;
+  sp_total_ns : float;
+  sp_mean_ns : float;
+  sp_max_ns : float;
+  sp_hist : int array;
+}
+
+let span_view s =
+  {
+    sp_count = s.s_count;
+    sp_total_ns = s.s_total_ns;
+    sp_mean_ns =
+      (if s.s_count = 0 then 0.0 else s.s_total_ns /. float_of_int s.s_count);
+    sp_max_ns = s.s_max_ns;
+    sp_hist = Sim.Stats.Hist.counts s.s_hist;
+  }
+
+let spans t = List.map (fun (k, s) -> (k, span_view s)) (sorted t.spans)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ms ns = ns /. 1e6
+
+let pp_report ppf t =
+  let spans = spans t and counters = counters t and gauges = gauges t in
+  Format.fprintf ppf "profile:@.";
+  if spans <> [] then begin
+    Format.fprintf ppf "  spans (count / total ms / mean us / max ms):@.";
+    List.iter
+      (fun (name, v) ->
+        Format.fprintf ppf "    %-24s %9d %11.3f %9.2f %9.3f@." name v.sp_count
+          (ms v.sp_total_ns) (v.sp_mean_ns /. 1e3) (ms v.sp_max_ns))
+      spans;
+    Format.fprintf ppf
+      "    (span histogram buckets: <=1us 1-10us 10-100us 0.1-1ms 1-10ms 10-100ms 0.1-1s >1s)@.";
+    List.iter
+      (fun (name, v) ->
+        Format.fprintf ppf "    %-24s %s@." name
+          (String.concat " " (Array.to_list (Array.map string_of_int v.sp_hist))))
+      spans
+  end;
+  if counters <> [] then begin
+    Format.fprintf ppf "  counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "    %-32s %12d@." name v)
+      counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf ppf "  gauges (samples / mean / min / max):@.";
+    List.iter
+      (fun (name, g) ->
+        Format.fprintf ppf "    %-24s %9d %12.2f %10.0f %10.0f@." name
+          g.g_samples g.g_mean g.g_min g.g_max)
+      gauges
+  end
+
+(* Hand-rolled (sorted keys, one nesting level per section): the flat
+   [Json] writer cannot express the nested sections. *)
+let write_json b t =
+  let add_key k =
+    Buffer.add_char b '"';
+    Buffer.add_string b k;
+    Buffer.add_string b "\":"
+  in
+  let obj fields_fn =
+    Buffer.add_char b '{';
+    fields_fn ();
+    Buffer.add_char b '}'
+  in
+  obj (fun () ->
+      add_key "counters";
+      obj (fun () ->
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              add_key k;
+              Buffer.add_string b (string_of_int v))
+            (counters t));
+      Buffer.add_char b ',';
+      add_key "spans";
+      obj (fun () ->
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              add_key k;
+              obj (fun () ->
+                  add_key "count";
+                  Buffer.add_string b (string_of_int v.sp_count);
+                  Buffer.add_char b ',';
+                  add_key "total_ns";
+                  Buffer.add_string b (Printf.sprintf "%.0f" v.sp_total_ns);
+                  Buffer.add_char b ',';
+                  add_key "mean_ns";
+                  Buffer.add_string b (Printf.sprintf "%.1f" v.sp_mean_ns);
+                  Buffer.add_char b ',';
+                  add_key "max_ns";
+                  Buffer.add_string b (Printf.sprintf "%.0f" v.sp_max_ns);
+                  Buffer.add_char b ',';
+                  add_key "hist";
+                  Buffer.add_char b '[';
+                  Array.iteri
+                    (fun j c ->
+                      if j > 0 then Buffer.add_char b ',';
+                      Buffer.add_string b (string_of_int c))
+                    v.sp_hist;
+                  Buffer.add_char b ']'))
+            (spans t));
+      Buffer.add_char b ',';
+      add_key "gauges";
+      obj (fun () ->
+          List.iteri
+            (fun i (k, g) ->
+              if i > 0 then Buffer.add_char b ',';
+              add_key k;
+              obj (fun () ->
+                  add_key "samples";
+                  Buffer.add_string b (string_of_int g.g_samples);
+                  Buffer.add_char b ',';
+                  add_key "mean";
+                  Buffer.add_string b (Printf.sprintf "%.3f" g.g_mean);
+                  Buffer.add_char b ',';
+                  add_key "min";
+                  Buffer.add_string b (Printf.sprintf "%g" g.g_min);
+                  Buffer.add_char b ',';
+                  add_key "max";
+                  Buffer.add_string b (Printf.sprintf "%g" g.g_max)))
+            (gauges t)))

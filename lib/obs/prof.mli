@@ -1,0 +1,74 @@
+(** Profiling registry: named counters, gauges and monotonic-clock span
+    timers, aggregated into a per-phase profile report.
+
+    This is the wall-clock half of observability — everything the event
+    trace deliberately excludes so that traces stay deterministic.
+    Names follow a ["phase/metric"] convention (["sched/head_probe"],
+    ["state/clones"], ["gauge/queue_depth"]); reports and JSON output
+    sort by name, so related metrics group visually by prefix.
+
+    A simulation profiles only when handed a registry ([prof = Some p]);
+    with [None] every instrumentation site is a single branch. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} — monotone event tallies. *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set : t -> string -> int -> unit
+(** Overwrite — for importing an externally maintained counter
+    (e.g. [Fattree.State]'s clone/claim tallies) at end of run. *)
+
+val counter : t -> string -> int
+(** 0 for a name never touched. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+(** {1 Gauges} — values sampled over time (queue depth, free nodes). *)
+
+val sample : t -> string -> float -> unit
+
+type gauge_view = {
+  g_samples : int;
+  g_mean : float;
+  g_min : float;
+  g_max : float;
+}
+
+val gauges : t -> (string * gauge_view) list
+
+(** {1 Spans} — wall-clock timings of code regions. *)
+
+val span_boundaries : float array
+(** Histogram bucket edges in nanoseconds: decades from 1 us to 1 s
+    (8 buckets). *)
+
+val record_span : t -> string -> float -> unit
+(** Record an externally measured duration (nanoseconds). *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk under a monotonic-clock span. *)
+
+type span_view = {
+  sp_count : int;
+  sp_total_ns : float;
+  sp_mean_ns : float;
+  sp_max_ns : float;
+  sp_hist : int array;  (** Per-{!span_boundaries} bucket counts. *)
+}
+
+val spans : t -> (string * span_view) list
+
+(** {1 Output} *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable per-phase report (spans, counters, gauges). *)
+
+val write_json : Buffer.t -> t -> unit
+(** One JSON object [{"counters":…,"spans":…,"gauges":…}] with sorted
+    keys — embedded by [bench] into BENCH json and by [jigsaw-sim
+    --json --profile] into its output. *)

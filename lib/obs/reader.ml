@@ -1,0 +1,69 @@
+type meta = {
+  trace : string;
+  scheme : string;
+  scenario : string;
+  radix : int;
+  nodes : int;
+  jobs : int;
+}
+
+type run = { meta : meta option; events : Event.t list }
+
+let meta_of_payload = function
+  | Event.Run_meta { trace; scheme; scenario; radix; nodes; jobs } ->
+      Some { trace; scheme; scenario; radix; nodes; jobs }
+  | _ -> None
+
+(* Split a flat event stream into runs on Run_meta boundaries.  Events
+   before the first meta (hand-built or truncated files) form a headless
+   run rather than being dropped. *)
+let split_runs events =
+  let runs = ref [] and meta = ref None and acc = ref [] in
+  let close () =
+    if !meta <> None || !acc <> [] then
+      runs := { meta = !meta; events = List.rev !acc } :: !runs
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match meta_of_payload e.payload with
+      | Some m ->
+          close ();
+          meta := Some m;
+          acc := []
+      | None -> acc := e :: !acc)
+    events;
+  close ();
+  List.rev !runs
+
+let parse_events fmt lines =
+  let parse_one =
+    match fmt with Sink.Jsonl -> Event.of_jsonl | Sink.Csv -> Event.of_csv
+  in
+  let events = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then
+        let lineno = i + 1 in
+        let skip =
+          String.trim line = ""
+          || (fmt = Sink.Csv && lineno = 1 && line = Event.csv_header)
+        in
+        if not skip then
+          match parse_one line with
+          | e -> events := e :: !events
+          | exception Json.Parse_error m ->
+              err := Some (Printf.sprintf "line %d: %s" lineno m))
+    lines;
+  match !err with
+  | Some m -> Error m
+  | None -> Ok (split_runs (List.rev !events))
+
+let load ?format path =
+  let fmt = match format with Some f -> f | None -> Sink.format_of_path path in
+  match In_channel.with_open_text path In_channel.input_lines with
+  | lines -> (
+      match parse_events fmt lines with
+      | Ok runs -> Ok runs
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))
+  | exception Sys_error m -> Error m

@@ -1,0 +1,28 @@
+(** Reading traces back: the parsing half of the trace pipeline, shared
+    by the [jigsaw-trace] tool and the round-trip tests. *)
+
+type meta = {
+  trace : string;
+  scheme : string;
+  scenario : string;
+  radix : int;
+  nodes : int;
+  jobs : int;
+}
+
+type run = {
+  meta : meta option;
+      (** [None] for a headless fragment (no [Run_meta] line). *)
+  events : Event.t list;  (** Emission order, meta event excluded. *)
+}
+
+val split_runs : Event.t list -> run list
+(** Split a flat stream on [Run_meta] boundaries — one [jigsaw-sim
+    --sched all --trace-out f] file holds one run per scheme. *)
+
+val parse_events : Sink.format -> string list -> (run list, string) result
+(** Parse raw lines (blank lines and a leading CSV header are skipped).
+    [Error] carries the first offending line number and reason. *)
+
+val load : ?format:Sink.format -> string -> (run list, string) result
+(** Read a trace file; format defaults to {!Sink.format_of_path}. *)

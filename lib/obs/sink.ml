@@ -1,0 +1,60 @@
+type format = Jsonl | Csv
+
+type t = { enabled : bool; emit : Event.t -> unit; flush : unit -> unit }
+
+(* The null sink is a pair of constant closures behind [enabled = false]:
+   instrumentation sites test the flag before even constructing the
+   event payload, so a disabled run pays one load and one branch per
+   would-be event — nothing allocates. *)
+let null = { enabled = false; emit = ignore; flush = ignore }
+
+let emit t e = t.emit e
+let flush t = t.flush ()
+
+(* Writers buffer ~64 KiB before touching the channel: trace emission
+   sits inside the simulator's event loop and a write(2) per event would
+   dominate it. *)
+let buffer_limit = 64 * 1024
+
+let buffered ~header ~serialize oc =
+  let b = Buffer.create (2 * buffer_limit) in
+  (match header with None -> () | Some h -> Buffer.add_string b h; Buffer.add_char b '\n');
+  let drain () =
+    Buffer.output_buffer oc b;
+    Buffer.clear b
+  in
+  {
+    enabled = true;
+    emit =
+      (fun e ->
+        serialize b e;
+        if Buffer.length b >= buffer_limit then drain ());
+    flush =
+      (fun () ->
+        drain ();
+        Out_channel.flush oc);
+  }
+
+let jsonl oc = buffered ~header:None ~serialize:Event.to_jsonl oc
+let csv oc = buffered ~header:(Some Event.csv_header) ~serialize:Event.to_csv oc
+
+let to_channel fmt oc = match fmt with Jsonl -> jsonl oc | Csv -> csv oc
+
+let format_name = function Jsonl -> "jsonl" | Csv -> "csv"
+
+let format_of_name = function
+  | "jsonl" -> Some Jsonl
+  | "csv" -> Some Csv
+  | _ -> None
+
+let format_of_path path =
+  if Filename.check_suffix path ".csv" then Csv else Jsonl
+
+let memory () =
+  let acc = ref [] in
+  ( {
+      enabled = true;
+      emit = (fun e -> acc := e :: !acc);
+      flush = ignore;
+    },
+    fun () -> List.rev !acc )

@@ -1,0 +1,41 @@
+(** Event sinks: where a run's trace goes.
+
+    The simulator emits through this interface only; the sink decides
+    the cost.  The {!null} sink reduces an instrumentation site to one
+    flag test — instrumented-but-disabled runs stay within noise of
+    uninstrumented ones (pinned by the fingerprint and perf tests). *)
+
+type format = Jsonl | Csv
+
+type t = {
+  enabled : bool;
+      (** Instrumentation sites test this before building an event
+          payload; [false] makes every site a branch and nothing more. *)
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+}
+
+val null : t
+(** Drops everything; [enabled = false]. *)
+
+val emit : t -> Event.t -> unit
+val flush : t -> unit
+
+val jsonl : out_channel -> t
+(** Buffered JSONL writer (~64 KiB batches).  The caller owns the
+    channel; {!flush} drains the buffer and flushes the channel. *)
+
+val csv : out_channel -> t
+(** Buffered CSV writer; emits the header row immediately. *)
+
+val to_channel : format -> out_channel -> t
+
+val memory : unit -> t * (unit -> Event.t list)
+(** In-memory sink for tests: the closure returns events in emission
+    order. *)
+
+val format_name : format -> string
+val format_of_name : string -> format option
+
+val format_of_path : string -> format
+(** [Csv] for a [.csv] suffix, [Jsonl] otherwise. *)

@@ -46,6 +46,87 @@ let mean_turnaround jobs ~large_only =
     (total /. float_of_int n, n)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat key/value view of a result row, shared by the JSON encoder and
+   the fingerprint below.  The histogram is flattened to [inst_hist_<i>]
+   keys so the line stays parseable by the flat [Obs.Json] reader; the
+   (long) series is exported separately as CSV. *)
+let json_fields m =
+  let open Obs.Json in
+  let n name v = (name, Num v) in
+  let i name v = (name, Num (float_of_int v)) in
+  [
+    ("trace", Str m.trace_name);
+    ("sched", Str m.sched_name);
+    ("scenario", Str m.scenario_name);
+    i "cluster_nodes" m.cluster_nodes;
+    i "num_jobs" m.num_jobs;
+    i "rejected" m.rejected;
+    i "stuck_pending" m.stuck_pending;
+    n "avg_utilization" m.avg_utilization;
+    n "alloc_utilization" m.alloc_utilization;
+  ]
+  @ List.mapi (fun idx c -> i (Printf.sprintf "inst_hist_%d" idx) c)
+      (Array.to_list m.inst_hist)
+  @ [
+      n "makespan" m.makespan;
+      n "avg_turnaround_all" m.avg_turnaround_all;
+      n "avg_turnaround_large" m.avg_turnaround_large;
+      i "num_large" m.num_large;
+      n "sched_time_total" m.sched_time_total;
+      n "sched_time_per_job" m.sched_time_per_job;
+      n "steady_start" m.steady_start;
+      n "steady_end" m.steady_end;
+      i "fault_events" m.fault_events;
+      i "interrupted" m.interrupted;
+      i "requeued" m.requeued;
+      i "abandoned" m.abandoned;
+      n "lost_node_time" m.lost_node_time;
+      n "healthy_fraction" m.healthy_fraction;
+      n "util_vs_healthy" m.util_vs_healthy;
+      i "series_points" (Array.length m.series);
+    ]
+
+let to_json_string m =
+  let b = Buffer.create 512 in
+  Obs.Json.write b (json_fields m);
+  (* [Obs.Json.write] ends the line; callers print the bare object. *)
+  let s = Buffer.contents b in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+(* The behavioural digest: every simulated quantity, including the full
+   utilization series, but nothing wall-clock — [sched_time_*] vary
+   from run to run, so including them would make the "tracing changes
+   nothing" equality test vacuous. *)
+let fingerprint m =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (k, v) ->
+      if k <> "sched_time_total" && k <> "sched_time_per_job" then begin
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        (match v with
+        | Obs.Json.Str s -> Buffer.add_string b s
+        | Obs.Json.Num x -> Buffer.add_string b (Printf.sprintf "%.17g" x));
+        Buffer.add_char b '\n'
+      end)
+    (json_fields m);
+  Array.iter
+    (fun (t, u) -> Buffer.add_string b (Printf.sprintf "%.17g,%.17g\n" t u))
+    m.series;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let write_series_csv oc m =
+  output_string oc "time,utilization\n";
+  Array.iter
+    (fun (t, u) -> Printf.fprintf oc "%.17g,%.17g\n" t u)
+    m.series
+
 let pp_row ppf m =
   Format.fprintf ppf
     "%-10s %-8s %-6s util=%5.1f%% (held %5.1f%%) makespan=%11.0f tat=%10.0f tat100=%10.0f sched=%.5fs/job"
@@ -66,3 +147,20 @@ let pp_row ppf m =
      were rejected, and no other number accounts for them. *)
   if m.stuck_pending > 0 then
     Format.fprintf ppf " | STUCK=%d jobs still pending at end" m.stuck_pending
+
+(* All result printing funnels through here: one formatter, two faces.
+   [Human] is the historical one-line row; [Json] is one flat JSON
+   object per row, line-oriented so downstream tooling can stream it. *)
+type format = Human | Json
+
+let format_name = function Human -> "human" | Json -> "json"
+
+let format_of_name = function
+  | "human" -> Some Human
+  | "json" -> Some Json
+  | _ -> None
+
+let pp ~format ppf m =
+  match format with
+  | Human -> pp_row ppf m
+  | Json -> Format.pp_print_string ppf (to_json_string m)

@@ -75,7 +75,35 @@ type t = {
 }
 
 val pp_row : Format.formatter -> t -> unit
-(** One-line summary. *)
+(** One-line summary (the [Human] face of {!pp}). *)
+
+(** Output faces of a result row.  Every printer funnels through {!pp}
+    so the human and machine forms can never drift apart. *)
+type format = Human | Json
+
+val format_name : format -> string
+val format_of_name : string -> format option
+
+val pp : format:format -> Format.formatter -> t -> unit
+(** [Human]: the {!pp_row} line.  [Json]: one flat JSON object (no
+    newline), parseable by [Obs.Json.parse_line]; the instantaneous
+    histogram appears as [inst_hist_<i>] keys and the series only by
+    length ([series_points]) — export the series itself with
+    {!write_series_csv}. *)
+
+val to_json_string : t -> string
+(** The [Json] face as a string. *)
+
+val fingerprint : t -> string
+(** Hex digest of every {e simulated} quantity — all scalar results,
+    the instantaneous histogram and the full utilization series — but
+    excluding the wall-clock [sched_time_*] fields.  Two runs are
+    behaviourally identical iff their fingerprints match; the
+    observability layer is required to keep this invariant (tracing
+    on/off must not change it). *)
+
+val write_series_csv : out_channel -> t -> unit
+(** [time,utilization] CSV of the full series (full float precision). *)
 
 val mean_turnaround : per_job list -> large_only:bool -> float * int
 (** Average turnaround (end - arrival) and the population size, over all

@@ -25,6 +25,8 @@ type config = {
   backfill : bool;
   faults : Trace.Faults.t;
   resilience : resilience;
+  sink : Obs.Sink.t;
+  prof : Obs.Prof.t option;
 }
 
 let default_config allocator ~radix =
@@ -37,6 +39,8 @@ let default_config allocator ~radix =
     backfill = true;
     faults = Trace.Faults.none;
     resilience = no_resilience;
+    sink = Obs.Sink.null;
+    prof = None;
   }
 
 type running = {
@@ -91,6 +95,9 @@ type sim = {
   mutable requeued : int;
   mutable abandoned : int;
   mutable lost_node_time : float;
+  (* observability *)
+  mutable started_total : int; (* jobs started, for Pass_end deltas *)
+  mutable reserved : (int * float) option; (* live head reservation *)
 }
 
 let record sim =
@@ -117,6 +124,30 @@ let timed sim f =
   let r = f () in
   sim.sched_clock <- sim.sched_clock +. (Unix.gettimeofday () -. t0);
   r
+
+(* Emit one trace event.  The payload is a thunk so disabled tracing
+   costs one flag test and no allocation; when profiling, the live
+   gauges are sampled at every event regardless of the sink.  Events
+   carry simulated time and logical payloads only — nothing wall-clock —
+   so the stream is a pure function of (workload, scheme, seeds), and
+   emission never touches simulator state, so traced and untraced runs
+   produce bit-identical metrics. *)
+let emit sim mk_payload =
+  (match sim.cfg.prof with
+  | Some p ->
+      Obs.Prof.sample p "gauge/queue_depth"
+        (float_of_int (Hashtbl.length sim.pending));
+      Obs.Prof.sample p "gauge/free_nodes"
+        (float_of_int (State.total_free_nodes sim.st));
+      Obs.Prof.sample p "gauge/healthy_nodes"
+        (float_of_int (State.healthy_node_count sim.st))
+  | None -> ());
+  if sim.cfg.sink.Obs.Sink.enabled then
+    Obs.Sink.emit sim.cfg.sink
+      { Obs.Event.time = Sim.Engine.now sim.engine; payload = mk_payload () }
+
+let prof_incr sim name =
+  match sim.cfg.prof with Some p -> Obs.Prof.incr p name | None -> ()
 
 (* Earliest estimated completion time at which [job] could be placed,
    with the allocation it would get then.  [running] pairs each live
@@ -204,20 +235,56 @@ let probe_memo sim (j : Trace.Job.t) =
     sim.nofit_release_gen <- rg
   end;
   let key = (j.size, j.bw_class) in
-  if Hashtbl.mem sim.nofit key then None
+  if Hashtbl.mem sim.nofit key then (Obs.Event.Memo_hit, None)
   else
     match sim.cfg.allocator.probe sim.st j with
-    | Allocator.Alloc a -> Some a
+    | Allocator.Alloc a -> (Obs.Event.Fit, Some a)
     | Allocator.No_fit ->
         Hashtbl.replace sim.nofit key ();
-        None
-    | Allocator.Gave_up -> None
+        (Obs.Event.Infeasible, None)
+    | Allocator.Gave_up -> (Obs.Event.Exhausted, None)
+
+(* The instrumented probe: the memoized search runs under both clocks
+   (the metric's [sched_clock] inside, the profiling span outside, so
+   profiling overhead never pollutes [sched_time_per_job]), then the
+   outcome goes to the trace as an [Attempt] and to the probe counters. *)
+let probe_job sim ~ctx (j : Trace.Job.t) =
+  let search () = timed sim (fun () -> probe_memo sim j) in
+  let outcome, alloc =
+    match sim.cfg.prof with
+    | Some p ->
+        let span =
+          match ctx with
+          | Obs.Event.Head -> "sched/head_probe"
+          | Obs.Event.Backfill -> "sched/backfill_probe"
+        in
+        let r = Obs.Prof.time p span search in
+        Obs.Prof.incr p
+          (match fst r with
+          | Obs.Event.Fit -> "probe/fit"
+          | Obs.Event.Infeasible -> "probe/infeasible"
+          | Obs.Event.Exhausted -> "probe/exhausted"
+          | Obs.Event.Memo_hit -> "probe/memo_hit");
+        r
+    | None -> search ()
+  in
+  emit sim (fun () ->
+      let nodes, leaf_cables, l2_cables =
+        match alloc with
+        | Some (a : Alloc.t) ->
+            ( Array.length a.nodes,
+              Array.length a.leaf_cables,
+              Array.length a.l2_cables )
+        | None -> (0, 0, 0)
+      in
+      Obs.Event.Attempt { job = j.id; ctx; outcome; nodes; leaf_cables; l2_cables });
+  alloc
 
 (* Start a job now: claim its allocation and schedule its completion.
    The allocation came from a pure probe against this same state, so the
    expensive claim validation is skipped (JIGSAW_VALIDATE=1 re-enables
    it; the test suite covers the checked path). *)
-let rec start_job sim (j : Trace.Job.t) (alloc : Alloc.t) =
+let rec start_job sim ~ctx (j : Trace.Job.t) (alloc : Alloc.t) =
   State.claim_exn ~validate:false sim.st alloc;
   let now = Sim.Engine.now sim.engine in
   let dur = job_runtime sim j in
@@ -229,7 +296,28 @@ let rec start_job sim (j : Trace.Job.t) (alloc : Alloc.t) =
   sim.alloc_busy <- sim.alloc_busy + Array.length alloc.nodes;
   sim.req_busy <- sim.req_busy + j.size;
   sim.last_start_time <- now;
+  sim.started_total <- sim.started_total + 1;
   if sim.first_start_time < 0.0 then sim.first_start_time <- now;
+  (match sim.reserved with
+  | Some (id, _) when id = j.id ->
+      sim.reserved <- None;
+      emit sim (fun () -> Obs.Event.Reservation_clear { job = j.id })
+  | _ -> ());
+  prof_incr sim
+    (match ctx with
+    | Obs.Event.Head -> "sched/starts"
+    | Obs.Event.Backfill -> "sched/backfill_starts");
+  emit sim (fun () ->
+      Obs.Event.Start
+        {
+          job = j.id;
+          ctx;
+          nodes = Array.length alloc.nodes;
+          leaf_cables = Array.length alloc.leaf_cables;
+          l2_cables = Array.length alloc.l2_cables;
+          est_end = now +. job_estimate j;
+          attempt;
+        });
   (* The attempt number guards against a stale completion: a killed and
      requeued job must not be finished by its first attempt's event. *)
   Sim.Engine.schedule sim.engine ~time:r_end ~priority:0 (fun _ ->
@@ -248,6 +336,13 @@ and complete_job sim id ~attempt =
       sim.finished <-
         { Metrics.job = r.r_job; start_time = r.r_start; end_time = r.r_end }
         :: sim.finished;
+      emit sim (fun () ->
+          Obs.Event.Complete
+            {
+              job = id;
+              started = r.r_start;
+              waited = r.r_start -. r.r_job.arrival;
+            });
       record sim;
       request_pass sim
 
@@ -269,12 +364,28 @@ and compute_reservation sim (head : Trace.Job.t) =
      actual runtimes.  Since estimates are >= actuals, the reservation is
      conservative; the head still starts earlier if resources free up
      sooner (every completion triggers a scheduling pass). *)
-  let running =
-    Hashtbl.fold (fun _ r acc -> (r.r_est_end, r.r_alloc) :: acc) sim.running []
+  let search () =
+    let running =
+      Hashtbl.fold
+        (fun _ r acc -> (r.r_est_end, r.r_alloc) :: acc)
+        sim.running []
+    in
+    reservation sim.cfg.allocator sim.st ~running ~job:head
   in
-  reservation sim.cfg.allocator sim.st ~running ~job:head
+  match sim.cfg.prof with
+  | Some p -> Obs.Prof.time p "sched/reservation" search
+  | None -> search ()
 
 and schedule_pass sim =
+  emit sim (fun () ->
+      Obs.Event.Pass_start { pending = Hashtbl.length sim.pending });
+  prof_incr sim "sched/passes";
+  let started_before = sim.started_total in
+  run_pass sim;
+  emit sim (fun () ->
+      Obs.Event.Pass_end { started = sim.started_total - started_before })
+
+and run_pass sim =
   (* A queue entry is live iff the job is still pending AND the entry
      carries the job's current enqueue stamp — a started-then-requeued
      job's stale entry has an old stamp and is skipped even though the
@@ -298,11 +409,11 @@ and schedule_pass sim =
     match head_job () with
     | None -> None
     | Some j -> (
-        match timed sim (fun () -> probe_memo sim j) with
+        match probe_job sim ~ctx:Obs.Event.Head j with
         | Some alloc ->
             ignore (Queue.pop sim.pending_ids);
             Hashtbl.remove sim.pending j.id;
-            start_job sim j alloc;
+            start_job sim ~ctx:Obs.Event.Head j alloc;
             drain_head ()
         | None -> Some j)
   in
@@ -318,6 +429,7 @@ and schedule_pass sim =
         ignore (Queue.pop sim.pending_ids);
         Hashtbl.remove sim.pending head.id;
         sim.rejected <- sim.rejected + 1;
+        emit sim (fun () -> Obs.Event.Reject { job = head.id });
         request_pass sim
       end
   | Some head -> (
@@ -336,6 +448,12 @@ and schedule_pass sim =
           ignore (Queue.pop sim.pending_ids);
           Hashtbl.remove sim.pending head.id;
           sim.rejected <- sim.rejected + 1;
+          (match sim.reserved with
+          | Some (id, _) when id = head.id ->
+              sim.reserved <- None;
+              emit sim (fun () -> Obs.Event.Reservation_clear { job = head.id })
+          | _ -> ());
+          emit sim (fun () -> Obs.Event.Reject { job = head.id });
           request_pass sim
       | None ->
           (* The head only exceeds *currently surviving* capacity: a
@@ -344,6 +462,18 @@ and schedule_pass sim =
              which retries this reservation. *)
           ()
       | Some (res_time, res_alloc) ->
+          if sim.reserved <> Some (head.id, res_time) then begin
+            sim.reserved <- Some (head.id, res_time);
+            emit sim (fun () ->
+                Obs.Event.Reservation_set
+                  {
+                    job = head.id;
+                    at = res_time;
+                    nodes = Array.length res_alloc.nodes;
+                    leaf_cables = Array.length res_alloc.leaf_cables;
+                    l2_cables = Array.length res_alloc.l2_cables;
+                  })
+          end;
           (* ...phase 3: EASY backfill within the lookahead window.  The
              reserved resources become bitsets so each candidate's
              disjointness test is an O(1)-per-element membership probe
@@ -395,13 +525,13 @@ and schedule_pass sim =
                 Hashtbl.mem sim.pending j.id
                 && State.total_free_nodes sim.st >= j.size
               then begin
-                match timed sim (fun () -> probe_memo sim j) with
+                match probe_job sim ~ctx:Obs.Event.Backfill j with
                 | Some alloc ->
                     let now = Sim.Engine.now sim.engine in
                     let fits_before = now +. job_estimate j <= res_time in
                     if fits_before || disjoint_from_reservation alloc then begin
                       Hashtbl.remove sim.pending j.id;
-                      start_job sim j alloc
+                      start_job sim ~ctx:Obs.Event.Backfill j alloc
                     end
                 | None -> ()
               end)
@@ -415,6 +545,7 @@ let arrive sim (j : Trace.Job.t) =
   Hashtbl.replace sim.pending_gen j.id gen;
   Queue.add (j.id, gen) sim.pending_ids;
   Hashtbl.replace sim.pending j.id j;
+  emit sim (fun () -> Obs.Event.Arrival { job = j.id; size = j.size });
   (* No sample here: Table 2 measures utilization at schedule and
      completion events only, and arrivals do not change occupancy. *)
   request_pass sim
@@ -441,14 +572,26 @@ let kill_job sim (r : running) =
   if sim.cfg.resilience.charge_lost_work || not requeue then
     sim.lost_node_time <-
       sim.lost_node_time +. ((now -. r.r_start) *. float_of_int r.r_job.size);
+  emit sim (fun () ->
+      Obs.Event.Kill
+        {
+          job = r.r_job.id;
+          attempt = r.r_attempt;
+          lost = (now -. r.r_start) *. float_of_int r.r_job.size;
+        });
   if requeue then begin
     sim.requeued <- sim.requeued + 1;
-    Sim.Engine.schedule sim.engine
-      ~time:(now +. sim.cfg.resilience.resubmit_delay)
-      ~priority:1
-      (fun _ -> arrive sim r.r_job)
+    let resume_at = now +. sim.cfg.resilience.resubmit_delay in
+    emit sim (fun () ->
+        Obs.Event.Requeue { job = r.r_job.id; attempt = kills; resume_at });
+    Sim.Engine.schedule sim.engine ~time:resume_at ~priority:1 (fun _ ->
+        arrive sim r.r_job)
   end
-  else sim.abandoned <- sim.abandoned + 1
+  else begin
+    sim.abandoned <- sim.abandoned + 1;
+    emit sim (fun () ->
+        Obs.Event.Abandon { job = r.r_job.id; attempt = r.r_attempt })
+  end
 
 let fault_event sim (e : Trace.Faults.event) =
   match e.kind with
@@ -457,6 +600,12 @@ let fault_event sim (e : Trace.Faults.event) =
          which invalidates the no-fit memo, and may unblock the queue. *)
       Trace.Faults.revert sim.st e.target;
       sim.pending_repairs <- sim.pending_repairs - 1;
+      emit sim (fun () ->
+          Obs.Event.Repair
+            {
+              target = Trace.Faults.target_name e.target;
+              id = Trace.Faults.target_id e.target;
+            });
       record sim;
       request_pass sim
   | Trace.Faults.Fail ->
@@ -478,6 +627,15 @@ let fault_event sim (e : Trace.Faults.event) =
       let f_l2 =
         of_array (Fattree.Topology.num_l2_spine_cables topo) l2_cables
       in
+      emit sim (fun () ->
+          Obs.Event.Fail
+            {
+              target = Trace.Faults.target_name e.target;
+              id = Trace.Faults.target_id e.target;
+              nodes = Array.length nodes;
+              leaf_cables = Array.length leaf_cables;
+              l2_cables = Array.length l2_cables;
+            });
       let victims =
         Hashtbl.fold
           (fun _ r acc ->
@@ -535,8 +693,20 @@ let run_detailed cfg (w : Trace.Workload.t) =
       requeued = 0;
       abandoned = 0;
       lost_node_time = 0.0;
+      started_total = 0;
+      reserved = None;
     }
   in
+  emit sim (fun () ->
+      Obs.Event.Run_meta
+        {
+          trace = w.name;
+          scheme = cfg.allocator.name;
+          scenario = Trace.Scenario.name cfg.scenario;
+          radix = cfg.radix;
+          nodes = Fattree.Topology.num_nodes topo;
+          jobs = Array.length w.jobs;
+        });
   Array.iter
     (fun (j : Trace.Job.t) ->
       Sim.Engine.schedule sim.engine ~time:j.arrival ~priority:1 (fun _ ->
@@ -549,7 +719,27 @@ let run_detailed cfg (w : Trace.Workload.t) =
       Sim.Engine.schedule sim.engine ~time:e.time ~priority:0 (fun _ ->
           fault_event sim e))
     (Trace.Faults.events cfg.faults);
+  (match cfg.prof with
+  | Some p ->
+      Sim.Engine.set_on_step sim.engine
+        (Some
+           (fun e ->
+             Obs.Prof.sample p "gauge/event_queue"
+               (float_of_int (Sim.Engine.pending e))))
+  | None -> ());
   Sim.Engine.run sim.engine;
+  (* Import the externally maintained tallies so the profile report is
+     self-contained: one registry holds the whole run's cost picture. *)
+  (match cfg.prof with
+  | Some p ->
+      Obs.Prof.set p "state/clones" (State.clone_count sim.st);
+      Obs.Prof.set p "state/claims" (State.claim_count sim.st);
+      Obs.Prof.set p "state/releases" (State.release_count sim.st);
+      Obs.Prof.set p "state/failures" (State.failure_count sim.st);
+      Obs.Prof.set p "state/repairs" (State.repair_count sim.st);
+      Obs.Prof.set p "engine/steps" (Sim.Engine.steps sim.engine)
+  | None -> ());
+  Obs.Sink.flush cfg.sink;
   (* ---- metrics ---- *)
   let n_nodes = Fattree.Topology.num_nodes topo in
   let samples = Array.of_list (List.rev sim.samples) in

@@ -54,12 +54,22 @@ type config = {
           the backfilling ablation. *)
   faults : Trace.Faults.t;  (** [Trace.Faults.none] for a healthy machine. *)
   resilience : resilience;
+  sink : Obs.Sink.t;
+      (** Trace destination.  Events carry simulated time and logical
+          payloads only, so a trace is a pure function of (workload,
+          scheme, seeds); with {!Obs.Sink.null} every emission site is a
+          flag test and metrics are bit-identical to an untraced run. *)
+  prof : Obs.Prof.t option;
+      (** Wall-clock profiling registry ([None]: no profiling).  Spans
+          wrap the probe and reservation searches {e outside} the
+          [sched_time] clock, so profiling never pollutes the reported
+          scheduling cost. *)
 }
 
 val default_config : Allocator.t -> radix:int -> config
 (** Scenario [No_speedup], seed 1, window 50, backfilling on, no faults,
-    {!no_resilience} — behaviourally identical to the pre-fault
-    simulator. *)
+    {!no_resilience}, null sink, no profiling — behaviourally identical
+    to the pre-fault simulator. *)
 
 val reservation :
   Allocator.t ->

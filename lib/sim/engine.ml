@@ -1,5 +1,12 @@
 type event = { time : float; priority : int; seq : int; action : t -> unit }
-and t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+
+and t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  mutable steps : int;
+  mutable on_step : (t -> unit) option;
+}
 
 let cmp_event a b =
   let c = compare a.time b.time in
@@ -9,8 +16,18 @@ let cmp_event a b =
     if c <> 0 then c else compare a.seq b.seq
   end
 
-let create () = { clock = 0.0; next_seq = 0; queue = Heap.create ~cmp:cmp_event }
+let create () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    queue = Heap.create ~cmp:cmp_event;
+    steps = 0;
+    on_step = None;
+  }
+
 let now t = t.clock
+let steps t = t.steps
+let set_on_step t hook = t.on_step <- hook
 
 let schedule t ~time ?(priority = 0) action =
   if time < t.clock then
@@ -30,7 +47,9 @@ let step t =
   | None -> false
   | Some ev ->
       t.clock <- ev.time;
+      t.steps <- t.steps + 1;
       ev.action t;
+      (match t.on_step with Some hook -> hook t | None -> ());
       true
 
 let run t = while step t do () done

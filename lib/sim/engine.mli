@@ -26,6 +26,15 @@ val schedule_after : t -> delay:float -> ?priority:int -> (t -> unit) -> unit
 val pending : t -> int
 (** [pending t] is the number of events still queued. *)
 
+val steps : t -> int
+(** [steps t] is the number of events executed so far. *)
+
+val set_on_step : t -> (t -> unit) option -> unit
+(** [set_on_step t (Some hook)] runs [hook] after every executed event —
+    an observability tap (e.g. sampling queue length into a profiling
+    gauge).  The hook must not schedule events.  [None] (the default)
+    removes it. *)
+
 val step : t -> bool
 (** [step t] executes the next event, advancing the clock to its time.
     Returns [false] if no event was pending. *)

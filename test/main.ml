@@ -43,4 +43,5 @@ let () =
       ("metrics", Test_metrics.suite);
       ("perf", Test_perf.suite);
       ("reproduction", Test_reproduction.suite);
+      ("obs", Test_obs.suite);
     ]
