@@ -18,17 +18,32 @@ let section title =
 (* Shared simulation cache: fig6, table2 and table3 reuse runs.        *)
 (* ------------------------------------------------------------------ *)
 
+(* BENCH_JOBS=N shards each target's simulations over N domains via
+   [Sched.Sweep] before the serial print loop (0: the machine's
+   recommended count).  Default is 1 — fully serial — because parallel
+   cells contend for memory bandwidth and would inflate the wall-clock
+   [sched_time_*] numbers some targets report. *)
+let bench_jobs =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some 0 -> Par.Pool.default_jobs ()
+      | Some n when n > 0 -> n
+      | _ -> 1)
+
 let cache : (string * string * string, Sched.Metrics.t) Hashtbl.t =
   Hashtbl.create 64
 
+let sim_key (entry : Trace.Presets.entry) (alloc : Sched.Allocator.t) scenario =
+  ( Printf.sprintf "%s#%d" entry.workload.Trace.Workload.name
+      (Trace.Workload.num_jobs entry.workload),
+    alloc.Sched.Allocator.name,
+    Trace.Scenario.name scenario )
+
 let run_sim ?(scenario = Trace.Scenario.No_speedup) (entry : Trace.Presets.entry)
     (alloc : Sched.Allocator.t) =
-  let key =
-    ( Printf.sprintf "%s#%d" entry.workload.Trace.Workload.name
-        (Trace.Workload.num_jobs entry.workload),
-      alloc.name,
-      Trace.Scenario.name scenario )
-  in
+  let key = sim_key entry alloc scenario in
   match Hashtbl.find_opt cache key with
   | Some m -> m
   | None ->
@@ -41,6 +56,42 @@ let run_sim ?(scenario = Trace.Scenario.No_speedup) (entry : Trace.Presets.entry
       let m = Sched.Simulator.run cfg entry.workload in
       Hashtbl.replace cache key m;
       m
+
+(* Fill the cache for a target's (entry, alloc, scenario) triples in
+   parallel; the target's serial loop then prints pure cache hits.  The
+   sweep cells replicate [run_sim]'s config exactly, and results merge
+   in submission order, so the cached metrics are byte-identical to the
+   serial path whatever BENCH_JOBS is. *)
+let prewarm triples =
+  if bench_jobs > 1 then begin
+    let seen = Hashtbl.create 32 in
+    let missing =
+      List.filter
+        (fun (e, a, scen) ->
+          let key = sim_key e a scen in
+          let fresh =
+            (not (Hashtbl.mem cache key)) && not (Hashtbl.mem seen key)
+          in
+          if fresh then Hashtbl.replace seen key ();
+          fresh)
+        triples
+    in
+    let cells =
+      List.map
+        (fun ((e : Trace.Presets.entry), a, scen) ->
+          Sched.Sweep.cell ~scenario:scen ~radix:e.cluster_radix a e.workload)
+        missing
+      |> Array.of_list
+    in
+    let results = Sched.Sweep.run ~jobs:bench_jobs cells in
+    List.iteri
+      (fun i (e, a, scen) ->
+        Hashtbl.replace cache (sim_key e a scen)
+          results.(i).Sched.Sweep.metrics)
+      missing
+  end
+
+let no_speedup = Trace.Scenario.No_speedup
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: characteristics of the job queue traces.                   *)
@@ -65,6 +116,10 @@ let table1 () =
 let fig6 () =
   section "Figure 6: Average system utilization (%) per scheme and trace";
   let schemes = Sched.Allocator.all in
+  prewarm
+    (List.concat_map
+       (fun e -> List.map (fun a -> (e, a, no_speedup)) schemes)
+       (Trace.Presets.figure6_order ~full));
   Format.printf "%-10s" "Trace";
   List.iter (fun (a : Sched.Allocator.t) -> Format.printf " %9s" a.name) schemes;
   Format.printf "@.";
@@ -89,6 +144,8 @@ let fig6 () =
 let table2 () =
   section "Table 2: Instantaneous utilization frequency on Thunder";
   let e = Trace.Presets.thunder ~full in
+  prewarm
+    (List.map (fun a -> (e, a, no_speedup)) Sched.Allocator.isolating);
   Format.printf "%-8s %8s %8s %8s %8s %8s %8s@." "Approach" ">=98" "95-97"
     "90-95" "80-90" "60-80" "<=60";
   List.iter
@@ -120,9 +177,24 @@ let sweep_entry ?(cap = 2_500) (e : Trace.Presets.entry) =
   if full then e
   else { e with workload = Trace.Workload.truncate e.workload cap }
 
+(* Everything a scenario-sweep figure touches: Baseline once per entry
+   plus every (scheme, scenario) pair. *)
+let scenario_triples entries =
+  List.concat_map
+    (fun e ->
+      (e, Sched.Allocator.baseline, no_speedup)
+      :: List.concat_map
+           (fun scen -> List.map (fun a -> (e, a, scen)) scenario_schemes)
+           Trace.Scenario.all)
+    entries
+
 let fig7 () =
   section
     "Figure 7: Average job turnaround time normalized to Baseline (all jobs / jobs > 100 nodes)";
+  prewarm
+    (scenario_triples
+       [ sweep_entry (Trace.Presets.aug_cab ~full);
+         sweep_entry (Trace.Presets.oct_cab ~full) ]);
   List.iter
     (fun (e : Trace.Presets.entry) ->
       Format.printf "--- %s ---@." e.workload.name;
@@ -155,6 +227,10 @@ let fig7 () =
 
 let fig8 () =
   section "Figure 8: Makespan normalized to Baseline";
+  prewarm
+    (scenario_triples
+       [ sweep_entry ~cap:2_000 (Trace.Presets.thunder ~full);
+         sweep_entry ~cap:1_500 (Trace.Presets.atlas ~full) ]);
   List.iter
     (fun (e : Trace.Presets.entry) ->
       Format.printf "--- %s ---@." e.workload.name;
@@ -193,6 +269,10 @@ let table3 () =
       Trace.Presets.synth_28 ~full;
     ]
   in
+  prewarm
+    (List.concat_map
+       (fun e -> List.map (fun a -> (e, a, no_speedup)) scenario_schemes)
+       entries);
   Format.printf "%-8s" "";
   List.iter
     (fun (e : Trace.Presets.entry) -> Format.printf " %10s" e.workload.name)
@@ -276,9 +356,46 @@ let micro () =
           (Staged.stage (fun () -> ignore (Routing.Fwd.compile topo p)));
       ]
   in
+  (* The Bitset satellite: word-skipping iteration vs the per-bit
+     membership loop it replaced in the backfill/fault hot paths. *)
+  let bitset_group =
+    let n = 4096 in
+    let mk density =
+      let b = Sim.Bitset.create n in
+      let prng = Sim.Prng.create ~seed:42 in
+      for i = 0 to n - 1 do
+        if Sim.Prng.float prng ~bound:1.0 < density then Sim.Bitset.add b i
+      done;
+      b
+    in
+    let sink = ref 0 in
+    let mem_loop b () =
+      sink := 0;
+      for i = 0 to n - 1 do
+        if Sim.Bitset.mem b i then sink := !sink + i
+      done
+    in
+    let iter_set b () =
+      sink := 0;
+      Sim.Bitset.iter_set b ~f:(fun i -> sink := !sink + i)
+    in
+    Test.make_grouped ~name:"bitset-iter-4096"
+      (List.concat_map
+         (fun (label, density) ->
+           let b = mk density in
+           [
+             Test.make
+               ~name:(Printf.sprintf "mem-loop-%s" label)
+               (Staged.stage (mem_loop b));
+             Test.make
+               ~name:(Printf.sprintf "iter_set-%s" label)
+               (Staged.stage (iter_set b));
+           ])
+         [ ("sparse2%", 0.02); ("half", 0.5); ("dense98%", 0.98) ])
+  in
   let groups =
     List.map alloc_group [ ("leaf", 6); ("pod", 40); ("multi-pod", 200) ]
-    @ [ routing_group ]
+    @ [ routing_group; bitset_group ]
   in
   let benchmark tests =
     let ols =
@@ -314,19 +431,22 @@ let micro () =
     groups
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_0002.json: machine-readable perf trajectory across PRs.       *)
+(* BENCH_0003.json: machine-readable perf trajectory across PRs.       *)
 (* ------------------------------------------------------------------ *)
 
 (* Emits allocator micro-latencies (mean try_alloc on a busy radix-24
-   cluster), per-trace scheduler costs for the Table 3 traces, and a
-   per-scheme profile (probe outcome counters incl. memo hit rate,
-   state clone/claim tallies, span totals) from an instrumented
-   Synth-16 run, so regressions show up as a diff of this file rather
-   than a human re-reading bench output.  Traces are truncated in
-   default mode to keep the target in the ~minute range; REPRO_FULL=1
-   uses paper scale. *)
+   cluster), bitset iteration micro-latencies, per-trace scheduler
+   costs for the Table 3 traces, a per-scheme profile (probe outcome
+   counters incl. memo hit rate, state clone/claim tallies, span
+   totals) from an instrumented Synth-16 run, and a parallel-sweep
+   section (serial vs 1/2/4/8-domain wall-clock over the full
+   preset x scheme grid, with a fingerprint cross-check), so
+   regressions show up as a diff of this file rather than a human
+   re-reading bench output.  Traces are truncated in default mode to
+   keep the target in the ~minute range; REPRO_FULL=1 uses paper
+   scale. *)
 
-let bench_json_file = "BENCH_0002.json"
+let bench_json_file = "BENCH_0003.json"
 
 let bench_json () =
   section (Printf.sprintf "%s (machine-readable perf trajectory)" bench_json_file);
@@ -352,6 +472,40 @@ let bench_json () =
           Sched.Allocator.all)
       [ ("leaf", 6); ("pod", 40); ("multi-pod", 200) ]
   in
+  (* Bitset iteration: the word-skipping [iter_set] against the per-bit
+     membership loop it replaced; ns per full 4096-bit pass. *)
+  let bitset_rows =
+    let n = 4096 in
+    List.map
+      (fun (label, density) ->
+        let b = Sim.Bitset.create n in
+        let prng = Sim.Prng.create ~seed:42 in
+        for i = 0 to n - 1 do
+          if Sim.Prng.float prng ~bound:1.0 < density then Sim.Bitset.add b i
+        done;
+        let sink = ref 0 in
+        let timed f =
+          for _ = 1 to 50 do f () done;
+          let iters = 2_000 in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to iters do f () done;
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+        in
+        let mem_ns =
+          timed (fun () ->
+              sink := 0;
+              for i = 0 to n - 1 do
+                if Sim.Bitset.mem b i then sink := !sink + i
+              done)
+        in
+        let iter_ns =
+          timed (fun () ->
+              sink := 0;
+              Sim.Bitset.iter_set b ~f:(fun i -> sink := !sink + i))
+        in
+        (label, density, mem_ns, iter_ns))
+      [ ("sparse2%", 0.02); ("half", 0.5); ("dense98%", 0.98) ]
+  in
   let entries =
     [
       Trace.Presets.synth_16 ~full;
@@ -361,6 +515,11 @@ let bench_json () =
     ]
     |> List.map (sweep_entry ~cap:1_500)
   in
+  prewarm
+    (List.concat_map
+       (fun e ->
+         List.map (fun a -> (e, a, no_speedup)) Sched.Allocator.all)
+       entries);
   let trace_rows =
     List.concat_map
       (fun (e : Trace.Presets.entry) ->
@@ -381,18 +540,20 @@ let bench_json () =
      the shared cache, so the timing rows above stay un-instrumented. *)
   let profile_entry = sweep_entry ~cap:1_500 (Trace.Presets.synth_16 ~full) in
   let profile_rows =
-    List.map
-      (fun (a : Sched.Allocator.t) ->
-        let p = Obs.Prof.create () in
-        let cfg =
-          {
-            (Sched.Simulator.default_config a
-               ~radix:profile_entry.cluster_radix)
-            with
-            prof = Some p;
-          }
-        in
-        ignore (Sched.Simulator.run cfg profile_entry.workload);
+    (* Each scheme's cell profiles into its own registry (Obs.Prof is
+       single-writer); the coordinator reads them after the pool joins. *)
+    let cells =
+      List.map
+        (fun a ->
+          Sched.Sweep.cell ~profile:true ~radix:profile_entry.cluster_radix a
+            profile_entry.workload)
+        Sched.Allocator.all
+      |> Array.of_list
+    in
+    let results = Sched.Sweep.run ~jobs:bench_jobs cells in
+    List.mapi
+      (fun i (a : Sched.Allocator.t) ->
+        let p = Option.get results.(i).Sched.Sweep.prof in
         let c = Obs.Prof.counter p in
         let probes =
           c "probe/fit" + c "probe/infeasible" + c "probe/exhausted"
@@ -407,11 +568,38 @@ let bench_json () =
         (a.name, memo_rate, Buffer.contents b))
       Sched.Allocator.all
   in
+  (* The sweep section: the full preset x scheme grid (45 cells at this
+     scale) timed end-to-end at 1/2/4/8 domains.  Fingerprints of every
+     cell must match the serial run bit-for-bit — the merge is
+     submission-ordered, so domain count must be unobservable.  These
+     runs bypass the shared cache: wall-clock comparisons need fresh
+     work.  Speedup saturates at the host's core count; "host_domains"
+     records what the hardware offered. *)
+  let sweep_runs =
+    List.map
+      (fun jobs ->
+        let cells = Sched.Sweep.grid ~full () in
+        let t0 = Unix.gettimeofday () in
+        let results = Sched.Sweep.run ~jobs cells in
+        let wall = Unix.gettimeofday () -. t0 in
+        let fps =
+          Array.map
+            (fun (r : Sched.Sweep.result) ->
+              Sched.Metrics.fingerprint r.metrics)
+            results
+        in
+        Format.printf "  sweep at %d domain%s: %.2fs@." jobs
+          (if jobs = 1 then "" else "s")
+          wall;
+        (jobs, wall, fps))
+      [ 1; 2; 4; 8 ]
+  in
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"bench_id\": \"BENCH_0002\",\n";
+  out "  \"bench_id\": \"BENCH_0003\",\n";
   out "  \"scale\": \"%s\",\n" (if full then "full" else "default");
+  out "  \"host_domains\": %d,\n" (Par.Pool.default_jobs ());
   out "  \"micro_try_alloc\": {\n";
   out "    \"cluster\": { \"radix\": %d, \"target_occupancy\": %.2f },\n" radix
     target;
@@ -422,6 +610,30 @@ let bench_json () =
         name label size ns
         (if i = List.length micro_rows - 1 then "" else ","))
     micro_rows;
+  out "    ]\n  },\n";
+  out "  \"micro_bitset\": [\n";
+  List.iteri
+    (fun i (label, density, mem_ns, iter_ns) ->
+      out
+        "    { \"set\": %S, \"density\": %.2f, \"bits\": 4096, \"mem_loop_ns\": %.1f, \"iter_set_ns\": %.1f, \"speedup\": %.2f }%s\n"
+        label density mem_ns iter_ns
+        (if iter_ns > 0.0 then mem_ns /. iter_ns else 0.0)
+        (if i = List.length bitset_rows - 1 then "" else ","))
+    bitset_rows;
+  out "  ],\n";
+  out "  \"sweep\": {\n";
+  (let _, serial_wall, serial_fps = List.hd sweep_runs in
+   out "    \"grid\": { \"traces\": 9, \"schemes\": 5, \"cells\": %d },\n"
+     (Array.length serial_fps);
+   out "    \"runs\": [\n";
+   List.iteri
+     (fun i (jobs, wall, fps) ->
+       out
+         "      { \"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.3f, \"fingerprints_match_serial\": %b }%s\n"
+         jobs wall (serial_wall /. wall)
+         (fps = serial_fps)
+         (if i = List.length sweep_runs - 1 then "" else ","))
+     sweep_runs);
   out "    ]\n  },\n";
   out "  \"traces\": [\n";
   List.iteri
@@ -444,8 +656,10 @@ let bench_json () =
     profile_rows;
   out "    }\n  }\n}\n";
   close_out oc;
-  Format.printf "wrote %s (%d micro rows, %d trace rows, %d profiles)@."
-    bench_json_file (List.length micro_rows) (List.length trace_rows)
+  Format.printf
+    "wrote %s (%d micro rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles)@."
+    bench_json_file (List.length micro_rows) (List.length bitset_rows)
+    (List.length sweep_runs) (List.length trace_rows)
     (List.length profile_rows)
 
 (* ------------------------------------------------------------------ *)

@@ -1,46 +1,34 @@
-(* jigsaw-sim: run one scheduling simulation from the command line.
+(* jigsaw-sim: run scheduling simulations from the command line.
 
    Examples:
      jigsaw-sim --trace Thunder --sched Jigsaw
      jigsaw-sim --trace Synth-16 --sched all --scenario 10%
      jigsaw-sim --swf my_trace.swf --radix 18 --sched Jigsaw --table2
-     jigsaw-sim --trace Synth-22 --sched all --mtbf 2e6 --mttr 2e4 --requeue 3 *)
+     jigsaw-sim --trace Synth-22 --sched all --mtbf 2e6 --mttr 2e4 --requeue 3
+     jigsaw-sim --sweep --sched all --jobs 4          # full preset x scheme grid
+     jigsaw-sim --sweep --sched all --fingerprint     # deterministic digests *)
 
 open Cmdliner
 
-let run preset swf radix sched scenario seed window jobs full table2 series
-    mtbf mttr fault_seed fault_trace fault_horizon requeue resubmit_delay
-    charge_lost_work trace_out trace_format profile json series_out =
-  let entry =
-    match (preset, swf) with
-    | Some name, None -> (
-        match Trace.Presets.by_name ~full name with
-        | Some e -> e
-        | None ->
-            Format.eprintf "unknown trace %s; known: %s@." name
-              (String.concat ", "
-                 (List.map
-                    (fun (e : Trace.Presets.entry) -> e.workload.name)
-                    (Trace.Presets.all ~full)));
-            exit 1)
-    | None, Some path -> (
-        match Trace.Swf.load ~name:(Filename.basename path) ~system_nodes:0 path with
-        | Ok w -> { Trace.Presets.workload = w; cluster_radix = radix }
-        | Error m ->
-            Format.eprintf "cannot load %s: %s@." path m;
-            exit 1)
-    | Some _, Some _ ->
-        Format.eprintf "--trace and --swf are mutually exclusive@.";
-        exit 1
-    | None, None ->
-        Format.eprintf "one of --trace or --swf is required@.";
-        exit 1
+(* Stop generating new --mtbf failures once the queue is likely drained:
+   the last arrival plus twice the longest runtime request. *)
+let default_horizon (w : Trace.Workload.t) =
+  let jobs = w.jobs in
+  let last_arrival =
+    if Array.length jobs = 0 then 0.0 else jobs.(Array.length jobs - 1).arrival
   in
-  let workload =
-    match jobs with
-    | Some n -> Trace.Workload.truncate entry.workload n
-    | None -> entry.workload
+  let max_est =
+    Array.fold_left
+      (fun acc (j : Trace.Job.t) -> Float.max acc j.est_runtime)
+      0.0 jobs
   in
+  last_arrival +. (2.0 *. max_est)
+
+let run preset swf radix sched scenario seed window truncate jobs sweep full
+    table2 series mtbf mttr fault_seed fault_trace fault_horizon requeue
+    resubmit_delay charge_lost_work trace_out trace_format profile json
+    fingerprint series_out =
+  let jobs = if jobs = 0 then Par.Pool.default_jobs () else max 1 jobs in
   let scenario =
     match scenario with
     | "None" -> Trace.Scenario.No_speedup
@@ -68,40 +56,6 @@ let run preset swf radix sched scenario seed window jobs full table2 series
           Format.eprintf "unknown scheduler %s (Baseline|LC+S|LC|Jigsaw|LaaS|TA|all)@." sched;
           exit 1
   in
-  let topo = Fattree.Topology.of_radix entry.cluster_radix in
-  let faults =
-    match (fault_trace, mtbf) with
-    | Some _, Some _ ->
-        Format.eprintf "--fault-trace and --mtbf are mutually exclusive@.";
-        exit 1
-    | Some path, None -> (
-        match Trace.Faults.load path with
-        | Ok f -> f
-        | Error m ->
-            Format.eprintf "cannot load fault trace %s: %s@." path m;
-            exit 1)
-    | None, Some mtbf ->
-        let horizon =
-          match fault_horizon with
-          | Some h -> h
-          | None ->
-              (* Up to the last arrival plus twice the longest request —
-                 roughly the span the queue is still draining. *)
-              let jobs = workload.jobs in
-              let last_arrival =
-                if Array.length jobs = 0 then 0.0
-                else jobs.(Array.length jobs - 1).arrival
-              in
-              let max_est =
-                Array.fold_left
-                  (fun acc (j : Trace.Job.t) -> Float.max acc j.est_runtime)
-                  0.0 jobs
-              in
-              last_arrival +. (2.0 *. max_est)
-        in
-        Trace.Faults.generate ~seed:fault_seed ~mtbf ~mttr ~horizon topo
-    | None, None -> Trace.Faults.none
-  in
   let resilience =
     match requeue with
     | None -> { Sched.Simulator.no_resilience with charge_lost_work }
@@ -113,119 +67,252 @@ let run preset swf radix sched scenario seed window jobs full table2 series
           charge_lost_work;
         }
   in
-  (* All schemes of one invocation append to a single trace file; the
-     per-run [Run_meta] event delimits them (jigsaw-trace splits on it). *)
-  let trace_fmt =
-    match trace_format with
-    | None -> None
-    | Some s -> (
-        match Obs.Sink.format_of_name s with
-        | Some f -> Some f
-        | None ->
-            Format.eprintf "unknown trace format %s (jsonl|csv)@." s;
+  (* Fault events are topology-specific, so the sweep regenerates them
+     per entry; scripted traces cannot follow a cluster change. *)
+  (match (fault_trace, mtbf) with
+  | Some _, Some _ ->
+      Format.eprintf "--fault-trace and --mtbf are mutually exclusive@.";
+      exit 1
+  | Some _, None when sweep ->
+      Format.eprintf
+        "--fault-trace ids are topology-specific; use --mtbf with --sweep@.";
+      exit 1
+  | _ -> ());
+  let faults_for (entry : Trace.Presets.entry) (workload : Trace.Workload.t) =
+    let topo = Fattree.Topology.of_radix entry.cluster_radix in
+    match (fault_trace, mtbf) with
+    | Some path, None -> (
+        match Trace.Faults.load path with
+        | Ok f -> f
+        | Error m ->
+            Format.eprintf "cannot load fault trace %s: %s@." path m;
             exit 1)
+    | None, Some mtbf ->
+        let horizon =
+          match fault_horizon with
+          | Some h -> h
+          | None -> default_horizon workload
+        in
+        Trace.Faults.generate ~seed:fault_seed ~mtbf ~mttr ~horizon topo
+    | _ -> Trace.Faults.none
   in
-  let trace_channel =
-    Option.map
-      (fun path ->
+  let truncated (w : Trace.Workload.t) =
+    match truncate with Some n -> Trace.Workload.truncate w n | None -> w
+  in
+  let mk_cell (entry : Trace.Presets.entry) alloc =
+    let workload = truncated entry.workload in
+    Sched.Sweep.cell ~scenario ~scenario_seed:seed ~backfill_window:window
+      ~backfill:(window > 0)
+      ~faults:(faults_for entry workload)
+      ~resilience ~profile ~radix:entry.cluster_radix alloc workload
+  in
+  let entries =
+    if sweep then begin
+      if preset <> None || swf <> None then begin
+        Format.eprintf "--sweep runs every preset; drop --trace/--swf@.";
+        exit 1
+      end;
+      Trace.Presets.all ~full
+    end
+    else begin
+      let entry =
+        match (preset, swf) with
+        | Some name, None -> (
+            match Trace.Presets.by_name ~full name with
+            | Some e -> e
+            | None ->
+                Format.eprintf "unknown trace %s; known: %s@." name
+                  (String.concat ", "
+                     (List.map
+                        (fun (e : Trace.Presets.entry) -> e.workload.name)
+                        (Trace.Presets.all ~full)));
+                exit 1)
+        | None, Some path -> (
+            match
+              Trace.Swf.load ~name:(Filename.basename path) ~system_nodes:0 path
+            with
+            | Ok w -> { Trace.Presets.workload = w; cluster_radix = radix }
+            | Error m ->
+                Format.eprintf "cannot load %s: %s@." path m;
+                exit 1)
+        | Some _, Some _ ->
+            Format.eprintf "--trace and --swf are mutually exclusive@.";
+            exit 1
+        | None, None ->
+            Format.eprintf "one of --trace or --swf is required@.";
+            exit 1
+      in
+      [ entry ]
+    end
+  in
+  let cells =
+    List.concat_map (fun e -> List.map (mk_cell e) allocs) entries
+    |> Array.of_list
+  in
+  (* Sinks buffer into channels, which only one domain may write: event
+     tracing stays on the serial path. *)
+  if trace_out <> None && (sweep || jobs > 1) then begin
+    Format.eprintf "--trace-out is serial-only; drop --sweep/--jobs@.";
+    exit 1
+  end;
+  let out_format = if json then Sched.Metrics.Json else Sched.Metrics.Human in
+  let multi = Array.length cells > 1 in
+  if (not json) && not fingerprint then begin
+    if sweep then
+      Format.printf "sweep: %d cells (%d traces x %d schemes), %d domain%s@.@."
+        (Array.length cells) (List.length entries) (List.length allocs) jobs
+        (if jobs = 1 then "" else "s")
+    else begin
+      let entry = List.hd entries in
+      let workload = truncated entry.workload in
+      let topo = Fattree.Topology.of_radix entry.cluster_radix in
+      let faults = faults_for entry workload in
+      Format.printf "trace: %a@." Trace.Workload.pp_summary
+        (Trace.Workload.summarize workload);
+      Format.printf "cluster: %a; scenario %s; backfill window %d@."
+        Fattree.Topology.pp topo (Trace.Scenario.name scenario) window;
+      if not (Trace.Faults.is_empty faults) then
+        Format.printf "faults: %d events%s@."
+          (Trace.Faults.num_events faults)
+          (match requeue with
+          | Some n ->
+              Printf.sprintf "; requeue up to %d times after %.0fs" n
+                resubmit_delay
+          | None -> "; no requeue (killed jobs are abandoned)");
+      Format.printf "@."
+    end
+  end;
+  let t_start = Unix.gettimeofday () in
+  let results =
+    match trace_out with
+    | None -> Sched.Sweep.run ~jobs cells
+    | Some path ->
+        (* Serial path with a live sink: all cells of one invocation
+           append to a single trace file; the per-run [Run_meta] event
+           delimits them (jigsaw-trace splits on it). *)
+        let trace_fmt =
+          match trace_format with
+          | None -> None
+          | Some s -> (
+              match Obs.Sink.format_of_name s with
+              | Some f -> Some f
+              | None ->
+                  Format.eprintf "unknown trace format %s (jsonl|csv)@." s;
+                  exit 1)
+        in
         let fmt =
           match trace_fmt with
           | Some f -> f
           | None -> Obs.Sink.format_of_path path
         in
         let oc = Out_channel.open_text path in
-        (path, oc, Obs.Sink.to_channel fmt oc))
-      trace_out
+        let sink = Obs.Sink.to_channel fmt oc in
+        let results =
+          Array.map
+            (fun (c : Sched.Sweep.cell) ->
+              let t0 = Unix.gettimeofday () in
+              let prof = if profile then Some (Obs.Prof.create ()) else None in
+              let cfg =
+                {
+                  Sched.Simulator.allocator = c.allocator;
+                  radix = c.radix;
+                  scenario = c.scenario;
+                  scenario_seed = c.scenario_seed;
+                  backfill_window = c.backfill_window;
+                  backfill = c.backfill;
+                  faults = c.faults;
+                  resilience = c.resilience;
+                  sink;
+                  prof;
+                }
+              in
+              let metrics = Sched.Simulator.run cfg c.workload in
+              {
+                Sched.Sweep.metrics;
+                prof;
+                wall_s = Unix.gettimeofday () -. t0;
+              })
+            cells
+        in
+        Out_channel.close oc;
+        if (not json) && not fingerprint then
+          Format.printf "event trace -> %s@." path;
+        results
   in
-  let sink =
-    match trace_channel with
-    | Some (_, _, s) -> s
-    | None -> Obs.Sink.null
-  in
-  let out_format =
-    if json then Sched.Metrics.Json else Sched.Metrics.Human
-  in
-  let multi = List.length allocs > 1 in
-  (* A FILE.csv series path grows the scheme name before its extension
-     when several schemes run (FILE.Jigsaw.csv), so runs never clobber
-     each other. *)
-  let series_file path scheme =
+  let total_wall = Unix.gettimeofday () -. t_start in
+  (* A FILE.csv series path grows the cell's trace/scheme names before
+     its extension when several cells run (FILE.Thunder.Jigsaw.csv), so
+     runs never clobber each other. *)
+  let series_file path (c : Sched.Sweep.cell) =
     if not multi then path
-    else
-      Printf.sprintf "%s.%s%s"
-        (Filename.remove_extension path)
-        scheme
-        (Filename.extension path)
-  in
-  if not json then begin
-    Format.printf "trace: %a@." Trace.Workload.pp_summary
-      (Trace.Workload.summarize workload);
-    Format.printf "cluster: %a; scenario %s; backfill window %d@."
-      Fattree.Topology.pp topo (Trace.Scenario.name scenario) window;
-    if not (Trace.Faults.is_empty faults) then
-      Format.printf "faults: %d events%s@."
-        (Trace.Faults.num_events faults)
-        (match requeue with
-        | Some n ->
-            Printf.sprintf "; requeue up to %d times after %.0fs" n
-              resubmit_delay
-        | None -> "; no requeue (killed jobs are abandoned)");
-    Format.printf "@."
-  end;
-  List.iter
-    (fun (alloc : Sched.Allocator.t) ->
-      let prof = if profile then Some (Obs.Prof.create ()) else None in
-      let cfg =
-        {
-          Sched.Simulator.allocator = alloc;
-          radix = entry.cluster_radix;
-          scenario;
-          scenario_seed = seed;
-          backfill_window = window;
-          backfill = window > 0;
-          faults;
-          resilience;
-          sink;
-          prof;
-        }
+    else begin
+      let tag =
+        if sweep then
+          Printf.sprintf "%s.%s" c.workload.Trace.Workload.name
+            c.allocator.Sched.Allocator.name
+        else c.allocator.Sched.Allocator.name
       in
-      let m = Sched.Simulator.run cfg workload in
-      Format.printf "%a@." (Sched.Metrics.pp ~format:out_format) m;
-      (match prof with
-      | Some p ->
-          if json then begin
-            let b = Buffer.create 1024 in
-            Obs.Prof.write_json b p;
-            Format.printf "%s@." (Buffer.contents b)
-          end
-          else Format.printf "%a" Obs.Prof.pp_report p
-      | None -> ());
-      if table2 && not json then begin
-        let h = m.inst_hist in
-        Format.printf
-          "  instantaneous utilization: >=98:%d  95-97:%d  90-95:%d  80-90:%d  60-80:%d  <=60:%d@."
-          h.(5) h.(4) h.(3) h.(2) h.(1) h.(0)
-      end;
-      (match series with
-      | None -> ()
-      | Some path ->
-          let file = Printf.sprintf "%s.%s.csv" path alloc.name in
-          Out_channel.with_open_text file (fun oc ->
-              Sched.Metrics.write_series_csv oc m);
-          if not json then Format.printf "  utilization series -> %s@." file);
-      match series_out with
-      | None -> ()
-      | Some path ->
-          let file = series_file path alloc.name in
-          Out_channel.with_open_text file (fun oc ->
-              Sched.Metrics.write_series_csv oc m);
-          if not json then Format.printf "  utilization series -> %s@." file)
-    allocs;
-  match trace_channel with
-  | Some (path, oc, _) ->
-      Out_channel.close oc;
-      if not json then Format.printf "event trace -> %s@." path
-  | None -> ()
+      Printf.sprintf "%s.%s%s" (Filename.remove_extension path) tag
+        (Filename.extension path)
+    end
+  in
+  Array.iteri
+    (fun i (r : Sched.Sweep.result) ->
+      let c = cells.(i) in
+      let m = r.metrics in
+      if fingerprint then
+        Format.printf "%s %s@." c.label (Sched.Metrics.fingerprint m)
+      else begin
+        (if json then
+           let extra =
+             [
+               ("wall_clock_s", Obs.Json.Num r.wall_s);
+               ("jobs", Obs.Json.Num (float_of_int jobs));
+             ]
+           in
+           Format.printf "%s@." (Sched.Metrics.to_json_string ~extra m)
+         else Format.printf "%a@." (Sched.Metrics.pp ~format:out_format) m);
+        (match r.prof with
+        | Some p ->
+            if json then begin
+              let b = Buffer.create 1024 in
+              Obs.Prof.write_json b p;
+              Format.printf "%s@." (Buffer.contents b)
+            end
+            else Format.printf "%a" Obs.Prof.pp_report p
+        | None -> ());
+        if table2 && not json then begin
+          let h = m.inst_hist in
+          Format.printf
+            "  instantaneous utilization: >=98:%d  95-97:%d  90-95:%d  80-90:%d  60-80:%d  <=60:%d@."
+            h.(5) h.(4) h.(3) h.(2) h.(1) h.(0)
+        end;
+        (match series with
+        | None -> ()
+        | Some path ->
+            let file =
+              if sweep then
+                Printf.sprintf "%s.%s.%s.csv" path
+                  c.workload.Trace.Workload.name
+                  c.allocator.Sched.Allocator.name
+              else
+                Printf.sprintf "%s.%s.csv" path c.allocator.Sched.Allocator.name
+            in
+            Out_channel.with_open_text file (fun oc ->
+                Sched.Metrics.write_series_csv oc m);
+            if not json then Format.printf "  utilization series -> %s@." file);
+        match series_out with
+        | None -> ()
+        | Some path ->
+            let file = series_file path c in
+            Out_channel.with_open_text file (fun oc ->
+                Sched.Metrics.write_series_csv oc m);
+            if not json then Format.printf "  utilization series -> %s@." file
+      end)
+    results;
+  if sweep && (not json) && not fingerprint then
+    Format.printf "@.sweep wall-clock: %.2fs over %d domain%s@." total_wall jobs
+      (if jobs = 1 then "" else "s")
 
 let cmd =
   let preset =
@@ -256,9 +343,22 @@ let cmd =
     Arg.(value & opt int 50 & info [ "window" ] ~docv:"N"
            ~doc:"EASY backfilling lookahead window (paper uses 50); 0 disables backfilling (plain FIFO).")
   in
+  let truncate =
+    Arg.(value & opt (some int) None & info [ "truncate" ] ~docv:"N"
+           ~doc:"Truncate each trace to its first N jobs.")
+  in
   let jobs =
-    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
-           ~doc:"Truncate the trace to its first N jobs.")
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for parallel simulation: each trace x scheme \
+                 cell runs on its own domain and results merge in submission \
+                 order, so output is byte-identical to --jobs 1. 0 picks the \
+                 machine's recommended domain count.")
+  in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ]
+           ~doc:"Run the full preset x scheme grid (all 9 Table-1 traces \
+                 against every --sched scheme) in one invocation; combine \
+                 with --jobs for a parallel sweep.")
   in
   let full =
     Arg.(value & flag & info [ "full" ]
@@ -270,13 +370,16 @@ let cmd =
   in
   let series =
     Arg.(value & opt (some string) None & info [ "series" ] ~docv:"PREFIX"
-           ~doc:"Dump the utilization time series to PREFIX.<scheme>.csv.")
+           ~doc:"Dump the utilization time series to PREFIX.<scheme>.csv \
+                 (PREFIX.<trace>.<scheme>.csv under --sweep).")
   in
   let mtbf =
     Arg.(value & opt (some float) None & info [ "mtbf" ] ~docv:"SECONDS"
            ~doc:"Inject exponential failures: per-component mean time between \
                  failures (nodes, cables and switches each fail independently). \
-                 Expected unavailable fraction per component is mttr/(mtbf+mttr).")
+                 Expected unavailable fraction per component is mttr/(mtbf+mttr). \
+                 Under --sweep the stream is regenerated per cluster from the \
+                 same seed.")
   in
   let mttr =
     Arg.(value & opt float 3600.0 & info [ "mttr" ] ~docv:"SECONDS"
@@ -315,7 +418,8 @@ let cmd =
            ~doc:"Write the structured event trace (arrivals, passes, \
                  allocation attempts, starts, reservations, completions, \
                  faults, kills) to FILE; all schemes of the invocation \
-                 append to it. Analyze with jigsaw-trace.")
+                 append to it. Analyze with jigsaw-trace. Serial-only \
+                 (incompatible with --sweep and --jobs > 1).")
   in
   let trace_format =
     Arg.(value & opt (some string) None & info [ "trace-format" ] ~docv:"FMT"
@@ -326,25 +430,34 @@ let cmd =
     Arg.(value & flag & info [ "profile" ]
            ~doc:"Collect and print per-phase wall-clock profiles: probe and \
                  reservation span timers, probe-outcome and state-operation \
-                 counters, queue/occupancy gauges.")
+                 counters, queue/occupancy gauges. Each cell profiles into \
+                 its own registry.")
   in
   let json =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Machine-readable output: one flat JSON object per result \
-                 row (and per --profile report) instead of the human text.")
+                 row (and per --profile report) instead of the human text. \
+                 Rows carry wall_clock_s and the domain count (jobs).")
+  in
+  let fingerprint =
+    Arg.(value & flag & info [ "fingerprint" ]
+           ~doc:"Print one 'label digest' line per cell instead of metrics: \
+                 the behavioural fingerprint (wall-clock excluded), \
+                 byte-comparable across --jobs settings.")
   in
   let series_out =
     Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE"
            ~doc:"Dump the utilization time series to FILE at full float \
-                 precision (with several schemes, FILE gains a .<scheme> \
-                 suffix before its extension).")
+                 precision (with several cells, FILE gains the cell's \
+                 names before its extension).")
   in
   let term =
     Term.(
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
-      $ jobs $ full $ table2 $ series $ mtbf $ mttr $ fault_seed $ fault_trace
-      $ fault_horizon $ requeue $ resubmit_delay $ charge_lost_work
-      $ trace_out $ trace_format $ profile $ json $ series_out)
+      $ truncate $ jobs $ sweep $ full $ table2 $ series $ mtbf $ mttr
+      $ fault_seed $ fault_trace $ fault_horizon $ requeue $ resubmit_delay
+      $ charge_lost_work $ trace_out $ trace_format $ profile $ json
+      $ fingerprint $ series_out)
   in
   Cmd.v
     (Cmd.info "jigsaw-sim" ~version:"1.0.0"

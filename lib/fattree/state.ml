@@ -105,6 +105,15 @@ let clone t =
 
 let node_free t n = Sim.Bitset.mem t.free n
 let node_claimed t n = Sim.Bitset.mem t.claimed n
+let iter_free_nodes t ~f = Sim.Bitset.iter_set t.free ~f
+let any_claimed_in t nodes = Sim.Bitset.intersects_array t.claimed nodes
+
+(* Raw claim accounting, ignoring the failure overlay: a cable is
+   "claimed" iff some live allocation holds part of it.  Exactly the
+   question the fault path asks ("can this fault possibly kill a job?"),
+   which [*_up_remaining] cannot answer once the fault is applied. *)
+let leaf_cable_claimed t c = t.leaf_up.(c) < 1.0 -. eps
+let l2_cable_claimed t c = t.l2_up.(c) < 1.0 -. eps
 let node_failed t n = t.node_fail.(n) > 0
 let leaf_cable_failed t c = t.leaf_cable_fail.(c) > 0
 let l2_cable_failed t c = t.l2_cable_fail.(c) > 0
@@ -302,12 +311,15 @@ let apply_claim t (a : Alloc.t) =
    dominated simulator hot loops; callers that have already proved the
    allocation legal (the simulator claims exactly what a pure probe on
    the same state proposed) pass ~validate:false.  JIGSAW_VALIDATE=1
-   forces validation everywhere regardless. *)
-let forced_validation =
-  lazy (Sys.getenv_opt "JIGSAW_VALIDATE" = Some "1")
+   forces validation everywhere regardless.
+
+   Evaluated eagerly at module init: [Lazy.force] is not domain-safe
+   (concurrent forcing raises [Lazy.Undefined]), and the parallel sweep
+   hits this flag from every worker domain. *)
+let forced_validation = Sys.getenv_opt "JIGSAW_VALIDATE" = Some "1"
 
 let claim ?(validate = true) t (a : Alloc.t) =
-  if validate || Lazy.force forced_validation then
+  if validate || forced_validation then
     match check_claim t a with
     | Error _ as e -> e
     | Ok () ->

@@ -37,6 +37,15 @@ val node_free : t -> int -> bool
 val node_claimed : t -> int -> bool
 (** Held by a live allocation (possibly also failed). *)
 
+val iter_free_nodes : t -> f:(int -> unit) -> unit
+(** Visit every available node in increasing id order — a word-skipping
+    walk of the free bitset, O(words + free nodes). *)
+
+val any_claimed_in : t -> int array -> bool
+(** True iff any listed node is held by a live allocation;
+    short-circuits.  The fault path uses it to skip the running-job
+    scan when a fault lands entirely on idle resources. *)
+
 val free_nodes_on_leaf : t -> int -> int
 (** Number of free nodes on a (global) leaf. *)
 
@@ -111,6 +120,13 @@ val clone_count : t -> int
 
 val leaf_up_remaining : t -> cable:int -> float
 val l2_up_remaining : t -> cable:int -> float
+
+val leaf_cable_claimed : t -> int -> bool
+(** Raw claim accounting, failure overlay ignored: true iff a live
+    allocation holds part of the cable.  Unlike [leaf_up_remaining],
+    still meaningful after the cable has failed. *)
+
+val l2_cable_claimed : t -> int -> bool
 
 val leaf_up_mask : t -> leaf:int -> demand:float -> int
 (** Bitmask over L2 indices [0 .. m1-1]. *)

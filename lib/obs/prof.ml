@@ -14,6 +14,7 @@ type span = {
 }
 
 type t = {
+  owner : int;  (** Domain id of the creator — the only legal writer. *)
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, Sim.Stats.Acc.t) Hashtbl.t;
   spans : (string, span) Hashtbl.t;
@@ -25,10 +26,27 @@ let span_boundaries = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
 
 let create () =
   {
+    owner = (Domain.self () :> int);
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     spans = Hashtbl.create 16;
   }
+
+let owner t = t.owner
+
+(* Single-writer discipline: a registry is plain mutable state with no
+   locking, so a stray cross-domain record would silently corrupt
+   counts.  Every mutator asserts the caller is the creating domain;
+   cross-domain {e reads} are fine once the writer has been joined
+   (the join provides the happens-before edge). *)
+let check_owner t =
+  let d = (Domain.self () :> int) in
+  if d <> t.owner then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Prof: write from domain %d to a registry owned by domain %d \
+          (registries are single-writer; merge after joining instead)"
+         d t.owner)
 
 let counter_ref t name =
   match Hashtbl.find_opt t.counters name with
@@ -38,14 +56,23 @@ let counter_ref t name =
       Hashtbl.replace t.counters name r;
       r
 
-let incr t name = Stdlib.incr (counter_ref t name)
-let add t name by = counter_ref t name := !(counter_ref t name) + by
-let set t name v = counter_ref t name := v
+let incr t name =
+  check_owner t;
+  Stdlib.incr (counter_ref t name)
+
+let add t name by =
+  check_owner t;
+  counter_ref t name := !(counter_ref t name) + by
+
+let set t name v =
+  check_owner t;
+  counter_ref t name := v
 let counter t name = match Hashtbl.find_opt t.counters name with
   | Some r -> !r
   | None -> 0
 
 let sample t name v =
+  check_owner t;
   let acc =
     match Hashtbl.find_opt t.gauges name with
     | Some a -> a
@@ -72,6 +99,7 @@ let span t name =
       s
 
 let record_span t name ns =
+  check_owner t;
   let s = span t name in
   s.s_count <- s.s_count + 1;
   s.s_total_ns <- s.s_total_ns +. ns;
@@ -83,6 +111,35 @@ let time t name f =
   let r = f () in
   record_span t name (Clock.elapsed_ns ~since:t0);
   r
+
+(* Associative merge of a per-cell registry into an aggregate: counters
+   and histogram buckets are integers (exact, order-independent);
+   span/gauge totals are float sums, so callers that need reproducible
+   totals merge in a fixed order (cell submission order — never domain
+   order).  Memo-hit {e rates} are not stored, only the underlying
+   counters, so they recompute correctly from the merged registry. *)
+let merge_into ~into src =
+  check_owner into;
+  Hashtbl.iter
+    (fun name r -> counter_ref into name := !(counter_ref into name) + !r)
+    src.counters;
+  Hashtbl.iter
+    (fun name acc ->
+      match Hashtbl.find_opt into.gauges name with
+      | Some dst -> Sim.Stats.Acc.merge_into ~into:dst acc
+      | None ->
+          let dst = Sim.Stats.Acc.create () in
+          Sim.Stats.Acc.merge_into ~into:dst acc;
+          Hashtbl.replace into.gauges name dst)
+    src.gauges;
+  Hashtbl.iter
+    (fun name s ->
+      let d = span into name in
+      d.s_count <- d.s_count + s.s_count;
+      d.s_total_ns <- d.s_total_ns +. s.s_total_ns;
+      if s.s_max_ns > d.s_max_ns then d.s_max_ns <- s.s_max_ns;
+      Sim.Stats.Hist.merge_into ~into:d.s_hist s.s_hist)
+    src.spans
 
 let sorted tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

@@ -8,11 +8,37 @@
     sort by name, so related metrics group visually by prefix.
 
     A simulation profiles only when handed a registry ([prof = Some p]);
-    with [None] every instrumentation site is a single branch. *)
+    with [None] every instrumentation site is a single branch.
+
+    {b Ownership.}  A registry is plain mutable state with no locking:
+    it is {e single-writer}, owned by the domain that created it.  Every
+    mutator ([incr]/[add]/[set]/[sample]/[record_span]/[time] and the
+    [into] side of [merge_into]) raises [Invalid_argument] when called
+    from any other domain, so a stray cross-domain record fails loudly
+    instead of silently corrupting counts.  Reading (or merging from) a
+    registry built on another domain is fine once that domain has been
+    joined — the join is the happens-before edge.  The parallel sweep
+    therefore gives every cell its own registry and merges them on the
+    coordinating domain, in cell submission order. *)
 
 type t
 
 val create : unit -> t
+(** The calling domain becomes the owner. *)
+
+val owner : t -> int
+(** Domain id of the owning (creating) domain. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src] into [into]: counters sum, span
+    counts/maxima and histogram buckets combine exactly, gauge
+    accumulators merge, and float totals add.  Integer parts are
+    associative and commutative; float sums are associative only up to
+    rounding, so reproducible aggregate reports require a fixed merge
+    order (the sweep uses cell submission order).  Memo-hit rates are
+    derived from counters at report time, so they recompute correctly
+    from a merged registry.  [src] is not modified; [into] must be
+    owned by the calling domain. *)
 
 (** {1 Counters} — monotone event tallies. *)
 

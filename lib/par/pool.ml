@@ -1,0 +1,146 @@
+(* A fixed-size domain pool over a Mutex/Condition work queue — stdlib
+   only, no new dependencies.  The queue holds closures; [run_cells]
+   enqueues one "driver" per worker, and the drivers drain an atomic
+   cursor over the cell array in chunks.  Results land in a slot array
+   indexed by submission position, so merge order never depends on which
+   domain ran what. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable quitting : bool;
+  mutable workers : unit Domain.t list;
+  mutable alive : bool;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.quitting do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* quitting *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      (* Drivers trap their own exceptions; this guard only keeps a
+         buggy task from killing the worker loop. *)
+      (try task () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      quitting = false;
+      workers = [];
+      alive = true;
+    }
+  in
+  (* A pool of one never spawns: [run_cells] short-circuits to a serial
+     map on the calling domain. *)
+  if size > 1 then
+    t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Mutex.lock t.mutex;
+    t.quitting <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ~size f =
+  let t = create ~size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_cells ?(chunk = 1) t ~f cells =
+  if chunk < 1 then invalid_arg "Pool.run_cells: chunk must be >= 1";
+  if not t.alive then invalid_arg "Pool.run_cells: pool is shut down";
+  let n = Array.length cells in
+  if n = 0 then [||]
+  else if t.size = 1 then Array.map f cells
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let cancelled = Atomic.make false in
+    (* Batch-local rendezvous: drivers report completion and the
+       lowest-indexed failure under this mutex; the final unlock/lock
+       pair is also what publishes the result slots to the caller. *)
+    let bm = Mutex.create () in
+    let finished = Condition.create () in
+    let first_error = ref None in
+    let record_error i e bt =
+      Mutex.lock bm;
+      (match !first_error with
+      | Some (j, _, _) when j <= i -> ()
+      | _ -> first_error := Some (i, e, bt));
+      Mutex.unlock bm;
+      Atomic.set cancelled true
+    in
+    let rec drive () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        if not (Atomic.get cancelled) then
+          for i = start to Stdlib.min n (start + chunk) - 1 do
+            if not (Atomic.get cancelled) then begin
+              match f cells.(i) with
+              | r -> results.(i) <- Some r
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  record_error i e bt
+            end
+          done;
+        drive ()
+      end
+    in
+    let drivers = Stdlib.min t.size ((n + chunk - 1) / chunk) in
+    let remaining = ref drivers in
+    let driver () =
+      drive ();
+      Mutex.lock bm;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast finished;
+      Mutex.unlock bm
+    in
+    Mutex.lock t.mutex;
+    for _ = 1 to drivers do
+      Queue.push driver t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    Mutex.lock bm;
+    while !remaining > 0 do
+      Condition.wait finished bm
+    done;
+    Mutex.unlock bm;
+    match !first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function
+            | Some r -> r
+            | None -> assert false (* every slot filled when no error *))
+          results
+  end
+
+let map ~jobs ~f cells =
+  if jobs <= 1 then Array.map f cells
+  else with_pool ~size:jobs (fun t -> run_cells t ~f cells)

@@ -1,0 +1,68 @@
+(** Fixed-size domain pool with a chunked work queue.
+
+    The pool shards independent work items ("cells" — e.g. one
+    simulation run of trace x scheme x seed x fault-config) across a
+    fixed set of OCaml 5 domains and merges results {e in submission
+    order}, so the combined output of {!run_cells} is byte-identical to
+    a serial [Array.map] regardless of how many domains execute it or
+    how the scheduler interleaves them.
+
+    Determinism contract: [f] must be a pure function of its cell (no
+    shared mutable state, no dependence on domain identity or timing).
+    Everything it allocates — PRNGs, memo tables, profiling registries —
+    must be per-call.  Under that contract the only nondeterminism left
+    is wall-clock, which the rest of the stack already excludes from
+    fingerprints.
+
+    The queue hands out contiguous chunks of the cell array (default
+    size 1) via an atomic cursor, so load balancing is dynamic: a domain
+    that finishes a cheap cell immediately claims the next one, which is
+    what keeps one expensive cell (LC+S on Synth-28) from serialising
+    the whole sweep.
+
+    Not reentrant: calling {!run_cells} from inside a task running on
+    the same pool can deadlock (the caller would occupy a worker while
+    waiting for workers). *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves
+    to. *)
+
+val create : size:int -> t
+(** [create ~size] starts a pool of [size] worker domains ([size >= 1]).
+    A pool of size 1 spawns no domains at all: work runs inline on the
+    calling domain, making the serial path zero-overhead and trivially
+    identical to [Array.map]. *)
+
+val size : t -> int
+(** Number of workers (1 means inline/serial). *)
+
+val run_cells : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [run_cells pool ~f cells] applies [f] to every cell and returns the
+    results indexed exactly like [cells] (submission order), whatever
+    the execution interleaving.  Blocks until every cell has finished.
+
+    If any [f cell] raises, the batch is cancelled (already-claimed
+    cells finish, unclaimed ones are skipped) and the exception of the
+    lowest-indexed cell {e observed} to fail is re-raised on the caller
+    with its backtrace.  With a single failing cell this is exact; when
+    several fail in a race, which ones ran before cancellation can vary,
+    but the caller always sees one of the real failures.
+
+    [chunk] (default 1) is the number of consecutive cells claimed per
+    queue operation; raise it for very cheap cells to cut contention on
+    the cursor. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Any subsequent [run_cells]
+    raises [Invalid_argument]. *)
+
+val with_pool : size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] runs [f] with a fresh pool and shuts it down on
+    the way out, exception or not. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** One-shot convenience: [with_pool ~size:jobs (fun p -> run_cells p ~f
+    cells)], with [jobs <= 1] short-circuiting to a plain serial map. *)

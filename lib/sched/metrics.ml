@@ -90,9 +90,12 @@ let json_fields m =
       i "series_points" (Array.length m.series);
     ]
 
-let to_json_string m =
+let to_json_string ?(extra = []) m =
   let b = Buffer.create 512 in
-  Obs.Json.write b (json_fields m);
+  (* Extras (wall-clock, domain count, ...) go last so the simulated
+     fields keep their historical positions; the fingerprint never sees
+     them — it reads [json_fields] directly. *)
+  Obs.Json.write b (json_fields m @ extra);
   (* [Obs.Json.write] ends the line; callers print the bare object. *)
   let s = Buffer.contents b in
   if String.length s > 0 && s.[String.length s - 1] = '\n' then

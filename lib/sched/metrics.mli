@@ -91,8 +91,10 @@ val pp : format:format -> Format.formatter -> t -> unit
     length ([series_points]) — export the series itself with
     {!write_series_csv}. *)
 
-val to_json_string : t -> string
-(** The [Json] face as a string. *)
+val to_json_string : ?extra:(string * Obs.Json.value) list -> t -> string
+(** The [Json] face as a string.  [extra] fields (e.g. [wall_clock_s],
+    [jobs]) are appended after the simulated fields so BENCH files are
+    self-describing; they never enter {!fingerprint}. *)
 
 val fingerprint : t -> string
 (** Hex digest of every {e simulated} quantity — all scalar results,

@@ -479,27 +479,24 @@ and run_pass sim =
              disjointness test is an O(1)-per-element membership probe
              with no per-pass set construction. *)
           let topo = State.topo sim.st in
-          let of_array n arr =
-            let b = Sim.Bitset.create n in
-            Array.iter (fun x -> Sim.Bitset.add b x) arr;
-            b
-          in
           let res_nodes =
-            of_array (Fattree.Topology.num_nodes topo) res_alloc.nodes
+            Sim.Bitset.of_array (Fattree.Topology.num_nodes topo)
+              res_alloc.nodes
           in
           let res_leaf =
-            of_array (Fattree.Topology.num_leaf_l2_cables topo)
+            Sim.Bitset.of_array
+              (Fattree.Topology.num_leaf_l2_cables topo)
               res_alloc.leaf_cables
           in
           let res_l2 =
-            of_array (Fattree.Topology.num_l2_spine_cables topo)
+            Sim.Bitset.of_array
+              (Fattree.Topology.num_l2_spine_cables topo)
               res_alloc.l2_cables
           in
           let disjoint_from_reservation (a : Alloc.t) =
-            let hits set arr = Array.exists (fun x -> Sim.Bitset.mem set x) arr in
-            (not (hits res_nodes a.nodes))
-            && (not (hits res_leaf a.leaf_cables))
-            && not (hits res_l2 a.l2_cables)
+            (not (Sim.Bitset.intersects_array res_nodes a.nodes))
+            && (not (Sim.Bitset.intersects_array res_leaf a.leaf_cables))
+            && not (Sim.Bitset.intersects_array res_l2 a.l2_cables)
           in
           let candidates =
             let acc = ref [] and count = ref 0 in
@@ -615,18 +612,6 @@ let fault_event sim (e : Trace.Faults.event) =
       let nodes, leaf_cables, l2_cables =
         Trace.Faults.resources topo e.target
       in
-      let of_array n arr =
-        let b = Sim.Bitset.create n in
-        Array.iter (fun x -> Sim.Bitset.add b x) arr;
-        b
-      in
-      let f_nodes = of_array (Fattree.Topology.num_nodes topo) nodes in
-      let f_leaf =
-        of_array (Fattree.Topology.num_leaf_l2_cables topo) leaf_cables
-      in
-      let f_l2 =
-        of_array (Fattree.Topology.num_l2_spine_cables topo) l2_cables
-      in
       emit sim (fun () ->
           Obs.Event.Fail
             {
@@ -636,21 +621,46 @@ let fault_event sim (e : Trace.Faults.event) =
               leaf_cables = Array.length leaf_cables;
               l2_cables = Array.length l2_cables;
             });
+      (* Cheap prefilter before the O(running) victim scan: a fault can
+         only kill jobs if it touches a claimed node or cable, and claim
+         accounting ignores the failure overlay just applied.  Under
+         MTBF workloads most faults land on idle resources, so the
+         common case is three short-circuiting membership walks. *)
+      let touches_claimed =
+        State.any_claimed_in sim.st nodes
+        || Array.exists (State.leaf_cable_claimed sim.st) leaf_cables
+        || Array.exists (State.l2_cable_claimed sim.st) l2_cables
+      in
       let victims =
-        Hashtbl.fold
-          (fun _ r acc ->
-            let hits set arr = Array.exists (fun x -> Sim.Bitset.mem set x) arr in
-            if
-              hits f_nodes r.r_alloc.nodes
-              || hits f_leaf r.r_alloc.leaf_cables
-              || hits f_l2 r.r_alloc.l2_cables
-            then r :: acc
-            else acc)
-          sim.running []
-        (* Hash-table fold order is an implementation detail; kill (and
-           hence requeue) in job-id order so same-instant resubmissions
-           enter the queue deterministically across OCaml versions. *)
-        |> List.sort (fun a b -> compare a.r_job.id b.r_job.id)
+        if not touches_claimed then []
+        else begin
+          let f_nodes =
+            Sim.Bitset.of_array (Fattree.Topology.num_nodes topo) nodes
+          in
+          let f_leaf =
+            Sim.Bitset.of_array
+              (Fattree.Topology.num_leaf_l2_cables topo)
+              leaf_cables
+          in
+          let f_l2 =
+            Sim.Bitset.of_array
+              (Fattree.Topology.num_l2_spine_cables topo)
+              l2_cables
+          in
+          Hashtbl.fold
+            (fun _ r acc ->
+              if
+                Sim.Bitset.intersects_array f_nodes r.r_alloc.nodes
+                || Sim.Bitset.intersects_array f_leaf r.r_alloc.leaf_cables
+                || Sim.Bitset.intersects_array f_l2 r.r_alloc.l2_cables
+              then r :: acc
+              else acc)
+            sim.running []
+          (* Hash-table fold order is an implementation detail; kill (and
+             hence requeue) in job-id order so same-instant resubmissions
+             enter the queue deterministically across OCaml versions. *)
+          |> List.sort (fun a b -> compare a.r_job.id b.r_job.id)
+        end
       in
       List.iter (kill_job sim) victims;
       record sim;

@@ -1,0 +1,106 @@
+(* Parallel sweep cells.  A cell is a self-contained simulation: its
+   [run_cell] builds every mutable structure (cluster state, queues,
+   memos, PRNGs, profile registry) from scratch, so cells can run on any
+   domain in any order.  Determinism then only needs the merge to be
+   slot-indexed — which [Par.Pool.run_cells] guarantees — plus profile
+   registries combined in cell order, never domain order. *)
+
+type cell = {
+  label : string;
+  workload : Trace.Workload.t;
+  radix : int;
+  allocator : Allocator.t;
+  scenario : Trace.Scenario.t;
+  scenario_seed : int;
+  backfill_window : int;
+  backfill : bool;
+  faults : Trace.Faults.t;
+  resilience : Simulator.resilience;
+  profile : bool;
+}
+
+let cell ?label ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
+    ?(backfill_window = 50) ?(backfill = true) ?(faults = Trace.Faults.none)
+    ?(resilience = Simulator.no_resilience) ?(profile = false) ~radix allocator
+    workload =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        Printf.sprintf "%s/%s" workload.Trace.Workload.name
+          allocator.Allocator.name
+  in
+  {
+    label;
+    workload;
+    radix;
+    allocator;
+    scenario;
+    scenario_seed;
+    backfill_window;
+    backfill;
+    faults;
+    resilience;
+    profile;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  prof : Obs.Prof.t option;
+  wall_s : float;
+}
+
+let run_cell c =
+  let t0 = Unix.gettimeofday () in
+  (* The registry is created on the executing domain — it owns it until
+     the pool joins, after which the coordinator may read and merge. *)
+  let prof = if c.profile then Some (Obs.Prof.create ()) else None in
+  let cfg =
+    {
+      Simulator.allocator = c.allocator;
+      radix = c.radix;
+      scenario = c.scenario;
+      scenario_seed = c.scenario_seed;
+      backfill_window = c.backfill_window;
+      backfill = c.backfill;
+      faults = c.faults;
+      resilience = c.resilience;
+      sink = Obs.Sink.null;
+      prof;
+    }
+  in
+  let metrics = Simulator.run cfg c.workload in
+  { metrics; prof; wall_s = Unix.gettimeofday () -. t0 }
+
+let run_in ?chunk pool cells = Par.Pool.run_cells ?chunk pool ~f:run_cell cells
+
+let run ?chunk ~jobs cells =
+  let jobs = if jobs = 0 then Par.Pool.default_jobs () else jobs in
+  if jobs <= 1 then Array.map run_cell cells
+  else Par.Pool.with_pool ~size:jobs (fun p -> run_in ?chunk p cells)
+
+let merged_profile results =
+  if not (Array.exists (fun r -> r.prof <> None) results) then None
+  else begin
+    let agg = Obs.Prof.create () in
+    Array.iter
+      (fun r ->
+        match r.prof with
+        | Some p -> Obs.Prof.merge_into ~into:agg p
+        | None -> ())
+      results;
+    Some agg
+  end
+
+let grid ?(profile = false) ?(faults_for = fun _ -> Trace.Faults.none) ~full ()
+    =
+  let entries = Trace.Presets.all ~full in
+  List.concat_map
+    (fun (e : Trace.Presets.entry) ->
+      List.map
+        (fun alloc ->
+          cell ~faults:(faults_for e) ~profile ~radix:e.cluster_radix alloc
+            e.workload)
+        Allocator.all)
+    entries
+  |> Array.of_list

@@ -1,0 +1,79 @@
+(** Parallel simulation sweeps: independent cells (trace x scheme x
+    seed x fault-config) sharded across a {!Par.Pool} with a
+    deterministic, submission-order merge.
+
+    Each cell runs a complete {!Simulator.run} against its own cluster
+    state, PRNG streams, memo tables and (optionally) its own
+    {!Obs.Prof} registry — nothing mutable is shared between cells, so
+    any domain count produces the same metrics fingerprints and, because
+    profile registries merge in {e cell} order rather than domain order,
+    the same merged profile (up to wall-clock span values, which no
+    fingerprint includes).
+
+    Cells always trace to {!Obs.Sink.null}: sinks buffer into channels,
+    which are not shareable across domains.  Run trace-emitting
+    simulations serially through {!Simulator.run} instead. *)
+
+type cell = {
+  label : string;  (** ["trace/scheme"] by default; shown by the CLI. *)
+  workload : Trace.Workload.t;
+  radix : int;
+  allocator : Allocator.t;
+  scenario : Trace.Scenario.t;
+  scenario_seed : int;
+  backfill_window : int;
+  backfill : bool;
+  faults : Trace.Faults.t;
+  resilience : Simulator.resilience;
+  profile : bool;  (** Give the cell its own registry. *)
+}
+
+val cell :
+  ?label:string ->
+  ?scenario:Trace.Scenario.t ->
+  ?scenario_seed:int ->
+  ?backfill_window:int ->
+  ?backfill:bool ->
+  ?faults:Trace.Faults.t ->
+  ?resilience:Simulator.resilience ->
+  ?profile:bool ->
+  radix:int ->
+  Allocator.t ->
+  Trace.Workload.t ->
+  cell
+(** Defaults mirror {!Simulator.default_config}: scenario [No_speedup],
+    seed 1, window 50, backfilling on, no faults, no resilience, no
+    profiling. *)
+
+type result = {
+  metrics : Metrics.t;
+  prof : Obs.Prof.t option;  (** The cell's registry, if it profiled. *)
+  wall_s : float;  (** Wall-clock seconds for this cell alone. *)
+}
+
+val run_cell : cell -> result
+(** One cell, on the calling domain. *)
+
+val run_in : ?chunk:int -> Par.Pool.t -> cell array -> result array
+(** All cells on an existing pool; results indexed like the input. *)
+
+val run : ?chunk:int -> jobs:int -> cell array -> result array
+(** [run ~jobs cells] shards the cells over a fresh pool of [jobs]
+    domains ([jobs <= 1]: serial on the calling domain; [jobs = 0]:
+    {!Par.Pool.default_jobs}). *)
+
+val merged_profile : result array -> Obs.Prof.t option
+(** Merge every profiled cell's registry, in cell order, into a fresh
+    registry owned by the calling domain.  [None] when no cell
+    profiled. *)
+
+val grid :
+  ?profile:bool ->
+  ?faults_for:(Trace.Presets.entry -> Trace.Faults.t) ->
+  full:bool ->
+  unit ->
+  cell array
+(** The full evaluation grid — the 9 presets of Table 1 (in [all]
+    order) x the 5 schemes of [Allocator.all], 45 cells.  [faults_for]
+    builds a per-entry fault trace (faults are topology-specific);
+    default: healthy machines. *)

@@ -48,24 +48,88 @@ let copy t = { n = t.n; words = Array.copy t.words }
 let equal a b =
   a.n = b.n && Array.for_all2 (fun x y -> x = y) a.words b.words
 
-let iter t ~f =
-  for w = 0 to Array.length t.words - 1 do
-    let word = ref t.words.(w) in
-    while !word <> 0 do
-      let lsb = !word land - !word in
-      (* Index of the isolated lowest set bit. *)
-      let bit =
-        let rec idx v acc = if v = 1 then acc else idx (v lsr 1) (acc + 1) in
-        idx lsb 0
-      in
-      f ((w * bits_per_word) + bit);
-      word := !word land (!word - 1)
-    done
+(* Number of trailing zeros of a non-zero isolated-LSB value: a branchy
+   binary reduction over the 63 usable bit positions.  OCaml's native int
+   is 63-bit, so the classic 64-bit de Bruijn multiply would wrap; six
+   shift/test steps are branch-predictable and allocation-free. *)
+let ntz_lsb lsb =
+  let v = ref lsb and bit = ref 0 in
+  if !v land 0x7FFFFFFF = 0 then begin
+    v := !v lsr 31;
+    bit := !bit + 31
+  end;
+  if !v land 0xFFFF = 0 then begin
+    v := !v lsr 16;
+    bit := !bit + 16
+  end;
+  if !v land 0xFF = 0 then begin
+    v := !v lsr 8;
+    bit := !bit + 8
+  end;
+  if !v land 0xF = 0 then begin
+    v := !v lsr 4;
+    bit := !bit + 4
+  end;
+  if !v land 0x3 = 0 then begin
+    v := !v lsr 2;
+    bit := !bit + 2
+  end;
+  if !v land 0x1 = 0 then bit := !bit + 1;
+  !bit
+
+let iter_set t ~f =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let word = ref (Array.unsafe_get words w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        let lsb = !word land - !word in
+        f (base + ntz_lsb lsb);
+        word := !word land (!word - 1)
+      done
+    end
   done
+
+let iter = iter_set
+
+let exists_set t ~f =
+  let words = t.words in
+  let nw = Array.length words in
+  let rec scan_word w word base =
+    if word = 0 then scan w (* next word *)
+    else begin
+      let lsb = word land -word in
+      if f (base + ntz_lsb lsb) then true
+      else scan_word w (word land (word - 1)) base
+    end
+  and scan w =
+    if w >= nw then false
+    else scan_word (w + 1) (Array.unsafe_get words w) (w * bits_per_word)
+  in
+  scan 0
+
+let intersects_array t arr =
+  let words = t.words in
+  let len = Array.length arr in
+  let rec go i =
+    if i >= len then false
+    else begin
+      let x = Array.unsafe_get arr i in
+      check t x;
+      if
+        Array.unsafe_get words (x / bits_per_word)
+        land (1 lsl (x mod bits_per_word))
+        <> 0
+      then true
+      else go (i + 1)
+    end
+  in
+  go 0
 
 let fold t ~init ~f =
   let acc = ref init in
-  iter t ~f:(fun i -> acc := f !acc i);
+  iter_set t ~f:(fun i -> acc := f !acc i);
   !acc
 
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc i -> i :: acc))
@@ -75,20 +139,61 @@ let of_list n xs =
   List.iter (fun i -> add t i) xs;
   t
 
+let of_array n xs =
+  let t = create n in
+  Array.iter (fun i -> add t i) xs;
+  t
+
 let first_clear_from t start =
   if start < 0 then invalid_arg "Bitset.first_clear_from: negative index";
-  let rec go i =
-    if i >= t.n then None else if not (mem t i) then Some i else go (i + 1)
-  in
-  go start
+  if start >= t.n then None
+  else begin
+    (* Word-wise: complement the word, mask off positions below [start]
+       (first word only), then the lowest set bit of the complement is
+       the first clear index. *)
+    let nw = Array.length t.words in
+    let full_mask = (1 lsl bits_per_word) - 1 in
+    let rec go w mask =
+      if w >= nw then None
+      else begin
+        let inv = lnot t.words.(w) land mask in
+        if inv = 0 then go (w + 1) full_mask
+        else begin
+          let i = (w * bits_per_word) + ntz_lsb (inv land -inv) in
+          if i < t.n then Some i else None
+        end
+      end
+    in
+    let w0 = start / bits_per_word in
+    go w0 (full_mask land lnot ((1 lsl (start mod bits_per_word)) - 1))
+  end
 
 let count_range t ~lo ~hi =
   let lo = Stdlib.max lo 0 and hi = Stdlib.min hi t.n in
-  let count = ref 0 in
-  for i = lo to hi - 1 do
-    if mem t i then incr count
-  done;
-  !count
+  if lo >= hi then 0
+  else begin
+    (* Popcount whole words, trimming the partial words at both ends. *)
+    let wlo = lo / bits_per_word and whi = (hi - 1) / bits_per_word in
+    let full_mask = (1 lsl bits_per_word) - 1 in
+    let mask_from b = lnot ((1 lsl b) - 1) in
+    (* [b] ranges over 1..63; shifting an OCaml int by 63 is unspecified. *)
+    let mask_upto b = if b >= bits_per_word then full_mask else (1 lsl b) - 1 in
+    if wlo = whi then
+      popcount
+        (t.words.(wlo)
+        land mask_from (lo mod bits_per_word)
+        land mask_upto (((hi - 1) mod bits_per_word) + 1))
+    else begin
+      let acc = ref (popcount (t.words.(wlo) land mask_from (lo mod bits_per_word))) in
+      for w = wlo + 1 to whi - 1 do
+        acc := !acc + popcount t.words.(w)
+      done;
+      acc
+      := !acc
+         + popcount (t.words.(whi) land mask_upto (((hi - 1) mod bits_per_word) + 1));
+      !acc
+    end
+  end
 
 let check_same a b =
   if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"

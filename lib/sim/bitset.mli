@@ -41,8 +41,24 @@ val copy : t -> t
 val equal : t -> t -> bool
 (** Same capacity and same members. *)
 
+val iter_set : t -> f:(int -> unit) -> unit
+(** [iter_set t ~f] applies [f] to every set bit in increasing order.
+    Skips empty words and isolates each set bit with word-level
+    arithmetic — O(words + set bits) rather than O(universe), which is
+    what the hot backfill/fault paths need on mostly-empty maps. *)
+
 val iter : t -> f:(int -> unit) -> unit
-(** [iter t ~f] applies [f] to every set bit in increasing order. *)
+(** Alias for {!iter_set} (the historical name). *)
+
+val exists_set : t -> f:(int -> bool) -> bool
+(** [exists_set t ~f] is true iff [f i] holds for some set bit [i];
+    short-circuits on the first hit, visiting bits in increasing
+    order. *)
+
+val intersects_array : t -> int array -> bool
+(** [intersects_array t arr] is true iff some element of [arr] is a
+    member of [t]; short-circuits on the first hit.  Bounds-checked.
+    Equivalent to [Array.exists (mem t) arr] without the closure. *)
 
 val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 
@@ -51,6 +67,9 @@ val to_list : t -> int list
 
 val of_list : int -> int list -> t
 (** [of_list n xs] is the bitset over [0..n-1] containing [xs]. *)
+
+val of_array : int -> int array -> t
+(** [of_array n xs] is the bitset over [0..n-1] containing [xs]. *)
 
 val first_clear_from : t -> int -> int option
 (** [first_clear_from t i] is the smallest index [>= i] whose bit is clear,

@@ -70,6 +70,16 @@ module Acc = struct
 
   let min t = if t.n = 0 then invalid_arg "Stats.Acc.min: empty" else t.mn
   let max t = if t.n = 0 then invalid_arg "Stats.Acc.max: empty" else t.mx
+
+  (* Accumulators are sum-based, so combining two is exact for the
+     counts and extrema and as associative as float addition allows:
+     callers that need reproducible totals must fix the merge order. *)
+  let merge_into ~into src =
+    into.n <- into.n + src.n;
+    into.sum <- into.sum +. src.sum;
+    into.sum_sq <- into.sum_sq +. src.sum_sq;
+    if src.mn < into.mn then into.mn <- src.mn;
+    if src.mx > into.mx then into.mx <- src.mx
 end
 
 module Hist = struct
@@ -98,4 +108,19 @@ module Hist = struct
   let add t x = add_weighted t x ~weight:1
   let counts t = Array.copy t.counts
   let total t = t.total
+  let boundaries t = Array.copy t.boundaries
+
+  let merge_into ~into src =
+    let k = Array.length into.boundaries in
+    if
+      k <> Array.length src.boundaries
+      || not
+           (Array.for_all2
+              (fun a b -> Float.equal a b)
+              into.boundaries src.boundaries)
+    then invalid_arg "Stats.Hist.merge_into: boundary mismatch";
+    for b = 0 to k do
+      into.counts.(b) <- into.counts.(b) + src.counts.(b)
+    done;
+    into.total <- into.total + src.total
 end

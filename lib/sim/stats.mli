@@ -37,6 +37,11 @@ module Acc : sig
 
   val max : t -> float
   (** Raises [Invalid_argument] if empty. *)
+
+  val merge_into : into:t -> t -> unit
+  (** [merge_into ~into src] folds [src]'s samples into [into] (counts
+      and extrema exactly; sums by float addition, so a reproducible
+      total requires a fixed merge order).  [src] is not modified. *)
 end
 
 (** Fixed-boundary histograms.
@@ -59,4 +64,13 @@ module Hist : sig
   (** Bucket counts, lowest bucket first; length = boundaries + 1. *)
 
   val total : t -> int
+
+  val boundaries : t -> float array
+  (** A copy of the bucket boundaries. *)
+
+  val merge_into : into:t -> t -> unit
+  (** [merge_into ~into src] adds [src]'s bucket counts into [into].
+      Integer counts, so the merge is exact, associative and
+      commutative.  Raises [Invalid_argument] unless both histograms
+      share identical boundaries.  [src] is not modified. *)
 end

@@ -44,4 +44,5 @@ let () =
       ("perf", Test_perf.suite);
       ("reproduction", Test_reproduction.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -71,6 +71,85 @@ let test_copy_equal () =
   Bitset.add b 11;
   Alcotest.(check bool) "copy independent" false (Bitset.equal a b)
 
+let test_iter_set () =
+  (* iter_set must agree with a mem loop, including across word
+     boundaries (62/63/64) and in the ragged last word. *)
+  let b = Bitset.of_list 200 [ 0; 62; 63; 64; 126; 127; 199 ] in
+  let via_iter = ref [] in
+  Bitset.iter_set b ~f:(fun i -> via_iter := i :: !via_iter);
+  Alcotest.(check (list int))
+    "iter_set = to_list" (Bitset.to_list b)
+    (List.rev !via_iter);
+  let empty = Bitset.create 100 in
+  Bitset.iter_set empty ~f:(fun _ -> Alcotest.fail "iter on empty set")
+
+let test_exists_set () =
+  let any b = Bitset.exists_set b ~f:(fun _ -> true) in
+  let b = Bitset.create 130 in
+  Alcotest.(check bool) "empty" false (any b);
+  Bitset.add b 129;
+  Alcotest.(check bool) "last bit only" true (any b);
+  Alcotest.(check bool) "predicate filters" false
+    (Bitset.exists_set b ~f:(fun i -> i < 100));
+  Bitset.remove b 129;
+  Bitset.add b 63;
+  Alcotest.(check bool) "word-boundary bit" true (any b)
+
+let test_intersects_array () =
+  let b = Bitset.of_list 200 [ 63; 64; 199 ] in
+  Alcotest.(check bool) "hit" true (Bitset.intersects_array b [| 5; 64 |]);
+  Alcotest.(check bool) "miss" false (Bitset.intersects_array b [| 5; 65 |]);
+  Alcotest.(check bool) "empty array" false (Bitset.intersects_array b [||]);
+  Alcotest.check_raises "bounds checked"
+    (Invalid_argument "Bitset: index 200 out of range [0, 200)") (fun () ->
+      ignore (Bitset.intersects_array b [| 200 |]))
+
+let test_of_array () =
+  let b = Bitset.of_array 100 [| 9; 3; 3; 77 |] in
+  Alcotest.(check (list int)) "members" [ 3; 9; 77 ] (Bitset.to_list b)
+
+let gen_members = QCheck2.Gen.(list (int_range 0 199))
+
+let prop_iter_set_matches_mem =
+  QCheck2.Test.make ~name:"iter_set visits exactly the members, ascending"
+    ~count:200 gen_members (fun xs ->
+      let b = Sim.Bitset.of_list 200 xs in
+      let acc = ref [] in
+      Sim.Bitset.iter_set b ~f:(fun i -> acc := i :: !acc);
+      List.rev !acc = List.sort_uniq compare xs)
+
+let prop_count_range_matches_naive =
+  QCheck2.Test.make ~name:"count_range = naive mem count" ~count:200
+    QCheck2.Gen.(triple gen_members (int_range 0 200) (int_range 0 200))
+    (fun (xs, a, c) ->
+      let lo = min a c and hi = max a c in
+      let b = Sim.Bitset.of_list 200 xs in
+      let naive = ref 0 in
+      for i = lo to hi - 1 do
+        if Sim.Bitset.mem b i then incr naive
+      done;
+      Sim.Bitset.count_range b ~lo ~hi = !naive)
+
+let prop_first_clear_matches_naive =
+  QCheck2.Test.make ~name:"first_clear_from = naive scan" ~count:200
+    QCheck2.Gen.(pair gen_members (int_range 0 199))
+    (fun (xs, from) ->
+      let b = Sim.Bitset.of_list 200 xs in
+      let rec naive i =
+        if i >= 200 then None
+        else if not (Sim.Bitset.mem b i) then Some i
+        else naive (i + 1)
+      in
+      Sim.Bitset.first_clear_from b from = naive from)
+
+let prop_intersects_array_matches_exists =
+  QCheck2.Test.make ~name:"intersects_array = Array.exists mem" ~count:200
+    QCheck2.Gen.(pair gen_members (array_size (int_range 0 20) (int_range 0 199)))
+    (fun (xs, probe) ->
+      let b = Sim.Bitset.of_list 200 xs in
+      Sim.Bitset.intersects_array b probe
+      = Array.exists (Sim.Bitset.mem b) probe)
+
 let prop_roundtrip =
   QCheck2.Test.make ~name:"of_list/to_list roundtrip" ~count:200
     QCheck2.Gen.(list (int_range 0 199))
@@ -95,6 +174,14 @@ let suite =
     Alcotest.test_case "count_range" `Quick test_count_range;
     Alcotest.test_case "set operations" `Quick test_set_ops;
     Alcotest.test_case "copy and equal" `Quick test_copy_equal;
+    Alcotest.test_case "iter_set" `Quick test_iter_set;
+    Alcotest.test_case "exists_set" `Quick test_exists_set;
+    Alcotest.test_case "intersects_array" `Quick test_intersects_array;
+    Alcotest.test_case "of_array" `Quick test_of_array;
+    QCheck_alcotest.to_alcotest prop_iter_set_matches_mem;
+    QCheck_alcotest.to_alcotest prop_count_range_matches_naive;
+    QCheck_alcotest.to_alcotest prop_first_clear_matches_naive;
+    QCheck_alcotest.to_alcotest prop_intersects_array_matches_exists;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_cardinal;
   ]
