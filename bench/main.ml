@@ -48,10 +48,7 @@ let run_sim ?(scenario = Trace.Scenario.No_speedup) (entry : Trace.Presets.entry
   | Some m -> m
   | None ->
       let cfg =
-        {
-          (Sched.Simulator.default_config alloc ~radix:entry.cluster_radix) with
-          scenario;
-        }
+        Sched.Simulator.Config.make ~scenario ~radix:entry.cluster_radix alloc
       in
       let m = Sched.Simulator.run cfg entry.workload in
       Hashtbl.replace cache key m;
@@ -693,13 +690,10 @@ let ablation () =
   List.iter
     (fun window ->
       let cfg =
-        {
-          (Sched.Simulator.default_config Sched.Allocator.jigsaw
-             ~radix:e.cluster_radix)
-          with
-          backfill_window = max window 1;
-          backfill = window > 0;
-        }
+        Sched.Simulator.default_config Sched.Allocator.jigsaw
+          ~radix:e.cluster_radix
+        |> Sched.Simulator.Config.with_backfill_window (max window 1)
+        |> Sched.Simulator.Config.with_backfill (window > 0)
       in
       let m = Sched.Simulator.run cfg e.workload in
       Format.printf "%-10s %11.1f%% %14.0f@."

@@ -24,37 +24,84 @@ let default_horizon (w : Trace.Workload.t) =
   in
   last_arrival +. (2.0 *. max_est)
 
+(* Advance a live simulation in [every]-sized simulated-time slices,
+   writing a checkpoint after each slice.  Every write is atomic (temp
+   file + rename), so a kill at any wall-clock instant leaves the last
+   completed checkpoint intact. *)
+let checkpoint_loop sim ~every ~out =
+  match every with
+  | None -> ()
+  | Some dt ->
+      let rec loop t =
+        if not (Sched.Simulator.is_finished sim) then begin
+          Sched.Simulator.run_until sim t;
+          Sched.Checkpoint.write ~path:out sim;
+          loop (t +. dt)
+        end
+      in
+      loop (Sched.Simulator.now sim +. dt)
+
+(* --restore: the checkpoint is self-describing (workload, faults and
+   scheme travel inside it), so no --trace/--sched flags are read. *)
+let run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
+    ~table2 =
+  match Sched.Checkpoint.restore ~path () with
+  | Error m ->
+      Format.eprintf "cannot restore %s: %s@." path m;
+      exit 1
+  | Ok sim ->
+      (match checkpoint_every with
+      | Some _ ->
+          let out = Option.value checkpoint_out ~default:path in
+          checkpoint_loop sim ~every:checkpoint_every ~out
+      | None -> ());
+      let metrics, _ = Sched.Simulator.finish sim in
+      let m = metrics in
+      if fingerprint then
+        Format.printf "%s/%s %s@." m.Sched.Metrics.trace_name
+          m.Sched.Metrics.sched_name
+          (Sched.Metrics.fingerprint m)
+      else if json then Format.printf "%s@." (Sched.Metrics.to_json_string m)
+      else begin
+        Format.printf "%a@." (Sched.Metrics.pp ~format:Sched.Metrics.Human) m;
+        if table2 then begin
+          let h = m.Sched.Metrics.inst_hist in
+          Format.printf
+            "  instantaneous utilization: >=98:%d  95-97:%d  90-95:%d  80-90:%d  60-80:%d  <=60:%d@."
+            h.(5) h.(4) h.(3) h.(2) h.(1) h.(0)
+        end
+      end
+
 let run preset swf radix sched scenario seed window truncate jobs sweep full
     table2 series mtbf mttr fault_seed fault_trace fault_horizon requeue
     resubmit_delay charge_lost_work trace_out trace_format profile json
-    fingerprint series_out =
+    fingerprint series_out checkpoint_every checkpoint_out restore resume_sweep
+    =
+  (match restore with
+  | Some path ->
+      if preset <> None || swf <> None || sweep then begin
+        Format.eprintf
+          "--restore runs a self-describing checkpoint; drop --trace/--swf/--sweep@.";
+        exit 1
+      end;
+      run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
+        ~table2;
+      exit 0
+  | None -> ());
   let jobs = if jobs = 0 then Par.Pool.default_jobs () else max 1 jobs in
   let scenario =
-    match scenario with
-    | "None" -> Trace.Scenario.No_speedup
-    | "V2" -> Trace.Scenario.V2
-    | "Random" -> Trace.Scenario.Random
-    | s -> (
-        (* accept "10" or "10%" *)
-        let s =
-          if String.length s > 0 && s.[String.length s - 1] = '%' then
-            String.sub s 0 (String.length s - 1)
-          else s
-        in
-        match int_of_string_opt s with
-        | Some x -> Trace.Scenario.Fixed x
-        | None ->
-            Format.eprintf "unknown scenario %s (None|5%%|10%%|20%%|V2|Random)@." s;
-            exit 1)
+    match Trace.Scenario.of_name scenario with
+    | Ok s -> s
+    | Error m ->
+        Format.eprintf "%s@." m;
+        exit 1
   in
   let allocs =
-    if sched = "all" then Sched.Allocator.all
-    else
-      match Sched.Allocator.by_name sched with
-      | Some a -> [ a ]
-      | None ->
-          Format.eprintf "unknown scheduler %s (Baseline|LC+S|LC|Jigsaw|LaaS|TA|all)@." sched;
-          exit 1
+    match Sched.Allocator.of_cli sched with
+    | Ok l -> l
+    | Error m ->
+        Format.eprintf "%s@." m;
+        exit 1
   in
   let resilience =
     match requeue with
@@ -155,6 +202,23 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
     Format.eprintf "--trace-out is serial-only; drop --sweep/--jobs@.";
     exit 1
   end;
+  (match checkpoint_every with
+  | Some _ when sweep || List.length allocs > 1 || jobs > 1 || trace_out <> None
+    ->
+      Format.eprintf
+        "--checkpoint-every snapshots a single serial run (one trace, one \
+         scheme); drop --sweep/--jobs/--trace-out and pick one --sched@.";
+      exit 1
+  | Some _ when checkpoint_out = None ->
+      Format.eprintf "--checkpoint-every requires --checkpoint-out FILE@.";
+      exit 1
+  | _ -> ());
+  if resume_sweep <> None && (trace_out <> None || checkpoint_every <> None)
+  then begin
+    Format.eprintf
+      "--resume-sweep journals sweep cells; drop --trace-out/--checkpoint-every@.";
+    exit 1
+  end;
   let out_format = if json then Sched.Metrics.Json else Sched.Metrics.Human in
   let multi = Array.length cells > 1 in
   if (not json) && not fingerprint then begin
@@ -184,9 +248,34 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
   end;
   let t_start = Unix.gettimeofday () in
   let results =
-    match trace_out with
-    | None -> Sched.Sweep.run ~jobs cells
-    | Some path ->
+    match (checkpoint_every, trace_out) with
+    | Some _, _ ->
+        (* Single serial cell, advanced slice by slice with a checkpoint
+           after each slice; the final metrics are computed by [finish]
+           exactly as an uninterrupted run would. *)
+        let c = cells.(0) in
+        let t0 = Unix.gettimeofday () in
+        let prof = if profile then Some (Obs.Prof.create ()) else None in
+        let cfg =
+          Sched.Simulator.Config.make ~scenario:c.scenario
+            ~scenario_seed:c.scenario_seed ~backfill_window:c.backfill_window
+            ~backfill:c.backfill ~faults:c.faults ~resilience:c.resilience
+            ?prof ~radix:c.radix c.allocator
+        in
+        let sim = Sched.Simulator.start cfg c.workload in
+        let out = Option.get checkpoint_out in
+        checkpoint_loop sim ~every:checkpoint_every ~out;
+        let metrics, _ = Sched.Simulator.finish sim in
+        [|
+          {
+            Sched.Sweep.metrics;
+            prof;
+            wall_s = Unix.gettimeofday () -. t0;
+            restored = false;
+          };
+        |]
+    | None, None -> Sched.Sweep.run ~jobs ?manifest:resume_sweep cells
+    | None, Some path ->
         (* Serial path with a live sink: all cells of one invocation
            append to a single trace file; the per-run [Run_meta] event
            delimits them (jigsaw-trace splits on it). *)
@@ -213,24 +302,18 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
               let t0 = Unix.gettimeofday () in
               let prof = if profile then Some (Obs.Prof.create ()) else None in
               let cfg =
-                {
-                  Sched.Simulator.allocator = c.allocator;
-                  radix = c.radix;
-                  scenario = c.scenario;
-                  scenario_seed = c.scenario_seed;
-                  backfill_window = c.backfill_window;
-                  backfill = c.backfill;
-                  faults = c.faults;
-                  resilience = c.resilience;
-                  sink;
-                  prof;
-                }
+                Sched.Simulator.Config.make ~scenario:c.scenario
+                  ~scenario_seed:c.scenario_seed
+                  ~backfill_window:c.backfill_window ~backfill:c.backfill
+                  ~faults:c.faults ~resilience:c.resilience ~sink ?prof
+                  ~radix:c.radix c.allocator
               in
               let metrics = Sched.Simulator.run cfg c.workload in
               {
                 Sched.Sweep.metrics;
                 prof;
                 wall_s = Unix.gettimeofday () -. t0;
+                restored = false;
               })
             cells
         in
@@ -261,7 +344,10 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
       let c = cells.(i) in
       let m = r.metrics in
       if fingerprint then
-        Format.printf "%s %s@." c.label (Sched.Metrics.fingerprint m)
+        (* The stable cell id, not the display label: fingerprint lines
+           are diffed across runs and machines, so the key must not
+           depend on grid position or flag order. *)
+        Format.printf "%s %s@." c.id (Sched.Metrics.fingerprint m)
       else begin
         (if json then
            let extra =
@@ -310,9 +396,22 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
             if not json then Format.printf "  utilization series -> %s@." file
       end)
     results;
-  if sweep && (not json) && not fingerprint then
+  if sweep && (not json) && not fingerprint then begin
+    (match resume_sweep with
+    | Some path ->
+        let restored =
+          Array.fold_left
+            (fun n (r : Sched.Sweep.result) -> if r.restored then n + 1 else n)
+            0 results
+        in
+        Format.printf "@.manifest %s: %d cell%s restored, %d run@." path
+          restored
+          (if restored = 1 then "" else "s")
+          (Array.length results - restored)
+    | None -> ());
     Format.printf "@.sweep wall-clock: %.2fs over %d domain%s@." total_wall jobs
       (if jobs = 1 then "" else "s")
+  end
 
 let cmd =
   let preset =
@@ -451,13 +550,45 @@ let cmd =
                  precision (with several cells, FILE gains the cell's \
                  names before its extension).")
   in
+  let checkpoint_every =
+    Arg.(value & opt (some float) None & info [ "checkpoint-every" ]
+           ~docv:"SIMTIME"
+           ~doc:"Checkpoint the simulation every SIMTIME simulated seconds to \
+                 --checkpoint-out (atomic write: temp file + rename). Single \
+                 serial run only (one trace, one scheme). Restoring the file \
+                 and finishing reproduces the uninterrupted run's fingerprint \
+                 bit for bit.")
+  in
+  let checkpoint_out =
+    Arg.(value & opt (some string) None & info [ "checkpoint-out" ] ~docv:"FILE"
+           ~doc:"Destination file for --checkpoint-every snapshots (each \
+                 overwrites the last).")
+  in
+  let restore =
+    Arg.(value & opt (some file) None & info [ "restore" ] ~docv:"FILE"
+           ~doc:"Resume a checkpointed simulation and run it to completion. \
+                 The file is self-describing (workload, scheme, faults and \
+                 all mid-flight state travel inside it), so --trace/--sched \
+                 are not read; --json/--fingerprint/--table2 still shape the \
+                 output, and --checkpoint-every continues snapshotting \
+                 (default destination: the restored file).")
+  in
+  let resume_sweep =
+    Arg.(value & opt (some string) None & info [ "resume-sweep" ] ~docv:"FILE"
+           ~doc:"Journal every finished sweep cell to FILE (one \
+                 fingerprint-verified row per cell) and, when FILE already \
+                 exists, skip the cells it records — an interrupted --sweep \
+                 rerun with the same flags completes only the missing cells \
+                 and reports identical results.")
+  in
   let term =
     Term.(
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
       $ truncate $ jobs $ sweep $ full $ table2 $ series $ mtbf $ mttr
       $ fault_seed $ fault_trace $ fault_horizon $ requeue $ resubmit_delay
       $ charge_lost_work $ trace_out $ trace_format $ profile $ json
-      $ fingerprint $ series_out)
+      $ fingerprint $ series_out $ checkpoint_every $ checkpoint_out $ restore
+      $ resume_sweep)
   in
   Cmd.v
     (Cmd.info "jigsaw-sim" ~version:"1.0.0"

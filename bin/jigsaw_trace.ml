@@ -30,8 +30,16 @@ let run file format timeline =
       exit 1
   | Ok runs ->
       List.iteri
-        (fun i run ->
+        (fun i (run : Obs.Reader.run) ->
           if i > 0 then Format.printf "@.";
+          (* Head each run with its stable identity (the same
+             trace#jobs/scheme/scenario shape sweep cell ids use), so
+             multi-run files diff by content, not by position. *)
+          (match run.meta with
+          | Some m ->
+              Format.printf "=== %s#%d/%s/%s ===@." m.trace m.jobs m.scheme
+                m.scenario
+          | None -> Format.printf "=== (headless fragment %d) ===@." i);
           Format.printf "%a"
             (Obs.Analysis.pp_summary ~timeline)
             (Obs.Analysis.of_run run))

@@ -24,7 +24,9 @@ let () =
       let cfg = Sched.Simulator.default_config alloc ~radix:16 in
       (* Assume jobs larger than four nodes run 10% faster in isolation
          (the paper's middle scenario). *)
-      let cfg = { cfg with scenario = Trace.Scenario.Fixed 10 } in
+      let cfg =
+        Sched.Simulator.Config.with_scenario (Trace.Scenario.Fixed 10) cfg
+      in
       let m = Sched.Simulator.run cfg workload in
       if alloc.name = "Baseline" then baseline_makespan := m.makespan;
       Format.printf "%-9s %11.1f%% %14.0f %12.0f %14.5f%s@." alloc.name

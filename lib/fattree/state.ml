@@ -173,6 +173,15 @@ let release_count t = t.releases
 let failure_count t = t.failures
 let repair_count t = t.repairs
 let clone_count t = t.clones
+
+let set_op_counters t ~claims ~releases ~failures ~repairs ~clones =
+  if claims < 0 || releases < 0 || failures < 0 || repairs < 0 || clones < 0
+  then invalid_arg "State.set_op_counters: negative counter";
+  t.claims <- claims;
+  t.releases <- releases;
+  t.failures <- failures;
+  t.repairs <- repairs;
+  t.clones <- clones
 let failed_node_count t = t.failed_nodes
 let healthy_node_count t = Topology.num_nodes t.topo - t.failed_nodes
 

@@ -113,6 +113,22 @@ val clone_count : t -> int
 (** Clones taken {e of this state} ({!clone} resets the copy's tally to
     0) — the cost driver of reservation walks and probe validation. *)
 
+val set_op_counters :
+  t ->
+  claims:int ->
+  releases:int ->
+  failures:int ->
+  repairs:int ->
+  clones:int ->
+  unit
+(** [set_op_counters t ...] overwrites the five operation tallies.  For
+    checkpoint restore only: a restored state is rebuilt by replaying
+    faults and re-claiming running allocations, which would otherwise
+    leave the counters (and hence the generations that guard the no-fit
+    memo, and the end-of-run ["state/*"] profile counters) different
+    from the uninterrupted run's.  Raises [Invalid_argument] on a
+    negative value. *)
+
 (** {1 Cables}
 
     Remaining capacities are in [0, 1].  Masks report, per switch, which

@@ -181,6 +181,100 @@ let span_view s =
 let spans t = List.map (fun (k, s) -> (k, span_view s)) (sorted t.spans)
 
 (* ------------------------------------------------------------------ *)
+(* Flat codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A single-line textual round-trip for persisting a registry inside a
+   flat [Json] string field (the sweep manifest).  [write_json] cannot
+   serve: it nests, and its %g floats lose bits.  Records are
+   ';'-separated, fields '|'-separated; floats use %h (hex), which is
+   exact.  Metric names are identifiers like "sched/head_probe", so the
+   separators never appear in practice — encode checks anyway. *)
+
+let codec_name_ok name =
+  name <> ""
+  && String.for_all (fun ch -> ch <> '|' && ch <> ';' && ch <> '\n') name
+
+let encode t =
+  let b = Buffer.create 512 in
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_char b ';';
+        Buffer.add_string b s)
+      fmt
+  in
+  let check name =
+    if not (codec_name_ok name) then
+      invalid_arg ("Obs.Prof.encode: reserved character in name: " ^ name)
+  in
+  List.iter
+    (fun (k, r) ->
+      check k;
+      emit "c|%s|%d" k !r)
+    (sorted t.counters);
+  List.iter
+    (fun (k, acc) ->
+      check k;
+      let n = Sim.Stats.Acc.count acc in
+      let mn = if n = 0 then 0.0 else Sim.Stats.Acc.min acc in
+      let mx = if n = 0 then 0.0 else Sim.Stats.Acc.max acc in
+      emit "g|%s|%d|%h|%h|%h|%h" k n
+        (Sim.Stats.Acc.total acc)
+        (Sim.Stats.Acc.sum_sq acc)
+        mn mx)
+    (sorted t.gauges);
+  List.iter
+    (fun (k, s) ->
+      check k;
+      let hist =
+        Sim.Stats.Hist.counts s.s_hist |> Array.to_list
+        |> List.map string_of_int |> String.concat " "
+      in
+      emit "s|%s|%d|%h|%h|%s" k s.s_count s.s_total_ns s.s_max_ns hist)
+    (sorted t.spans);
+  Buffer.contents b
+
+let decode str =
+  let t = create () in
+  let fail fmt =
+    Printf.ksprintf (fun m -> invalid_arg ("Obs.Prof.decode: " ^ m)) fmt
+  in
+  let int_of s = try int_of_string s with _ -> fail "bad int %S" s in
+  let float_of s = try float_of_string s with _ -> fail "bad float %S" s in
+  if str <> "" then
+    List.iter
+      (fun record ->
+        match String.split_on_char '|' record with
+        | [ "c"; name; v ] -> counter_ref t name := int_of v
+        | [ "g"; name; n; total; sum_sq; mn; mx ] ->
+            let acc =
+              Sim.Stats.Acc.restore ~count:(int_of n) ~total:(float_of total)
+                ~sum_sq:(float_of sum_sq) ~min:(float_of mn)
+                ~max:(float_of mx)
+            in
+            Hashtbl.replace t.gauges name acc
+        | [ "s"; name; count; total_ns; max_ns; hist ] ->
+            let counts =
+              String.split_on_char ' ' hist
+              |> List.map int_of |> Array.of_list
+            in
+            let s =
+              {
+                s_count = int_of count;
+                s_total_ns = float_of total_ns;
+                s_max_ns = float_of max_ns;
+                s_hist =
+                  Sim.Stats.Hist.restore ~boundaries:span_boundaries ~counts;
+              }
+            in
+            Hashtbl.replace t.spans name s
+        | _ -> fail "malformed record %S" record)
+      (String.split_on_char ';' str);
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Report                                                              *)
 (* ------------------------------------------------------------------ *)
 

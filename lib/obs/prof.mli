@@ -98,3 +98,15 @@ val write_json : Buffer.t -> t -> unit
 (** One JSON object [{"counters":…,"spans":…,"gauges":…}] with sorted
     keys — embedded by [bench] into BENCH json and by [jigsaw-sim
     --json --profile] into its output. *)
+
+val encode : t -> string
+(** A single-line, newline-free, {e exact} textual serialization of the
+    registry (hex floats — unlike {!write_json}, which rounds), suitable
+    for embedding in a flat [Json] string field.  The sweep manifest
+    uses it to persist per-cell registries across a resume.  Raises
+    [Invalid_argument] if a metric name contains [';'], ['|'] or a
+    newline (names are identifier-like in practice). *)
+
+val decode : string -> t
+(** Inverse of {!encode}; the calling domain owns the result.  Raises
+    [Invalid_argument] on malformed input. *)

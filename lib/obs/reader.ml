@@ -59,6 +59,31 @@ let parse_events fmt lines =
   | Some m -> Error m
   | None -> Ok (split_runs (List.rev !events))
 
+(* Generic flat-JSONL reading — checkpoint files and sweep manifests are
+   streams of flat [Json] records, not event traces, so they bypass
+   [Event] entirely. *)
+let parse_jsonl content =
+  let lines = String.split_on_char '\n' content in
+  let records = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None && String.trim line <> "" then
+        match Json.parse_line line with
+        | fields -> records := fields :: !records
+        | exception Json.Parse_error m ->
+            err := Some (Printf.sprintf "line %d: %s" (i + 1) m))
+    lines;
+  match !err with Some m -> Error m | None -> Ok (List.rev !records)
+
+let load_jsonl path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> (
+      match parse_jsonl content with
+      | Ok records -> Ok records
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))
+  | exception Sys_error m -> Error m
+
 let load ?format path =
   let fmt = match format with Some f -> f | None -> Sink.format_of_path path in
   match In_channel.with_open_text path In_channel.input_lines with

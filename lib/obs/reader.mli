@@ -26,3 +26,17 @@ val parse_events : Sink.format -> string list -> (run list, string) result
 
 val load : ?format:Sink.format -> string -> (run list, string) result
 (** Read a trace file; format defaults to {!Sink.format_of_path}. *)
+
+(** {1 Generic flat JSONL}
+
+    Checkpoint files and sweep manifests are streams of flat {!Json}
+    records that are not event traces; these readers parse them without
+    going through {!Event}. *)
+
+val parse_jsonl : string -> ((string * Json.value) list list, string) result
+(** Parse a whole buffer of newline-separated flat JSON objects (blank
+    lines skipped).  [Error] carries the first offending line number and
+    reason. *)
+
+val load_jsonl : string -> ((string * Json.value) list list, string) result
+(** {!parse_jsonl} on a file's contents; [Error] on I/O failure too. *)

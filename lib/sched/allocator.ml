@@ -70,4 +70,23 @@ let lc_exclusive ?budget () =
 
 let all = [ baseline; lcs (); jigsaw; laas; ta ]
 let isolating = [ ta; laas; jigsaw ]
-let by_name n = List.find_opt (fun a -> a.name = n) (lc_exclusive () :: all)
+
+let valid_names = List.map (fun a -> a.name) (lc_exclusive () :: all)
+
+let by_name n =
+  match List.find_opt (fun a -> a.name = n) (lc_exclusive () :: all) with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown scheduler %S (valid: %s)" n
+           (String.concat "|" valid_names))
+
+let of_cli n =
+  if n = "all" then Ok all
+  else
+    match by_name n with
+    | Ok a -> Ok [ a ]
+    | Error _ ->
+        Error
+          (Printf.sprintf "unknown scheduler %S (valid: %s|all)" n
+             (String.concat "|" valid_names))

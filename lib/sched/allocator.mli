@@ -66,4 +66,13 @@ val all : t list
 val isolating : t list
 (** TA, LaaS, Jigsaw — the existing-vs-new comparison of Table 2. *)
 
-val by_name : string -> t option
+val valid_names : string list
+(** Every name {!by_name} accepts: the five [all] schemes plus ["LC"]. *)
+
+val by_name : string -> (t, string) result
+(** Resolve a scheme by its exact display name.  The error message lists
+    the valid names — the one scheme-name resolver behind the CLI, the
+    sweep cell parser and checkpoint restore. *)
+
+val of_cli : string -> (t list, string) result
+(** {!by_name} plus the CLI's ["all"] spelling (the full [all] list). *)

@@ -1,0 +1,50 @@
+(** Deterministic checkpoint files for mid-flight simulations.
+
+    A checkpoint serializes a {!Simulator.Snapshot.t} to a versioned,
+    self-describing file: a stream of flat JSON records (one per line,
+    written with the existing [Obs.Json] writer — no new dependencies)
+    opened by a [jigsaw-checkpoint] header carrying the format version
+    and record counts, and closed by an integrity trailer holding the
+    line count and the MD5 digest of every preceding byte.
+
+    Guarantees:
+
+    - {e crash-safe writes} — {!save} streams to ["<path>.tmp"] and
+      renames over the target only once complete, so an interrupted
+      checkpoint never clobbers a good one;
+    - {e loud corruption errors} — {!load} verifies the trailer digest
+      and line count before parsing a single record, so truncated or
+      bit-flipped files produce an integrity [Error], never a silently
+      wrong resume;
+    - {e bit-exact resume} — every float crosses the file through an
+      exact representation ([Obs.Json]'s round-trip printing, or [%h]
+      hex floats inside packed strings), so
+      [checkpoint → restore → finish] reproduces the uninterrupted
+      run's {!Metrics.fingerprint} byte for byte.
+
+    The record order is documented in DESIGN.md §12. *)
+
+val version : int
+(** Format version written by {!save}; {!load} rejects others. *)
+
+val save : path:string -> Simulator.Snapshot.t -> unit
+(** Write a checkpoint file atomically (temp file + rename).  Raises
+    [Sys_error] on I/O failure. *)
+
+val load : path:string -> (Simulator.Snapshot.t, string) result
+(** Read a checkpoint back.  [Error] on I/O failure, a failed integrity
+    check, a bad magic/version, or any malformed or missing record. *)
+
+val write : path:string -> Simulator.t -> unit
+(** [save] of {!Simulator.snapshot} — raises [Invalid_argument] if a
+    scheduling pass is in flight (snapshot only after
+    [Simulator.run_until]). *)
+
+val restore :
+  ?sink:Obs.Sink.t ->
+  ?prof:Obs.Prof.t ->
+  path:string ->
+  unit ->
+  (Simulator.t, string) result
+(** [load] followed by {!Simulator.of_snapshot}: a live simulation ready
+    for [Simulator.run_until] / [Simulator.finish]. *)

@@ -124,6 +124,85 @@ let fingerprint m =
     m.series;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* Manifest round-trip: a result row must come back bit-identical so a
+   resumed sweep can re-verify the stored fingerprint.  The series rides
+   in one packed string of [%h] hex-float pairs — exact by construction,
+   and free of the characters the flat JSON writer escapes. *)
+
+let series_encode m =
+  let b = Buffer.create (16 * Array.length m.series) in
+  Array.iteri
+    (fun idx (t, u) ->
+      if idx > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (Printf.sprintf "%h:%h" t u))
+    m.series;
+  Buffer.contents b
+
+let series_decode s =
+  if s = "" then Ok [||]
+  else
+    try
+      String.split_on_char ' ' s
+      |> List.map (fun pair ->
+             match String.split_on_char ':' pair with
+             (* %h prints "0x1.8p-2": the mantissa/exponent separator is
+                'p', so ':' splits cleanly. *)
+             | [ t; u ] -> (float_of_string t, float_of_string u)
+             | _ -> failwith pair)
+      |> Array.of_list
+      |> Result.ok
+    with Failure _ ->
+      Error "malformed series string (expected space-separated t:u pairs)"
+
+let of_json ~series fields =
+  try
+    let str = Obs.Json.str fields
+    and num = Obs.Json.num fields
+    and int = Obs.Json.int fields in
+    let inst_hist =
+      Array.init
+        (Array.length table2_boundaries + 1)
+        (fun idx -> int (Printf.sprintf "inst_hist_%d" idx))
+    in
+    match series_decode series with
+    | Error m -> Error m
+    | Ok series ->
+        if Array.length series <> int "series_points" then
+          Error
+            (Printf.sprintf "series has %d points, row says %d"
+               (Array.length series) (int "series_points"))
+        else
+          Ok
+            {
+              trace_name = str "trace";
+              sched_name = str "sched";
+              scenario_name = str "scenario";
+              cluster_nodes = int "cluster_nodes";
+              num_jobs = int "num_jobs";
+              rejected = int "rejected";
+              stuck_pending = int "stuck_pending";
+              avg_utilization = num "avg_utilization";
+              alloc_utilization = num "alloc_utilization";
+              inst_hist;
+              makespan = num "makespan";
+              avg_turnaround_all = num "avg_turnaround_all";
+              avg_turnaround_large = num "avg_turnaround_large";
+              num_large = int "num_large";
+              sched_time_total = num "sched_time_total";
+              sched_time_per_job = num "sched_time_per_job";
+              steady_start = num "steady_start";
+              steady_end = num "steady_end";
+              fault_events = int "fault_events";
+              interrupted = int "interrupted";
+              requeued = int "requeued";
+              abandoned = int "abandoned";
+              lost_node_time = num "lost_node_time";
+              healthy_fraction = num "healthy_fraction";
+              util_vs_healthy = num "util_vs_healthy";
+              series;
+            }
+  with Obs.Json.Parse_error m -> Error m
+
 let write_series_csv oc m =
   output_string oc "time,utilization\n";
   Array.iter

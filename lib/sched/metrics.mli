@@ -91,6 +91,12 @@ val pp : format:format -> Format.formatter -> t -> unit
     length ([series_points]) — export the series itself with
     {!write_series_csv}. *)
 
+val json_fields : t -> (string * Obs.Json.value) list
+(** The flat key/value view behind the [Json] face and {!fingerprint}:
+    every simulated scalar, the histogram flattened to [inst_hist_<i>]
+    keys, and the series by length only ([series_points]).  Sweep
+    manifests persist rows through this view. *)
+
 val to_json_string : ?extra:(string * Obs.Json.value) list -> t -> string
 (** The [Json] face as a string.  [extra] fields (e.g. [wall_clock_s],
     [jobs]) are appended after the simulated fields so BENCH files are
@@ -106,6 +112,26 @@ val fingerprint : t -> string
 
 val write_series_csv : out_channel -> t -> unit
 (** [time,utilization] CSV of the full series (full float precision). *)
+
+(** {1 Manifest round-trip}
+
+    Sweep manifests persist completed cells as one flat JSON row plus a
+    packed series string; reading them back must reproduce the exact
+    {!fingerprint}, so every float crosses the file through an exact
+    representation. *)
+
+val series_encode : t -> string
+(** The utilization series as space-separated [t:u] pairs in [%h] hex
+    floats (exact round-trip). *)
+
+val series_decode : string -> ((float * float) array, string) result
+
+val of_json :
+  series:string -> (string * Obs.Json.value) list -> (t, string) result
+(** Rebuild a result row from its [Json] fields (as written by {!pp} /
+    {!to_json_string}) and a {!series_encode} string.  [Error] on a
+    missing or mistyped field, a malformed series, or a length mismatch
+    against the row's [series_points]. *)
 
 val mean_turnaround : per_job list -> large_only:bool -> float * int
 (** Average turnaround (end - arrival) and the population size, over all

@@ -29,19 +29,39 @@ type config = {
   prof : Obs.Prof.t option;
 }
 
-let default_config allocator ~radix =
-  {
-    allocator;
-    radix;
-    scenario = Trace.Scenario.No_speedup;
-    scenario_seed = 1;
-    backfill_window = 50;
-    backfill = true;
-    faults = Trace.Faults.none;
-    resilience = no_resilience;
-    sink = Obs.Sink.null;
-    prof = None;
-  }
+module Config = struct
+  type t = config
+
+  let make ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
+      ?(backfill_window = 50) ?(backfill = true) ?(faults = Trace.Faults.none)
+      ?(resilience = no_resilience) ?(sink = Obs.Sink.null) ?prof ~radix
+      allocator =
+    {
+      allocator;
+      radix;
+      scenario;
+      scenario_seed;
+      backfill_window;
+      backfill;
+      faults;
+      resilience;
+      sink;
+      prof;
+    }
+
+  let with_allocator allocator cfg = { cfg with allocator }
+  let with_radix radix cfg = { cfg with radix }
+  let with_scenario scenario cfg = { cfg with scenario }
+  let with_scenario_seed scenario_seed cfg = { cfg with scenario_seed }
+  let with_backfill_window backfill_window cfg = { cfg with backfill_window }
+  let with_backfill backfill cfg = { cfg with backfill }
+  let with_faults faults cfg = { cfg with faults }
+  let with_resilience resilience cfg = { cfg with resilience }
+  let with_sink sink cfg = { cfg with sink }
+  let with_prof prof cfg = { cfg with prof }
+end
+
+let default_config allocator ~radix = Config.make ~radix allocator
 
 type running = {
   r_job : Trace.Job.t;
@@ -54,6 +74,7 @@ type running = {
 
 type sim = {
   cfg : config;
+  workload : Trace.Workload.t;
   st : State.t;
   engine : Sim.Engine.t;
   (* FIFO pending queue with lazy deletion: ids in arrival order plus a
@@ -320,8 +341,9 @@ let rec start_job sim ~ctx (j : Trace.Job.t) (alloc : Alloc.t) =
         });
   (* The attempt number guards against a stale completion: a killed and
      requeued job must not be finished by its first attempt's event. *)
-  Sim.Engine.schedule sim.engine ~time:r_end ~priority:0 (fun _ ->
-      complete_job sim j.id ~attempt);
+  Sim.Engine.schedule sim.engine ~time:r_end ~priority:0
+    ~tag:(Printf.sprintf "c:%d:%d" j.id attempt)
+    (fun _ -> complete_job sim j.id ~attempt);
   record sim
 
 and complete_job sim id ~attempt =
@@ -349,8 +371,10 @@ and complete_job sim id ~attempt =
 and request_pass sim =
   if not sim.pass_scheduled then begin
     sim.pass_scheduled <- true;
+    (* Tagged "p" but never checkpointed: passes always run at the
+       current instant, so [run_until] drains them before a snapshot. *)
     Sim.Engine.schedule sim.engine ~time:(Sim.Engine.now sim.engine) ~priority:2
-      (fun _ ->
+      ~tag:"p" (fun _ ->
         sim.pass_scheduled <- false;
         schedule_pass sim)
   end
@@ -581,8 +605,9 @@ let kill_job sim (r : running) =
     let resume_at = now +. sim.cfg.resilience.resubmit_delay in
     emit sim (fun () ->
         Obs.Event.Requeue { job = r.r_job.id; attempt = kills; resume_at });
-    Sim.Engine.schedule sim.engine ~time:resume_at ~priority:1 (fun _ ->
-        arrive sim r.r_job)
+    Sim.Engine.schedule sim.engine ~time:resume_at ~priority:1
+      ~tag:(Printf.sprintf "a:%d" r.r_job.id)
+      (fun _ -> arrive sim r.r_job)
   end
   else begin
     sim.abandoned <- sim.abandoned + 1;
@@ -668,11 +693,12 @@ let fault_event sim (e : Trace.Faults.event) =
          some, so a pass is useful only after a kill. *)
       if victims <> [] then request_pass sim
 
-let run_detailed cfg (w : Trace.Workload.t) =
+let start cfg (w : Trace.Workload.t) =
   let topo = Fattree.Topology.of_radix cfg.radix in
   let sim =
     {
       cfg;
+      workload = w;
       st = State.create topo;
       engine = Sim.Engine.create ();
       pending_ids = Queue.create ();
@@ -719,15 +745,19 @@ let run_detailed cfg (w : Trace.Workload.t) =
         });
   Array.iter
     (fun (j : Trace.Job.t) ->
-      Sim.Engine.schedule sim.engine ~time:j.arrival ~priority:1 (fun _ ->
-          arrive sim j))
+      Sim.Engine.schedule sim.engine ~time:j.arrival ~priority:1
+        ~tag:(Printf.sprintf "a:%d" j.id)
+        (fun _ -> arrive sim j))
     w.jobs;
   (* Fault events run at completion priority: a failure at instant [t]
-     lands before [t]'s arrivals and scheduling passes. *)
-  Array.iter
-    (fun (e : Trace.Faults.event) ->
-      Sim.Engine.schedule sim.engine ~time:e.time ~priority:0 (fun _ ->
-          fault_event sim e))
+     lands before [t]'s arrivals and scheduling passes.  The tag indexes
+     into the (immutable, sorted) fault trace so a checkpoint can name
+     the event without serializing its closure. *)
+  Array.iteri
+    (fun i (e : Trace.Faults.event) ->
+      Sim.Engine.schedule sim.engine ~time:e.time ~priority:0
+        ~tag:(Printf.sprintf "f:%d" i)
+        (fun _ -> fault_event sim e))
     (Trace.Faults.events cfg.faults);
   (match cfg.prof with
   | Some p ->
@@ -737,6 +767,21 @@ let run_detailed cfg (w : Trace.Workload.t) =
              Obs.Prof.sample p "gauge/event_queue"
                (float_of_int (Sim.Engine.pending e))))
   | None -> ());
+  sim
+
+let now sim = Sim.Engine.now sim.engine
+let is_finished sim = Sim.Engine.pending sim.engine = 0
+
+let run_until sim horizon =
+  Sim.Engine.run_until sim.engine horizon;
+  (* [run_until] drains every event at or before the horizon, so any
+     same-instant scheduling pass has run too. *)
+  assert (not sim.pass_scheduled)
+
+let finish sim =
+  let cfg = sim.cfg in
+  let w = sim.workload in
+  let topo = State.topo sim.st in
   Sim.Engine.run sim.engine;
   (* Import the externally maintained tallies so the profile report is
      self-contained: one registry holds the whole run's cost picture. *)
@@ -844,4 +889,389 @@ let run_detailed cfg (w : Trace.Workload.t) =
   in
   (metrics, finished)
 
+type t = sim
+
+let run_detailed cfg w = finish (start cfg w)
 let run cfg w = fst (run_detailed cfg w)
+
+(* ---- checkpoint snapshots ------------------------------------------ *)
+
+module Snapshot = struct
+  type event = { ev_time : float; ev_priority : int; ev_seq : int; ev_tag : string }
+
+  type running_job = {
+    rs_job : int;
+    rs_attempt : int;
+    rs_start : float;
+    rs_end : float;
+    rs_est_end : float;
+    rs_size : int;
+    rs_bw : float;
+    rs_nodes : int array;
+    rs_leaf_cables : int array;
+    rs_l2_cables : int array;
+  }
+
+  type finished_job = { fs_job : int; fs_start : float; fs_end : float }
+
+  type t = {
+    (* configuration identity (sink and profiling registry excluded) *)
+    scheme : string;
+    radix : int;
+    scenario : string;
+    scenario_seed : int;
+    backfill_window : int;
+    backfill : bool;
+    resilience : resilience;
+    trace_name : string;
+    system_nodes : int;
+    jobs : Trace.Job.t array;
+    faults : Trace.Faults.event array;
+    (* engine *)
+    clock : float;
+    steps : int;
+    next_seq : int;
+    events : event array;  (** Pending events in [seq] order. *)
+    (* scheduler state *)
+    queue : (int * int) array;  (** [(id, stamp)], queue front first. *)
+    pending_live : int array;  (** Ids in the pending table, ascending. *)
+    pending_gens : (int * int) array;  (** [(id, stamp)], ascending id. *)
+    running : running_job array;  (** Ascending job id. *)
+    nofit : (int * float) array;  (** Memoized no-fit classes, ascending. *)
+    nofit_release_gen : int;
+    kills : (int * int) array;  (** [(id, kills)], ascending id. *)
+    reserved : (int * float) option;
+    (* accumulators *)
+    sched_clock : float;
+    samples : (float * int * int * int * int) array;  (** Chronological. *)
+    alloc_busy : int;
+    req_busy : int;
+    finished : finished_job array;  (** Completion order. *)
+    last_start_time : float;
+    first_start_time : float;
+    first_blocked_time : float;
+    rejected : int;
+    pending_repairs : int;
+    fault_count : int;
+    interrupted : int;
+    requeued : int;
+    abandoned : int;
+    lost_node_time : float;
+    started_total : int;
+    (* state operation counters *)
+    st_claims : int;
+    st_releases : int;
+    st_failures : int;
+    st_repairs : int;
+    st_clones : int;
+  }
+end
+
+let sorted_pairs tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare |> Array.of_list
+
+let snapshot sim : Snapshot.t =
+  if sim.pass_scheduled then
+    invalid_arg
+      "Simulator.snapshot: a scheduling pass is in flight; snapshot only \
+       after run_until";
+  let events =
+    Sim.Engine.pending_events sim.engine
+    |> List.map (fun (t, p, s, tag) ->
+           if tag = "" || tag = "p" then
+             invalid_arg
+               (Printf.sprintf
+                  "Simulator.snapshot: unserializable pending event (tag %S)"
+                  tag);
+           { Snapshot.ev_time = t; ev_priority = p; ev_seq = s; ev_tag = tag })
+    |> Array.of_list
+  in
+  let running =
+    Hashtbl.fold
+      (fun _ r acc ->
+        {
+          Snapshot.rs_job = r.r_job.id;
+          rs_attempt = r.r_attempt;
+          rs_start = r.r_start;
+          rs_end = r.r_end;
+          rs_est_end = r.r_est_end;
+          rs_size = r.r_alloc.Alloc.size;
+          rs_bw = r.r_alloc.Alloc.bw;
+          rs_nodes = Array.copy r.r_alloc.Alloc.nodes;
+          rs_leaf_cables = Array.copy r.r_alloc.Alloc.leaf_cables;
+          rs_l2_cables = Array.copy r.r_alloc.Alloc.l2_cables;
+        }
+        :: acc)
+      sim.running []
+    |> List.sort (fun a b -> compare a.Snapshot.rs_job b.Snapshot.rs_job)
+    |> Array.of_list
+  in
+  let finished =
+    List.rev_map
+      (fun (pj : Metrics.per_job) ->
+        {
+          Snapshot.fs_job = pj.job.id;
+          fs_start = pj.start_time;
+          fs_end = pj.end_time;
+        })
+      sim.finished
+    |> Array.of_list
+  in
+  {
+    Snapshot.scheme = sim.cfg.allocator.Allocator.name;
+    radix = sim.cfg.radix;
+    scenario = Trace.Scenario.name sim.cfg.scenario;
+    scenario_seed = sim.cfg.scenario_seed;
+    backfill_window = sim.cfg.backfill_window;
+    backfill = sim.cfg.backfill;
+    resilience = sim.cfg.resilience;
+    trace_name = sim.workload.Trace.Workload.name;
+    system_nodes = sim.workload.Trace.Workload.system_nodes;
+    jobs = sim.workload.Trace.Workload.jobs;
+    faults = Trace.Faults.events sim.cfg.faults;
+    clock = Sim.Engine.now sim.engine;
+    steps = Sim.Engine.steps sim.engine;
+    next_seq = Sim.Engine.next_seq sim.engine;
+    events;
+    queue =
+      (let acc = ref [] in
+       Queue.iter (fun e -> acc := e :: !acc) sim.pending_ids;
+       Array.of_list (List.rev !acc));
+    pending_live =
+      (Hashtbl.fold (fun id _ acc -> id :: acc) sim.pending []
+      |> List.sort compare |> Array.of_list);
+    pending_gens = sorted_pairs sim.pending_gen;
+    running;
+    nofit =
+      (Hashtbl.fold (fun k () acc -> k :: acc) sim.nofit []
+      |> List.sort compare |> Array.of_list);
+    nofit_release_gen = sim.nofit_release_gen;
+    kills = sorted_pairs sim.kills;
+    reserved = sim.reserved;
+    sched_clock = sim.sched_clock;
+    samples = Array.of_list (List.rev sim.samples);
+    alloc_busy = sim.alloc_busy;
+    req_busy = sim.req_busy;
+    finished;
+    last_start_time = sim.last_start_time;
+    first_start_time = sim.first_start_time;
+    first_blocked_time = sim.first_blocked_time;
+    rejected = sim.rejected;
+    pending_repairs = sim.pending_repairs;
+    fault_count = sim.fault_events;
+    interrupted = sim.interrupted;
+    requeued = sim.requeued;
+    abandoned = sim.abandoned;
+    lost_node_time = sim.lost_node_time;
+    started_total = sim.started_total;
+    st_claims = State.claim_count sim.st;
+    st_releases = State.release_count sim.st;
+    st_failures = State.failure_count sim.st;
+    st_repairs = State.repair_count sim.st;
+    st_clones = State.clone_count sim.st;
+  }
+
+exception Restore_error of string
+
+let restore_fail fmt =
+  Printf.ksprintf (fun m -> raise (Restore_error m)) fmt
+
+let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
+  try
+    let allocator =
+      match Allocator.by_name s.scheme with
+      | Ok a -> a
+      | Error m -> restore_fail "%s" m
+    in
+    let scenario =
+      match Trace.Scenario.of_name s.scenario with
+      | Ok sc -> sc
+      | Error m -> restore_fail "%s" m
+    in
+    let cfg =
+      Config.make ~scenario ~scenario_seed:s.scenario_seed
+        ~backfill_window:s.backfill_window ~backfill:s.backfill
+        ~faults:(Trace.Faults.scripted (Array.to_list s.faults))
+        ~resilience:s.resilience ~sink ?prof ~radix:s.radix allocator
+    in
+    let w =
+      Trace.Workload.create ~name:s.trace_name ~system_nodes:s.system_nodes
+        s.jobs
+    in
+    let job_tbl = Hashtbl.create (Array.length s.jobs) in
+    Array.iter (fun (j : Trace.Job.t) -> Hashtbl.replace job_tbl j.id j) s.jobs;
+    let find_job id =
+      match Hashtbl.find_opt job_tbl id with
+      | Some j -> j
+      | None -> restore_fail "checkpoint references unknown job id %d" id
+    in
+    let topo = Fattree.Topology.of_radix s.radix in
+    let st = State.create topo in
+    (* Rebuild the cluster state by replaying the executed fault prefix
+       (all events at or before the checkpoint clock, in trace order)
+       and then re-claiming the running allocations.  Bandwidth demands
+       are dyadic fractions, so the cable arithmetic is exact, and live
+       faults never intersect running allocations (intersecting jobs
+       were killed at the fault instant), so the rebuilt summaries are
+       bit-identical to the uninterrupted run's. *)
+    Array.iter
+      (fun (e : Trace.Faults.event) ->
+        if e.time <= s.clock then
+          match e.kind with
+          | Trace.Faults.Fail -> Trace.Faults.apply st e.target
+          | Trace.Faults.Repair -> Trace.Faults.revert st e.target)
+      s.faults;
+    let running_tbl = Hashtbl.create 256 in
+    Array.iter
+      (fun (r : Snapshot.running_job) ->
+        let j = find_job r.rs_job in
+        let alloc =
+          {
+            Alloc.job = r.rs_job;
+            size = r.rs_size;
+            nodes = r.rs_nodes;
+            leaf_cables = r.rs_leaf_cables;
+            l2_cables = r.rs_l2_cables;
+            bw = r.rs_bw;
+          }
+        in
+        (match State.claim_exn ~validate:false st alloc with
+        | () -> ()
+        | exception e ->
+            restore_fail "checkpoint is inconsistent: re-claiming job %d: %s"
+              r.rs_job (Printexc.to_string e));
+        Hashtbl.replace running_tbl r.rs_job
+          {
+            r_job = j;
+            r_alloc = alloc;
+            r_start = r.rs_start;
+            r_end = r.rs_end;
+            r_est_end = r.rs_est_end;
+            r_attempt = r.rs_attempt;
+          })
+      s.running;
+    (* Overwrite the op tallies so generations (and hence the no-fit
+       memo guard and the end-of-run profile counters) match the
+       uninterrupted run exactly. *)
+    State.set_op_counters st ~claims:s.st_claims ~releases:s.st_releases
+      ~failures:s.st_failures ~repairs:s.st_repairs ~clones:s.st_clones;
+    (* The memo stamp may lag the state's release generation (the memo
+       resets lazily, on its next consult) — but it can never be ahead
+       of it. *)
+    if s.nofit_release_gen > State.release_generation st then
+      restore_fail
+        "checkpoint is inconsistent: no-fit generation %d ahead of restored \
+         state %d"
+        s.nofit_release_gen
+        (State.release_generation st);
+    let engine =
+      Sim.Engine.restore ~clock:s.clock ~steps:s.steps ~next_seq:s.next_seq
+    in
+    let sim =
+      {
+        cfg;
+        workload = w;
+        st;
+        engine;
+        pending_ids = Queue.create ();
+        pending = Hashtbl.create 1024;
+        pending_gen = Hashtbl.create 1024;
+        running = running_tbl;
+        nofit = Hashtbl.create 64;
+        nofit_release_gen = s.nofit_release_gen;
+        pass_scheduled = false;
+        sched_clock = s.sched_clock;
+        samples = List.rev (Array.to_list s.samples);
+        alloc_busy = s.alloc_busy;
+        req_busy = s.req_busy;
+        finished =
+          Array.fold_left
+            (fun acc (f : Snapshot.finished_job) ->
+              {
+                Metrics.job = find_job f.fs_job;
+                start_time = f.fs_start;
+                end_time = f.fs_end;
+              }
+              :: acc)
+            [] s.finished;
+        last_start_time = s.last_start_time;
+        first_start_time = s.first_start_time;
+        first_blocked_time = s.first_blocked_time;
+        rejected = s.rejected;
+        kills = Hashtbl.create 64;
+        pending_repairs = s.pending_repairs;
+        fault_events = s.fault_count;
+        interrupted = s.interrupted;
+        requeued = s.requeued;
+        abandoned = s.abandoned;
+        lost_node_time = s.lost_node_time;
+        started_total = s.started_total;
+        reserved = s.reserved;
+      }
+    in
+    Array.iter (fun (id, g) -> Queue.add (id, g) sim.pending_ids) s.queue;
+    Array.iter
+      (fun id -> Hashtbl.replace sim.pending id (find_job id))
+      s.pending_live;
+    Array.iter
+      (fun (id, g) -> Hashtbl.replace sim.pending_gen id g)
+      s.pending_gens;
+    Array.iter (fun key -> Hashtbl.replace sim.nofit key ()) s.nofit;
+    Array.iter (fun (id, k) -> Hashtbl.replace sim.kills id k) s.kills;
+    (* Re-materialize the event heap from the tags, preserving exact
+       sequence numbers so same-instant tie-breaking (and therefore
+       every float summation order downstream) is unchanged. *)
+    let fault_arr = Trace.Faults.events cfg.faults in
+    Array.iter
+      (fun (ev : Snapshot.event) ->
+        let action =
+          match String.split_on_char ':' ev.ev_tag with
+          | [ "a"; id ] ->
+              let j = find_job (int_of_string id) in
+              fun _ -> arrive sim j
+          | [ "c"; id; attempt ] ->
+              let id = int_of_string id and attempt = int_of_string attempt in
+              fun _ -> complete_job sim id ~attempt
+          | [ "f"; idx ] ->
+              let i = int_of_string idx in
+              if i < 0 || i >= Array.length fault_arr then
+                restore_fail "checkpoint references fault event %d of %d" i
+                  (Array.length fault_arr);
+              fun _ -> fault_event sim fault_arr.(i)
+          | _ -> restore_fail "unknown event tag %S" ev.ev_tag
+          | exception Failure _ ->
+              restore_fail "malformed event tag %S" ev.ev_tag
+        in
+        match
+          Sim.Engine.schedule_restored sim.engine ~time:ev.ev_time
+            ~priority:ev.ev_priority ~seq:ev.ev_seq ~tag:ev.ev_tag action
+        with
+        | () -> ()
+        | exception Invalid_argument m -> restore_fail "%s" m)
+      s.events;
+    (match prof with
+    | Some p ->
+        Sim.Engine.set_on_step sim.engine
+          (Some
+             (fun e ->
+               Obs.Prof.sample p "gauge/event_queue"
+                 (float_of_int (Sim.Engine.pending e))))
+    | None -> ());
+    (* Re-emit the run header so a trace of the resumed segment is
+       self-describing; emission never touches simulator state, so
+       metrics are unaffected. *)
+    emit sim (fun () ->
+        Obs.Event.Run_meta
+          {
+            trace = w.name;
+            scheme = cfg.allocator.Allocator.name;
+            scenario = Trace.Scenario.name cfg.scenario;
+            radix = cfg.radix;
+            nodes = Fattree.Topology.num_nodes topo;
+            jobs = Array.length w.jobs;
+          });
+    Ok sim
+  with
+  | Restore_error m -> Error m
+  | Invalid_argument m -> Error m

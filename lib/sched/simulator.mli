@@ -42,7 +42,7 @@ type resilience = {
 val no_resilience : resilience
 (** No requeue, zero delay, zero retries, charge everything. *)
 
-type config = {
+type config = private {
   allocator : Allocator.t;
   radix : int;  (** Cluster: maximal fat-tree of this switch radix. *)
   scenario : Trace.Scenario.t;
@@ -65,11 +65,44 @@ type config = {
           [sched_time] clock, so profiling never pollutes the reported
           scheduling cost. *)
 }
+(** Private: construct with {!Config.make} and update with the
+    [Config.with_*] functions, so new fields never break construction
+    sites again.  Field {e reads} are unrestricted. *)
+
+(** Builder for {!config}. *)
+module Config : sig
+  type t = config
+
+  val make :
+    ?scenario:Trace.Scenario.t ->
+    ?scenario_seed:int ->
+    ?backfill_window:int ->
+    ?backfill:bool ->
+    ?faults:Trace.Faults.t ->
+    ?resilience:resilience ->
+    ?sink:Obs.Sink.t ->
+    ?prof:Obs.Prof.t ->
+    radix:int ->
+    Allocator.t ->
+    t
+  (** Defaults: scenario [No_speedup], seed 1, window 50, backfilling
+      on, no faults, {!no_resilience}, null sink, no profiling. *)
+
+  val with_allocator : Allocator.t -> t -> t
+  val with_radix : int -> t -> t
+  val with_scenario : Trace.Scenario.t -> t -> t
+  val with_scenario_seed : int -> t -> t
+  val with_backfill_window : int -> t -> t
+  val with_backfill : bool -> t -> t
+  val with_faults : Trace.Faults.t -> t -> t
+  val with_resilience : resilience -> t -> t
+  val with_sink : Obs.Sink.t -> t -> t
+  val with_prof : Obs.Prof.t option -> t -> t
+end
 
 val default_config : Allocator.t -> radix:int -> config
-(** Scenario [No_speedup], seed 1, window 50, backfilling on, no faults,
-    {!no_resilience}, null sink, no profiling — behaviourally identical
-    to the pre-fault simulator. *)
+(** Thin alias for [Config.make ~radix allocator] — behaviourally
+    identical to the pre-fault simulator. *)
 
 val reservation :
   Allocator.t ->
@@ -104,3 +137,135 @@ val run : config -> Trace.Workload.t -> Metrics.t
 
 (** Per-job records, for tests and custom analyses. *)
 val run_detailed : config -> Trace.Workload.t -> Metrics.t * Metrics.per_job list
+
+(** {1 Incremental runs and checkpointing}
+
+    [run cfg w] is [finish (start cfg w)]; the split entry points let a
+    caller advance simulated time in slices and snapshot between slices.
+    The contract: [checkpoint → restore → finish] produces a
+    bit-identical {!Metrics.fingerprint} to an uninterrupted same-seed
+    run. *)
+
+type t
+(** A live simulation: cluster state, event heap, queues, memos and
+    in-progress metric accumulators. *)
+
+val start : config -> Trace.Workload.t -> t
+(** Build the simulation and schedule every arrival and fault event;
+    nothing has executed yet. *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val is_finished : t -> bool
+(** No pending events: {!finish} will compute metrics without advancing
+    time. *)
+
+val run_until : t -> float -> unit
+(** Execute every event at or before the horizon, then advance the clock
+    to it.  Afterwards no scheduling pass is in flight, so the state is
+    {!snapshot}-able. *)
+
+val finish : t -> Metrics.t * Metrics.per_job list
+(** Run the remaining events and compute the metrics (flushing the sink
+    and importing the end-of-run profile counters, as {!run} does). *)
+
+(** A serializable snapshot of a mid-flight simulation, taken between
+    events.  Self-contained: carries the full workload and fault trace
+    plus every piece of dynamic state, so restore needs no side files.
+    The trace sink and profiling registry are {e not} captured — they
+    are wall-clock observers, not simulation state; {!of_snapshot}
+    accepts fresh ones. *)
+module Snapshot : sig
+  type event = {
+    ev_time : float;
+    ev_priority : int;
+    ev_seq : int;
+    ev_tag : string;
+  }
+  (** One pending engine event, serialized logically: the tag names the
+      closure (["a:<job>"] arrival, ["c:<job>:<attempt>"] completion,
+      ["f:<index>"] fault event) and the exact sequence number preserves
+      same-instant FIFO tie-breaking across the restore. *)
+
+  type running_job = {
+    rs_job : int;
+    rs_attempt : int;
+    rs_start : float;
+    rs_end : float;
+    rs_est_end : float;
+    rs_size : int;
+    rs_bw : float;
+    rs_nodes : int array;
+    rs_leaf_cables : int array;
+    rs_l2_cables : int array;
+  }
+
+  type finished_job = { fs_job : int; fs_start : float; fs_end : float }
+
+  type t = {
+    scheme : string;
+    radix : int;
+    scenario : string;
+    scenario_seed : int;
+    backfill_window : int;
+    backfill : bool;
+    resilience : resilience;
+    trace_name : string;
+    system_nodes : int;
+    jobs : Trace.Job.t array;
+    faults : Trace.Faults.event array;
+    clock : float;
+    steps : int;
+    next_seq : int;
+    events : event array;  (** Pending events in [seq] order. *)
+    queue : (int * int) array;  (** [(id, stamp)], queue front first. *)
+    pending_live : int array;  (** Ids in the pending table, ascending. *)
+    pending_gens : (int * int) array;  (** [(id, stamp)], ascending id. *)
+    running : running_job array;  (** Ascending job id. *)
+    nofit : (int * float) array;  (** Memoized no-fit classes, ascending. *)
+    nofit_release_gen : int;
+    kills : (int * int) array;  (** [(id, kills)], ascending id. *)
+    reserved : (int * float) option;
+    sched_clock : float;
+    samples : (float * int * int * int * int) array;  (** Chronological. *)
+    alloc_busy : int;
+    req_busy : int;
+    finished : finished_job array;  (** Completion order. *)
+    last_start_time : float;
+    first_start_time : float;
+    first_blocked_time : float;
+    rejected : int;
+    pending_repairs : int;
+    fault_count : int;
+    interrupted : int;
+    requeued : int;
+    abandoned : int;
+    lost_node_time : float;
+    started_total : int;
+    st_claims : int;
+    st_releases : int;
+    st_failures : int;
+    st_repairs : int;
+    st_clones : int;
+  }
+end
+
+val snapshot : t -> Snapshot.t
+(** Capture the simulation between events.  Raises [Invalid_argument] if
+    a scheduling pass is in flight — snapshot only after {!run_until}
+    (which drains same-instant passes). *)
+
+val of_snapshot :
+  ?sink:Obs.Sink.t -> ?prof:Obs.Prof.t -> Snapshot.t -> (t, string) result
+(** Rebuild a live simulation from a snapshot: resolve the scheme and
+    scenario by name, replay the executed fault prefix against a fresh
+    cluster state, re-claim the running allocations (bit-exact — demands
+    are dyadic and live faults never intersect running jobs), restore
+    the operation counters, and re-materialize the event heap from the
+    tags with original sequence numbers.  [Error] on an unknown scheme,
+    scenario or job id, a malformed tag, or an inconsistent snapshot.
+    The restored run's sink and profiling registry default to off;
+    profile spans cover only the post-restore segment (wall-clock is not
+    simulation state), while the end-of-run [state/*] and
+    [engine/steps] counters still match the uninterrupted run. *)

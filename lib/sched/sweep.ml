@@ -3,9 +3,18 @@
    memos, PRNGs, profile registry) from scratch, so cells can run on any
    domain in any order.  Determinism then only needs the merge to be
    slot-indexed — which [Par.Pool.run_cells] guarantees — plus profile
-   registries combined in cell order, never domain order. *)
+   registries combined in cell order, never domain order.
+
+   A sweep can journal completed cells to a manifest: one flat JSON row
+   per cell carrying the cell's stable id, its fingerprint and every
+   result field, appended (under a mutex) the moment the cell finishes.
+   A re-run against the same manifest skips every row whose fingerprint
+   still verifies and re-runs only the missing cells, merging restored
+   and fresh results in cell order — so an interrupted sweep resumes
+   instead of restarting. *)
 
 type cell = {
+  id : string;
   label : string;
   workload : Trace.Workload.t;
   radix : int;
@@ -19,6 +28,52 @@ type cell = {
   profile : bool;
 }
 
+(* The fault axis of a cell id.  Fault traces are too big to inline, so
+   a faulty cell is tagged by a short digest over its full event list
+   and resilience policy — same trace and policy, same tag, on every
+   run and every machine. *)
+let fault_tag ~faults ~resilience =
+  if Trace.Faults.is_empty faults && resilience = Simulator.no_resilience then
+    "healthy"
+  else begin
+    let b = Buffer.create 256 in
+    Array.iter
+      (fun (e : Trace.Faults.event) ->
+        Buffer.add_string b
+          (Printf.sprintf "%.17g %s %s %d;" e.time
+             (match e.kind with Fail -> "fail" | Repair -> "repair")
+             (Trace.Faults.target_name e.target)
+             (Trace.Faults.target_id e.target)))
+      (Trace.Faults.events faults);
+    let r = resilience in
+    Buffer.add_string b
+      (Printf.sprintf "%b %.17g %d %b" r.Simulator.requeue
+         r.Simulator.resubmit_delay r.Simulator.max_retries
+         r.Simulator.charge_lost_work);
+    String.sub (Digest.to_hex (Digest.string (Buffer.contents b))) 0 8
+  end
+
+(* Stable identity of a cell: every axis that can change the metrics
+   fingerprint, none that cannot (profiling, labels).  This is the key
+   manifests and CLI fingerprint listings are indexed by, so it must not
+   depend on grid position. *)
+let cell_id c =
+  let base =
+    Printf.sprintf "%s#%d/%s/%s:s%d/%s" c.workload.Trace.Workload.name
+      (Array.length c.workload.Trace.Workload.jobs)
+      c.allocator.Allocator.name
+      (Trace.Scenario.name c.scenario)
+      c.scenario_seed
+      (fault_tag ~faults:c.faults ~resilience:c.resilience)
+  in
+  let extras =
+    (if c.backfill_window <> 50 then
+       [ Printf.sprintf "bw%d" c.backfill_window ]
+     else [])
+    @ if not c.backfill then [ "fifo" ] else []
+  in
+  match extras with [] -> base | _ -> base ^ "," ^ String.concat "," extras
+
 let cell ?label ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
     ?(backfill_window = 50) ?(backfill = true) ?(faults = Trace.Faults.none)
     ?(resilience = Simulator.no_resilience) ?(profile = false) ~radix allocator
@@ -30,24 +85,29 @@ let cell ?label ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
         Printf.sprintf "%s/%s" workload.Trace.Workload.name
           allocator.Allocator.name
   in
-  {
-    label;
-    workload;
-    radix;
-    allocator;
-    scenario;
-    scenario_seed;
-    backfill_window;
-    backfill;
-    faults;
-    resilience;
-    profile;
-  }
+  let c =
+    {
+      id = "";
+      label;
+      workload;
+      radix;
+      allocator;
+      scenario;
+      scenario_seed;
+      backfill_window;
+      backfill;
+      faults;
+      resilience;
+      profile;
+    }
+  in
+  { c with id = cell_id c }
 
 type result = {
   metrics : Metrics.t;
   prof : Obs.Prof.t option;
   wall_s : float;
+  restored : bool;
 }
 
 let run_cell c =
@@ -56,28 +116,200 @@ let run_cell c =
      the pool joins, after which the coordinator may read and merge. *)
   let prof = if c.profile then Some (Obs.Prof.create ()) else None in
   let cfg =
-    {
-      Simulator.allocator = c.allocator;
-      radix = c.radix;
-      scenario = c.scenario;
-      scenario_seed = c.scenario_seed;
-      backfill_window = c.backfill_window;
-      backfill = c.backfill;
-      faults = c.faults;
-      resilience = c.resilience;
-      sink = Obs.Sink.null;
-      prof;
-    }
+    Simulator.Config.make ~scenario:c.scenario ~scenario_seed:c.scenario_seed
+      ~backfill_window:c.backfill_window ~backfill:c.backfill ~faults:c.faults
+      ~resilience:c.resilience ?prof ~radix:c.radix c.allocator
   in
   let metrics = Simulator.run cfg c.workload in
-  { metrics; prof; wall_s = Unix.gettimeofday () -. t0 }
+  { metrics; prof; wall_s = Unix.gettimeofday () -. t0; restored = false }
 
-let run_in ?chunk pool cells = Par.Pool.run_cells ?chunk pool ~f:run_cell cells
+(* ------------------------------------------------------------------ *)
+(* Manifests                                                           *)
+(* ------------------------------------------------------------------ *)
 
-let run ?chunk ~jobs cells =
+let manifest_magic = "jigsaw-sweep-manifest"
+let manifest_version = 1
+
+type manifest = { rows : (string * result) list; corrupt : int }
+
+let manifest_header () =
+  let b = Buffer.create 64 in
+  Obs.Json.write b
+    [
+      ("record", Str manifest_magic);
+      ("version", Num (float_of_int manifest_version));
+    ];
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let manifest_row c r =
+  let b = Buffer.create 4096 in
+  let fields =
+    [
+      ("record", Obs.Json.Str "cell");
+      ("id", Obs.Json.Str c.id);
+      ("fingerprint", Obs.Json.Str (Metrics.fingerprint r.metrics));
+      ("wall_s", Obs.Json.Num r.wall_s);
+    ]
+    @ Metrics.json_fields r.metrics
+    @ [ ("series", Obs.Json.Str (Metrics.series_encode r.metrics)) ]
+    @
+    match r.prof with
+    | None -> []
+    | Some p -> [ ("prof", Obs.Json.Str (Obs.Prof.encode p)) ]
+  in
+  Obs.Json.write b fields;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* Manifests are append-only journals written by possibly-killed
+   processes, so loading is deliberately tolerant: a half-written or
+   bit-flipped row is counted and skipped, never trusted — a row only
+   resurrects a cell if its stored fingerprint matches one recomputed
+   from the row's own data. *)
+let load_manifest path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | content -> (
+      let lines =
+        String.split_on_char '\n' content |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [] -> Error (Printf.sprintf "%s: empty manifest" path)
+      | header :: rows -> (
+          match Obs.Json.parse_line header with
+          | exception Obs.Json.Parse_error m ->
+              Error (Printf.sprintf "%s: bad manifest header: %s" path m)
+          | h ->
+              (try
+                 if Obs.Json.str h "record" <> manifest_magic then
+                   failwith "not a sweep manifest";
+                 if Obs.Json.int h "version" <> manifest_version then
+                   failwith "unsupported manifest version"
+               with
+              | Obs.Json.Parse_error _ | Failure _ ->
+                  raise
+                    (Sys_error
+                       (Printf.sprintf "%s: not a sweep manifest (bad header)"
+                          path)));
+              let parse_row line =
+                match Obs.Json.parse_line line with
+                | exception Obs.Json.Parse_error _ -> None
+                | f -> (
+                    try
+                      if Obs.Json.str f "record" <> "cell" then None
+                      else
+                        let id = Obs.Json.str f "id" in
+                        let series = Obs.Json.str f "series" in
+                        match Metrics.of_json ~series f with
+                        | Error _ -> None
+                        | Ok metrics ->
+                            if
+                              Metrics.fingerprint metrics
+                              <> Obs.Json.str f "fingerprint"
+                            then None
+                            else
+                              let prof =
+                                if Obs.Json.mem f "prof" then
+                                  Some (Obs.Prof.decode (Obs.Json.str f "prof"))
+                                else None
+                              in
+                              Some
+                                ( id,
+                                  {
+                                    metrics;
+                                    prof;
+                                    wall_s = Obs.Json.num f "wall_s";
+                                    restored = true;
+                                  } )
+                    with Obs.Json.Parse_error _ | Invalid_argument _ -> None)
+              in
+              let rows, corrupt =
+                List.fold_left
+                  (fun (acc, bad) line ->
+                    match parse_row line with
+                    | Some row -> (row :: acc, bad)
+                    | None -> (acc, bad + 1))
+                  ([], 0) rows
+              in
+              Ok { rows = List.rev rows; corrupt }))
+
+let load_manifest path =
+  try load_manifest path with Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap the cell runner with a journaling hook.  The append happens on
+   whichever domain finished the cell, so it is mutex-guarded; each row
+   is a single write of a complete line, keeping a killed sweep's
+   manifest readable up to its last finished cell. *)
+let journaling_runner manifest_path =
+  match manifest_path with
+  | None -> run_cell
+  | Some path ->
+      if not (Sys.file_exists path) then
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (manifest_header ()));
+      let m = Mutex.create () in
+      fun c ->
+        let r = run_cell c in
+        Mutex.protect m (fun () ->
+            Out_channel.with_open_gen
+              [ Open_wronly; Open_append; Open_creat ]
+              0o644 path
+              (fun oc -> Out_channel.output_string oc (manifest_row c r)));
+        r
+
+(* Split cells into (to-run, restored) against a manifest's verified
+   rows, then stitch the two result sets back together in cell order so
+   callers see the same array a from-scratch sweep produces. *)
+let plan_resume manifest_path cells =
+  match manifest_path with
+  | None -> (cells, fun fresh -> fresh)
+  | Some path when not (Sys.file_exists path) -> (cells, fun fresh -> fresh)
+  | Some path ->
+      let m =
+        match load_manifest path with
+        | Ok m -> m
+        | Error msg -> invalid_arg (Printf.sprintf "sweep manifest: %s" msg)
+      in
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (id, r) -> Hashtbl.replace tbl id r) m.rows;
+      let to_run =
+        Array.to_list cells
+        |> List.filter (fun c -> not (Hashtbl.mem tbl c.id))
+        |> Array.of_list
+      in
+      let stitch fresh =
+        let next = ref 0 in
+        Array.map
+          (fun c ->
+            match Hashtbl.find_opt tbl c.id with
+            | Some r -> r
+            | None ->
+                let r = fresh.(!next) in
+                incr next;
+                r)
+          cells
+      in
+      (to_run, stitch)
+
+let run_in ?chunk ?manifest pool cells =
+  let to_run, stitch = plan_resume manifest cells in
+  let f = journaling_runner manifest in
+  stitch (Par.Pool.run_cells ?chunk pool ~f to_run)
+
+let run ?chunk ?manifest ~jobs cells =
   let jobs = if jobs = 0 then Par.Pool.default_jobs () else jobs in
-  if jobs <= 1 then Array.map run_cell cells
-  else Par.Pool.with_pool ~size:jobs (fun p -> run_in ?chunk p cells)
+  let to_run, stitch = plan_resume manifest cells in
+  let f = journaling_runner manifest in
+  stitch
+    (if jobs <= 1 then Array.map f to_run
+     else
+       Par.Pool.with_pool ~size:jobs (fun p ->
+           Par.Pool.run_cells ?chunk p ~f to_run))
 
 let merged_profile results =
   if not (Array.exists (fun r -> r.prof <> None) results) then None

@@ -12,9 +12,17 @@
 
     Cells always trace to {!Obs.Sink.null}: sinks buffer into channels,
     which are not shareable across domains.  Run trace-emitting
-    simulations serially through {!Simulator.run} instead. *)
+    simulations serially through {!Simulator.run} instead.
+
+    Sweeps can journal to a {e manifest} — one flat JSON row per
+    finished cell, keyed by the cell's stable {!cell_id} and verified by
+    its stored metrics fingerprint — so an interrupted sweep resumes by
+    re-running only the missing cells (see {!run}'s [manifest]). *)
 
 type cell = {
+  id : string;
+      (** Stable identity — see {!cell_id}.  Computed by {!cell}; goes
+          stale if fields are mutated by record update. *)
   label : string;  (** ["trace/scheme"] by default; shown by the CLI. *)
   workload : Trace.Workload.t;
   radix : int;
@@ -27,6 +35,16 @@ type cell = {
   resilience : Simulator.resilience;
   profile : bool;  (** Give the cell its own registry. *)
 }
+
+val cell_id : cell -> string
+(** The cell's stable string identity,
+    ["trace#njobs/scheme/scenario:s<seed>/<fault-tag>"] (plus
+    [",bw<n>"] / [",fifo"] when the backfill axes differ from the
+    defaults).  The fault tag is ["healthy"], or an 8-hex digest over
+    the full fault event list and resilience policy.  It covers every
+    axis that can change the metrics fingerprint and no axis that
+    cannot, and is independent of grid position — manifests and
+    fingerprint listings are indexed by it. *)
 
 val cell :
   ?label:string ->
@@ -43,24 +61,51 @@ val cell :
   cell
 (** Defaults mirror {!Simulator.default_config}: scenario [No_speedup],
     seed 1, window 50, backfilling on, no faults, no resilience, no
-    profiling. *)
+    profiling.  The [id] field is filled in from the other fields. *)
 
 type result = {
   metrics : Metrics.t;
   prof : Obs.Prof.t option;  (** The cell's registry, if it profiled. *)
   wall_s : float;  (** Wall-clock seconds for this cell alone. *)
+  restored : bool;
+      (** [true]: resurrected from a manifest row instead of re-run;
+          [wall_s] is then the original run's. *)
 }
 
 val run_cell : cell -> result
 (** One cell, on the calling domain. *)
 
-val run_in : ?chunk:int -> Par.Pool.t -> cell array -> result array
+val run_in :
+  ?chunk:int -> ?manifest:string -> Par.Pool.t -> cell array -> result array
 (** All cells on an existing pool; results indexed like the input. *)
 
-val run : ?chunk:int -> jobs:int -> cell array -> result array
+val run :
+  ?chunk:int -> ?manifest:string -> jobs:int -> cell array -> result array
 (** [run ~jobs cells] shards the cells over a fresh pool of [jobs]
     domains ([jobs <= 1]: serial on the calling domain; [jobs = 0]:
-    {!Par.Pool.default_jobs}). *)
+    {!Par.Pool.default_jobs}).
+
+    With [manifest] (a file path): cells whose id already has a
+    fingerprint-verified row in the file are returned from the manifest
+    ([restored = true], including their profile registry) without
+    re-running; every freshly finished cell is appended to the file the
+    moment it completes (mutex-guarded, one complete line per row), so
+    a killed sweep's manifest stays readable and a re-run with the same
+    path picks up where it stopped.  Restored and fresh results are
+    merged in cell order, so the output array — and any profile merged
+    from it — is the one a from-scratch sweep produces.  Raises
+    [Invalid_argument] if the file exists but is not a sweep
+    manifest. *)
+
+(** A loaded manifest: id-keyed verified rows plus the count of rows
+    that were rejected (half-written, bit-flipped, or failing their
+    fingerprint check).  Rejected rows are simply re-run. *)
+type manifest = private { rows : (string * result) list; corrupt : int }
+
+val load_manifest : string -> (manifest, string) Stdlib.result
+(** Read a manifest tolerantly: unparseable or unverifiable rows are
+    counted in [corrupt], not trusted.  [Error] on I/O failure or a
+    missing/foreign header. *)
 
 val merged_profile : result array -> Obs.Prof.t option
 (** Merge every profiled cell's registry, in cell order, into a fresh

@@ -1,4 +1,10 @@
-type event = { time : float; priority : int; seq : int; action : t -> unit }
+type event = {
+  time : float;
+  priority : int;
+  seq : int;
+  tag : string;
+  action : t -> unit;
+}
 
 and t = {
   mutable clock : float;
@@ -27,20 +33,50 @@ let create () =
 
 let now t = t.clock
 let steps t = t.steps
+let next_seq t = t.next_seq
 let set_on_step t hook = t.on_step <- hook
 
-let schedule t ~time ?(priority = 0) action =
+let schedule t ~time ?(priority = 0) ?(tag = "") action =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now (%g)" time t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.add t.queue { time; priority; seq; action }
+  Heap.add t.queue { time; priority; seq; tag; action }
 
-let schedule_after t ~delay ?priority action =
-  schedule t ~time:(t.clock +. delay) ?priority action
+let schedule_after t ~delay ?priority ?tag action =
+  schedule t ~time:(t.clock +. delay) ?priority ?tag action
 
 let pending t = Heap.length t.queue
+
+let pending_events t =
+  let evs = ref [] in
+  Heap.iter_unordered t.queue ~f:(fun ev ->
+      evs := (ev.time, ev.priority, ev.seq, ev.tag) :: !evs);
+  List.sort (fun (_, _, s1, _) (_, _, s2, _) -> compare s1 s2) !evs
+
+let restore ~clock ~steps ~next_seq =
+  if clock < 0.0 then invalid_arg "Engine.restore: negative clock";
+  if steps < 0 || next_seq < 0 then
+    invalid_arg "Engine.restore: negative counter";
+  {
+    clock;
+    next_seq;
+    queue = Heap.create ~cmp:cmp_event;
+    steps;
+    on_step = None;
+  }
+
+let schedule_restored t ~time ~priority ~seq ~tag action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_restored: time %g is before now (%g)"
+         time t.clock);
+  if seq >= t.next_seq then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_restored: seq %d >= next_seq %d" seq
+         t.next_seq);
+  Heap.add t.queue { time; priority; seq; tag; action }
 
 let step t =
   match Heap.pop_min t.queue with

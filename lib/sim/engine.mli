@@ -15,19 +15,57 @@ val create : unit -> t
 val now : t -> float
 (** [now t] is the current simulated time. *)
 
-val schedule : t -> time:float -> ?priority:int -> (t -> unit) -> unit
+val schedule :
+  t -> time:float -> ?priority:int -> ?tag:string -> (t -> unit) -> unit
 (** [schedule t ~time ~priority f] enqueues [f] to run at simulated [time].
     [priority] defaults to 0.  Scheduling in the past (before [now t])
-    raises [Invalid_argument]. *)
+    raises [Invalid_argument].
 
-val schedule_after : t -> delay:float -> ?priority:int -> (t -> unit) -> unit
+    [tag] (default [""]) is an opaque label carried alongside the event.
+    Closures cannot be serialized, so a checkpoint records each pending
+    event as its [(time, priority, seq, tag)] quadruple and the restore
+    path rebuilds the closure from the tag (see {!pending_events} and
+    {!schedule_restored}). *)
+
+val schedule_after :
+  t -> delay:float -> ?priority:int -> ?tag:string -> (t -> unit) -> unit
 (** [schedule_after t ~delay f] is [schedule t ~time:(now t +. delay) f]. *)
 
 val pending : t -> int
 (** [pending t] is the number of events still queued. *)
 
+val pending_events : t -> (float * int * int * string) list
+(** [pending_events t] is every queued event as [(time, priority, seq,
+    tag)], sorted by insertion order ([seq]).  The queue is unchanged.
+    Used by checkpointing to serialize the heap logically. *)
+
 val steps : t -> int
 (** [steps t] is the number of events executed so far. *)
+
+val next_seq : t -> int
+(** [next_seq t] is the sequence number the next {!schedule} will use.
+    Part of the checkpoint: restoring it exactly preserves FIFO
+    tie-breaking across a checkpoint/restore boundary. *)
+
+val restore : clock:float -> steps:int -> next_seq:int -> t
+(** [restore ~clock ~steps ~next_seq] is an engine with an empty queue
+    whose clock and counters are set exactly, ready to receive the
+    checkpointed events via {!schedule_restored}.  Raises
+    [Invalid_argument] on negative values. *)
+
+val schedule_restored :
+  t ->
+  time:float ->
+  priority:int ->
+  seq:int ->
+  tag:string ->
+  (t -> unit) ->
+  unit
+(** [schedule_restored t ~time ~priority ~seq ~tag f] re-inserts a
+    checkpointed event with its {e original} sequence number, so
+    same-instant tie-breaking after restore is identical to the
+    uninterrupted run.  Raises [Invalid_argument] if [time] is in the
+    past or [seq >= next_seq t]. *)
 
 val set_on_step : t -> (t -> unit) option -> unit
 (** [set_on_step t (Some hook)] runs [hook] after every executed event —

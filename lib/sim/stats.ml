@@ -70,6 +70,12 @@ module Acc = struct
 
   let min t = if t.n = 0 then invalid_arg "Stats.Acc.min: empty" else t.mn
   let max t = if t.n = 0 then invalid_arg "Stats.Acc.max: empty" else t.mx
+  let sum_sq t = t.sum_sq
+
+  let restore ~count ~total ~sum_sq ~min ~max =
+    if count < 0 then invalid_arg "Stats.Acc.restore: negative count";
+    if count = 0 then create ()
+    else { n = count; sum = total; sum_sq; mn = min; mx = max }
 
   (* Accumulators are sum-based, so combining two is exact for the
      counts and extrema and as associative as float addition allows:
@@ -109,6 +115,14 @@ module Hist = struct
   let counts t = Array.copy t.counts
   let total t = t.total
   let boundaries t = Array.copy t.boundaries
+
+  let restore ~boundaries ~counts =
+    let t = create ~boundaries in
+    if Array.length counts <> Array.length t.counts then
+      invalid_arg "Stats.Hist.restore: counts length mismatch";
+    Array.blit counts 0 t.counts 0 (Array.length counts);
+    t.total <- Array.fold_left ( + ) 0 counts;
+    t
 
   let merge_into ~into src =
     let k = Array.length into.boundaries in

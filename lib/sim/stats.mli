@@ -38,6 +38,17 @@ module Acc : sig
   val max : t -> float
   (** Raises [Invalid_argument] if empty. *)
 
+  val sum_sq : t -> float
+  (** [sum_sq t] is the running sum of squares — with {!count}, {!total},
+      {!min} and {!max} it is the accumulator's entire state, which is
+      what lets a checkpoint round-trip it exactly. *)
+
+  val restore : count:int -> total:float -> sum_sq:float -> min:float -> max:float -> t
+  (** [restore ~count ~total ~sum_sq ~min ~max] is an accumulator in
+      exactly that state; with [count = 0] the other arguments are
+      ignored and the result equals [create ()].  Inverse of reading the
+      five accessors. *)
+
   val merge_into : into:t -> t -> unit
   (** [merge_into ~into src] folds [src]'s samples into [into] (counts
       and extrema exactly; sums by float addition, so a reproducible
@@ -67,6 +78,12 @@ module Hist : sig
 
   val boundaries : t -> float array
   (** A copy of the bucket boundaries. *)
+
+  val restore : boundaries:float array -> counts:int array -> t
+  (** [restore ~boundaries ~counts] is a histogram with exactly those
+      bucket counts ([Array.length counts = Array.length boundaries + 1],
+      else [Invalid_argument]).  Inverse of reading {!boundaries} and
+      {!counts}. *)
 
   val merge_into : into:t -> t -> unit
   (** [merge_into ~into src] adds [src]'s bucket counts into [into].

@@ -43,6 +43,20 @@ let target_id = function
   | Node i | Leaf_cable i | L2_cable i | Leaf_switch i | L2_switch i | Spine i
     -> i
 
+let target_of_name name id =
+  match name with
+  | "node" -> Ok (Node id)
+  | "leaf-cable" -> Ok (Leaf_cable id)
+  | "l2-cable" -> Ok (L2_cable id)
+  | "leaf" -> Ok (Leaf_switch id)
+  | "l2" -> Ok (L2_switch id)
+  | "spine" -> Ok (Spine id)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown fault target %S (node|leaf-cable|l2-cable|leaf|l2|spine)"
+           name)
+
 let pp_event ppf e =
   Format.fprintf ppf "%.3f %s %s %d" e.time
     (match e.kind with Fail -> "fail" | Repair -> "repair")
@@ -182,18 +196,9 @@ let parse_line ~lineno line =
             int_of_string_opt id )
         with
         | Some time, Some kind, Some id -> (
-            let mk = function
-              | "node" -> Some (Node id)
-              | "leaf-cable" -> Some (Leaf_cable id)
-              | "l2-cable" -> Some (L2_cable id)
-              | "leaf" -> Some (Leaf_switch id)
-              | "l2" -> Some (L2_switch id)
-              | "spine" -> Some (Spine id)
-              | _ -> None
-            in
-            match mk target with
-            | Some target -> Ok (Some { time; kind; target })
-            | None ->
+            match target_of_name target id with
+            | Ok target -> Ok (Some { time; kind; target })
+            | Error _ ->
                 Error
                   (Printf.sprintf
                      "line %d: unknown target %s (node|leaf-cable|l2-cable|leaf|l2|spine)"

@@ -82,4 +82,9 @@ val load : string -> (t, string) result
 
 val target_name : target -> string
 val target_id : target -> int
+
+val target_of_name : string -> int -> (target, string) result
+(** Inverse of [(target_name, target_id)]: the names {!load} accepts.
+    Checkpoint files use this to round-trip fault traces. *)
+
 val pp_event : Format.formatter -> event -> unit

@@ -8,6 +8,24 @@ let name = function
   | V2 -> "V2"
   | Random -> "Random"
 
+let of_name = function
+  | "None" -> Ok No_speedup
+  | "V2" -> Ok V2
+  | "Random" -> Ok Random
+  | s -> (
+      (* accept "10" or "10%" *)
+      let digits =
+        if String.length s > 0 && s.[String.length s - 1] = '%' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      match int_of_string_opt digits with
+      | Some x -> Ok (Fixed x)
+      | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (None|5%%|10%%|20%%|V2|Random)"
+               s))
+
 (* A per-job deterministic stream: same scenario seed and job id => same
    draw, whatever scheduler is simulating. *)
 let job_prng ~seed (j : Job.t) = Sim.Prng.create ~seed:((seed * 1_000_003) + j.id)

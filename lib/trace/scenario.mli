@@ -29,6 +29,11 @@ val all : t list
 
 val name : t -> string
 
+val of_name : string -> (t, string) result
+(** Inverse of {!name}, also accepting the CLI spellings ["10"] and
+    ["10%"].  Shared by the [jigsaw-sim] flag parser and checkpoint
+    restore. *)
+
 val speedup : t -> seed:int -> Job.t -> float
 (** The fractional speed-up [s >= 0] for this job under the scenario. *)
 

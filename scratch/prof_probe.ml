@@ -58,7 +58,7 @@ let () =
    distort the following Jigsaw measurement (GC state)? *)
 let () =
   let st = load_cluster ~radix:24 ~seed:77 ~target:0.8 in
-  let lcs = match Sched.Allocator.by_name "LC+S" with Some a -> a | None -> assert false in
+  let lcs = match Sched.Allocator.by_name "LC+S" with Ok a -> a | Error _ -> assert false in
   let jig = Sched.Allocator.jigsaw in
   let job = Trace.Job.v ~id:999_999 ~size:200 ~runtime:100.0 () in
   time "lcs 200 (json-style)" 200 (fun () -> lcs.try_alloc st job);

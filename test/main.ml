@@ -43,6 +43,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("perf", Test_perf.suite);
       ("reproduction", Test_reproduction.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
     ]

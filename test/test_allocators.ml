@@ -140,7 +140,7 @@ let test_allocators_registry () =
     Sched.Allocator.baseline.isolating;
   List.iter
     (fun name ->
-      Alcotest.(check bool) name true (Sched.Allocator.by_name name <> None))
+      Alcotest.(check bool) name true (Result.is_ok (Sched.Allocator.by_name name)))
     [ "Baseline"; "LC+S"; "Jigsaw"; "LaaS"; "TA" ]
 
 (* Cross-scheme sanity: on a fresh machine every scheme can place any

@@ -8,7 +8,7 @@ let nodes = 128
 
 let config ?(alloc = Sched.Allocator.baseline) ?(faults = Trace.Faults.none)
     ?(resilience = Sched.Simulator.no_resilience) () =
-  { (Sched.Simulator.default_config alloc ~radix) with faults; resilience }
+  Sched.Simulator.Config.make ~faults ~resilience ~radix alloc
 
 let workload jobs =
   Trace.Workload.create ~name:"obs-test" ~system_nodes:nodes
@@ -145,7 +145,11 @@ let rich_workload () =
 let traced_run ?(prof = None) ?(faults = Trace.Faults.none)
     ?(resilience = Sched.Simulator.no_resilience) alloc w =
   let sink, events = Obs.Sink.memory () in
-  let cfg = { (config ~alloc ~faults ~resilience ()) with sink; prof } in
+  let cfg =
+    config ~alloc ~faults ~resilience ()
+    |> Sched.Simulator.Config.with_sink sink
+    |> Sched.Simulator.Config.with_prof prof
+  in
   let m = Sched.Simulator.run cfg w in
   (m, events ())
 
@@ -217,7 +221,9 @@ let test_null_sink_changes_nothing () =
           let sink, _ = Obs.Sink.memory () in
           let traced =
             Sched.Simulator.run
-              { cfg with sink; prof = Some (Obs.Prof.create ()) }
+              (cfg
+              |> Sched.Simulator.Config.with_sink sink
+              |> Sched.Simulator.Config.with_prof (Some (Obs.Prof.create ())))
               w
           in
           Alcotest.(check string)
@@ -246,18 +252,16 @@ let test_null_sink_all_schemes_under_faults () =
   List.iter
     (fun alloc ->
       let cfg =
-        {
-          (Sched.Simulator.default_config alloc ~radix:entry.cluster_radix)
-          with
-          faults;
-          resilience;
-        }
+        Sched.Simulator.Config.make ~faults ~resilience
+          ~radix:entry.cluster_radix alloc
       in
       let plain = Sched.Simulator.run cfg w in
       let sink, _ = Obs.Sink.memory () in
       let traced =
         Sched.Simulator.run
-          { cfg with sink; prof = Some (Obs.Prof.create ()) }
+          (cfg
+          |> Sched.Simulator.Config.with_sink sink
+          |> Sched.Simulator.Config.with_prof (Some (Obs.Prof.create ())))
           w
       in
       Alcotest.(check string)
@@ -285,8 +289,9 @@ let test_file_roundtrip () =
           Out_channel.with_open_text path (fun oc ->
               let sink = Obs.Sink.to_channel fmt oc in
               let cfg =
-                { (config ~alloc:Sched.Allocator.jigsaw ~faults ~resilience ())
-                  with sink }
+                (Sched.Simulator.Config.with_sink sink
+                   (config ~alloc:Sched.Allocator.jigsaw ~faults ~resilience
+                      ()))
               in
               ignore (Sched.Simulator.run cfg w));
           match Obs.Reader.load path with

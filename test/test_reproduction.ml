@@ -8,9 +8,7 @@ let workload =
   lazy (Trace.Synthetic.synth ~mean_size:16 ~n_jobs:800 ~seed:1601 ~max_size:1024)
 
 let run ?(scenario = Trace.Scenario.No_speedup) alloc =
-  let cfg =
-    { (Sched.Simulator.default_config alloc ~radix:16) with scenario }
-  in
+  let cfg = Sched.Simulator.Config.make ~scenario ~radix:16 alloc in
   Sched.Simulator.run cfg (Lazy.force workload)
 
 let results = Hashtbl.create 8

@@ -10,7 +10,7 @@ let fev time kind target = { Trace.Faults.time; kind; target }
 
 let config ?(alloc = Sched.Allocator.baseline) ?(faults = Trace.Faults.none)
     ?(resilience = Sched.Simulator.no_resilience) () =
-  { (Sched.Simulator.default_config alloc ~radix) with faults; resilience }
+  Sched.Simulator.Config.make ~faults ~resilience ~radix alloc
 
 let workload jobs =
   Trace.Workload.create ~name:"fault-test" ~system_nodes:nodes
@@ -259,7 +259,7 @@ let test_fifo_wedged_queue_is_reported () =
   let faults =
     Trace.Faults.scripted [ fev 0.0 Trace.Faults.Fail (Trace.Faults.Node 0) ]
   in
-  let cfg = { (config ~faults ()) with backfill = false } in
+  let cfg = Sched.Simulator.Config.with_backfill false (config ~faults ()) in
   let m = Sched.Simulator.run cfg (workload [ big; small ]) in
   Alcotest.(check int) "nothing ran" 0 m.num_jobs;
   Alcotest.(check int) "nothing rejected" 0 m.rejected;
@@ -300,11 +300,9 @@ let test_all_schemes_survive_mtbf_faults () =
   List.iter
     (fun (alloc : Sched.Allocator.t) ->
       let cfg =
-        {
-          (Sched.Simulator.default_config alloc ~radix:entry.cluster_radix) with
-          faults;
-          resilience = requeue ~resubmit_delay:60.0 2;
-        }
+        Sched.Simulator.Config.make ~faults
+          ~resilience:(requeue ~resubmit_delay:60.0 2)
+          ~radix:entry.cluster_radix alloc
       in
       let m = Sched.Simulator.run cfg w in
       Alcotest.(check int)

@@ -11,7 +11,11 @@ let workload jobs =
 
 let run ?(alloc = Sched.Allocator.baseline) ?scenario w =
   let cfg = Sched.Simulator.default_config alloc ~radix in
-  let cfg = match scenario with None -> cfg | Some s -> { cfg with scenario = s } in
+  let cfg =
+    match scenario with
+    | None -> cfg
+    | Some s -> Sched.Simulator.Config.with_scenario s cfg
+  in
   Sched.Simulator.run_detailed cfg w
 
 let find jobs id =
@@ -137,8 +141,8 @@ let test_fifo_mode_blocks_strictly () =
      it, even trivially-placeable jobs. *)
   let w = workload [ job 0 100 100.0; job 1 100 100.0; job 2 5 10.0 ] in
   let cfg =
-    { (Sched.Simulator.default_config Sched.Allocator.baseline ~radix) with
-      backfill = false }
+    Sched.Simulator.Config.with_backfill false
+      (Sched.Simulator.default_config Sched.Allocator.baseline ~radix)
   in
   let _, jobs = Sched.Simulator.run_detailed cfg w in
   Alcotest.(check (float 1e-9)) "small job waits behind head" 100.0
@@ -147,8 +151,8 @@ let test_fifo_mode_blocks_strictly () =
 let test_fifo_mode_rejects_oversized () =
   let w = workload [ job 0 129 10.0; job 1 5 10.0 ] in
   let cfg =
-    { (Sched.Simulator.default_config Sched.Allocator.baseline ~radix) with
-      backfill = false }
+    Sched.Simulator.Config.with_backfill false
+      (Sched.Simulator.default_config Sched.Allocator.baseline ~radix)
   in
   let m, jobs = Sched.Simulator.run_detailed cfg w in
   Alcotest.(check int) "rejected" 1 m.rejected;
@@ -162,15 +166,15 @@ let test_window_one_limits_backfill () =
     workload [ job 0 100 100.0; job 1 128 100.0; job 2 28 500.0; job 3 20 50.0 ]
   in
   let narrow =
-    { (Sched.Simulator.default_config Sched.Allocator.baseline ~radix) with
-      backfill_window = 1 }
+    Sched.Simulator.Config.with_backfill_window 1
+      (Sched.Simulator.default_config Sched.Allocator.baseline ~radix)
   in
   let _, jobs = Sched.Simulator.run_detailed narrow w in
   Alcotest.(check bool) "short job not reached" true
     ((find jobs 3).start_time > 0.0);
   let wide =
-    { (Sched.Simulator.default_config Sched.Allocator.baseline ~radix) with
-      backfill_window = 50 }
+    Sched.Simulator.Config.with_backfill_window 50
+      (Sched.Simulator.default_config Sched.Allocator.baseline ~radix)
   in
   let _, jobs = Sched.Simulator.run_detailed wide w in
   Alcotest.(check (float 1e-9)) "wide window backfills it" 0.0
