@@ -11,6 +11,17 @@
 
 let full = match Sys.getenv_opt "REPRO_FULL" with Some "1" -> true | _ -> false
 
+(* BENCH_SCALE=N overrides the large radix of the json target's "scale"
+   section (default: the preset scale tier's radix, 48).  Must be even
+   and >= 8; anything else falls back to the default. *)
+let scale_radix =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some r when r >= 8 && r mod 2 = 0 -> r
+      | _ -> Trace.Presets.scale_radix)
+  | None -> Trace.Presets.scale_radix
+
 let section title =
   Format.printf "@.=== %s ===@.@." title
 
@@ -428,11 +439,13 @@ let micro () =
     groups
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_0003.json: machine-readable perf trajectory across PRs.       *)
+(* BENCH_0004.json: machine-readable perf trajectory across PRs.       *)
 (* ------------------------------------------------------------------ *)
 
 (* Emits allocator micro-latencies (mean try_alloc on a busy radix-24
-   cluster), bitset iteration micro-latencies, per-trace scheduler
+   cluster), a "scale" section repeating the same probes on a radix-48
+   cluster (sizes scaled by the pod-size ratio, so each class keeps its
+   meaning), bitset iteration micro-latencies, per-trace scheduler
    costs for the Table 3 traces, a per-scheme profile (probe outcome
    counters incl. memo hit rate, state clone/claim tallies, span
    totals) from an instrumented Synth-16 run, and a parallel-sweep
@@ -441,33 +454,65 @@ let micro () =
    regressions show up as a diff of this file rather than a human
    re-reading bench output.  Traces are truncated in default mode to
    keep the target in the ~minute range; REPRO_FULL=1 uses paper
-   scale. *)
+   scale.  BENCH_SCALE=N overrides the scale section's large radix. *)
 
-let bench_json_file = "BENCH_0003.json"
+let bench_json_file = "BENCH_0004.json"
 
 let bench_json () =
   section (Printf.sprintf "%s (machine-readable perf trajectory)" bench_json_file);
   let radix = 24 and target = 0.8 in
   let st = load_cluster ~radix ~seed:77 ~target in
-  let mean_try_alloc_ns (a : Sched.Allocator.t) size =
+  let mean_try_alloc_ns ?(iters = 200) st (a : Sched.Allocator.t) size =
     let job = Trace.Job.v ~id:999_999 ~size ~runtime:100.0 () in
     for _ = 1 to 5 do
       ignore (a.try_alloc st job)
     done;
-    let iters = 200 in
     let t0 = Unix.gettimeofday () in
     for _ = 1 to iters do
       ignore (a.try_alloc st job)
     done;
     (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
   in
+  let classes = [ ("leaf", 6); ("pod", 40); ("multi-pod", 200) ] in
   let micro_rows =
     List.concat_map
       (fun (label, size) ->
         List.map
-          (fun (a : Sched.Allocator.t) -> (a.name, label, size, mean_try_alloc_ns a size))
+          (fun (a : Sched.Allocator.t) ->
+            (a.name, label, size, mean_try_alloc_ns st a size))
           Sched.Allocator.all)
-      [ ("leaf", 6); ("pod", 40); ("multi-pod", 200) ]
+      classes
+  in
+  (* The scale section: the same probe classes on a radix-48 cluster
+     loaded the same way, request sizes multiplied by the pod-size
+     ratio ((48/24)^2 = 4) so "pod" still means roughly a quarter pod
+     and "multi-pod" still spans pods.  Fewer timing iterations — the
+     large machine's probes are individually slower and this section
+     tracks scaling trends, not ns-level noise. *)
+  let scale_rows =
+    Format.printf "  loading radix-%d cluster for the scale section...@."
+      scale_radix;
+    let st_l = load_cluster ~radix:scale_radix ~seed:77 ~target in
+    let ratio =
+      max 1 (scale_radix * scale_radix / (radix * radix))
+    in
+    List.concat_map
+      (fun (label, size) ->
+        let size_l = size * ratio in
+        List.map
+          (fun (a : Sched.Allocator.t) ->
+            let small_ns =
+              let _, _, _, ns =
+                List.find
+                  (fun (n, l, _, _) -> n = a.name && l = label)
+                  micro_rows
+              in
+              ns
+            in
+            let large_ns = mean_try_alloc_ns ~iters:50 st_l a size_l in
+            (a.name, label, size_l, small_ns, large_ns))
+          Sched.Allocator.all)
+      classes
   in
   (* Bitset iteration: the word-skipping [iter_set] against the per-bit
      membership loop it replaced; ns per full 4096-bit pass. *)
@@ -503,6 +548,19 @@ let bench_json () =
         (label, density, mem_ns, iter_ns))
       [ ("sparse2%", 0.02); ("half", 0.5); ("dense98%", 0.98) ]
   in
+  (* Regression guard for the dense-set fix: word-skipping iteration
+     must never lose to the per-bit membership loop it replaced, even
+     at 98% density where nearly every bit is set and the word walk
+     degenerates to a straight bit loop.  Timings on a busy host are
+     noisy, so allow a small tolerance before declaring a regression. *)
+  List.iter
+    (fun (label, _, mem_ns, iter_ns) ->
+      if label = "dense98%" && iter_ns > mem_ns *. 1.15 then
+        failwith
+          (Printf.sprintf
+             "bitset regression: iter_set slower than mem loop on %s (%.1f vs %.1f ns/pass)"
+             label iter_ns mem_ns))
+    bitset_rows;
   let entries =
     [
       Trace.Presets.synth_16 ~full;
@@ -572,6 +630,19 @@ let bench_json () =
      runs bypass the shared cache: wall-clock comparisons need fresh
      work.  Speedup saturates at the host's core count; "host_domains"
      records what the hardware offered. *)
+  let host_domains = Par.Pool.default_jobs () in
+  let domain_counts =
+    (* On a single-core host the 2/4/8-domain runs would only measure
+       oversubscription — domains time-slicing one core — so the wall
+       clocks would be meaningless as speedup data.  Record the serial
+       run only and say so. *)
+    if host_domains = 1 then begin
+      Format.printf
+        "  host offers 1 domain; skipping 2/4/8-domain sweep timings@.";
+      [ 1 ]
+    end
+    else [ 1; 2; 4; 8 ]
+  in
   let sweep_runs =
     List.map
       (fun jobs ->
@@ -589,14 +660,14 @@ let bench_json () =
           (if jobs = 1 then "" else "s")
           wall;
         (jobs, wall, fps))
-      [ 1; 2; 4; 8 ]
+      domain_counts
   in
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"bench_id\": \"BENCH_0003\",\n";
-  out "  \"scale\": \"%s\",\n" (if full then "full" else "default");
-  out "  \"host_domains\": %d,\n" (Par.Pool.default_jobs ());
+  out "  \"bench_id\": \"BENCH_0004\",\n";
+  out "  \"repro_scale\": \"%s\",\n" (if full then "full" else "default");
+  out "  \"host_domains\": %d,\n" host_domains;
   out "  \"micro_try_alloc\": {\n";
   out "    \"cluster\": { \"radix\": %d, \"target_occupancy\": %.2f },\n" radix
     target;
@@ -607,6 +678,20 @@ let bench_json () =
         name label size ns
         (if i = List.length micro_rows - 1 then "" else ","))
     micro_rows;
+  out "    ]\n  },\n";
+  out "  \"scale\": {\n";
+  out "    \"radix_small\": %d,\n" radix;
+  out "    \"radix_large\": %d,\n" scale_radix;
+  out "    \"target_occupancy\": %.2f,\n" target;
+  out "    \"rows\": [\n";
+  List.iteri
+    (fun i (name, label, size_l, small_ns, large_ns) ->
+      out
+        "      { \"allocator\": %S, \"class\": %S, \"size_large\": %d, \"mean_ns_r%d\": %.1f, \"mean_ns_r%d\": %.1f, \"ratio\": %.2f }%s\n"
+        name label size_l radix small_ns scale_radix large_ns
+        (if small_ns > 0.0 then large_ns /. small_ns else 0.0)
+        (if i = List.length scale_rows - 1 then "" else ","))
+    scale_rows;
   out "    ]\n  },\n";
   out "  \"micro_bitset\": [\n";
   List.iteri
@@ -619,6 +704,7 @@ let bench_json () =
     bitset_rows;
   out "  ],\n";
   out "  \"sweep\": {\n";
+  out "    \"multi_domain_timings_skipped\": %b,\n" (host_domains = 1);
   (let _, serial_wall, serial_fps = List.hd sweep_runs in
    out "    \"grid\": { \"traces\": 9, \"schemes\": 5, \"cells\": %d },\n"
      (Array.length serial_fps);
@@ -654,9 +740,10 @@ let bench_json () =
   out "    }\n  }\n}\n";
   close_out oc;
   Format.printf
-    "wrote %s (%d micro rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles)@."
-    bench_json_file (List.length micro_rows) (List.length bitset_rows)
-    (List.length sweep_runs) (List.length trace_rows)
+    "wrote %s (%d micro rows, %d scale rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles)@."
+    bench_json_file (List.length micro_rows) (List.length scale_rows)
+    (List.length bitset_rows) (List.length sweep_runs)
+    (List.length trace_rows)
     (List.length profile_rows)
 
 (* ------------------------------------------------------------------ *)

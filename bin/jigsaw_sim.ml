@@ -73,7 +73,7 @@ let run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
       end
 
 let run preset swf radix sched scenario seed window truncate jobs sweep full
-    table2 series mtbf mttr fault_seed fault_trace fault_horizon requeue
+    scale table2 series mtbf mttr fault_seed fault_trace fault_horizon requeue
     resubmit_delay charge_lost_work trace_out trace_format profile json
     fingerprint series_out checkpoint_every checkpoint_out restore resume_sweep
     =
@@ -153,13 +153,18 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
       ~faults:(faults_for entry workload)
       ~resilience ~profile ~radix:entry.cluster_radix alloc workload
   in
+  if scale && full then begin
+    Format.eprintf
+      "--scale runs the radix-48 tier (its own job counts); drop --full@.";
+    exit 1
+  end;
   let entries =
     if sweep then begin
       if preset <> None || swf <> None then begin
         Format.eprintf "--sweep runs every preset; drop --trace/--swf@.";
         exit 1
       end;
-      Trace.Presets.all ~full
+      if scale then Trace.Presets.scale_all () else Trace.Presets.all ~full
     end
     else begin
       let entry =
@@ -172,7 +177,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
                   (String.concat ", "
                      (List.map
                         (fun (e : Trace.Presets.entry) -> e.workload.name)
-                        (Trace.Presets.all ~full)));
+                        (Trace.Presets.all ~full @ Trace.Presets.scale_all ())));
                 exit 1)
         | None, Some path -> (
             match
@@ -463,6 +468,14 @@ let cmd =
     Arg.(value & flag & info [ "full" ]
            ~doc:"Use paper-scale preset traces (slow).")
   in
+  let scale =
+    Arg.(value & flag & info [ "scale" ]
+           ~doc:"Use the radix-48 scale tier: the nine workload families \
+                 re-targeted at a 27648-node cluster (names carry an @48 \
+                 suffix, e.g. Synth-16\\@48), for measuring allocator cost \
+                 at large radix. With --sweep, runs the 45-cell scale grid; \
+                 incompatible with --full.")
+  in
   let table2 =
     Arg.(value & flag & info [ "table2" ]
            ~doc:"Also print the instantaneous-utilization histogram.")
@@ -584,7 +597,7 @@ let cmd =
   let term =
     Term.(
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
-      $ truncate $ jobs $ sweep $ full $ table2 $ series $ mtbf $ mttr
+      $ truncate $ jobs $ sweep $ full $ scale $ table2 $ series $ mtbf $ mttr
       $ fault_seed $ fault_trace $ fault_horizon $ requeue $ resubmit_delay
       $ charge_lost_work $ trace_out $ trace_format $ profile $ json
       $ fingerprint $ series_out $ checkpoint_every $ checkpoint_out $ restore

@@ -8,9 +8,15 @@
 
 open Cmdliner
 
-let generate preset all out dir full analyze =
+let generate preset all out dir full scale analyze =
+  (if scale && full then begin
+     Format.eprintf
+       "--scale exports the radix-48 tier (its own job counts); drop --full@.";
+     exit 1
+   end);
   let entries =
-    if all then Trace.Presets.all ~full
+    if all then
+      if scale then Trace.Presets.scale_all () else Trace.Presets.all ~full
     else
       match preset with
       | None ->
@@ -59,11 +65,19 @@ let cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale job counts.")
   in
+  let scale =
+    Arg.(value & flag & info [ "scale" ]
+           ~doc:"Export the radix-48 scale tier (names end in \\@48; with \
+                 --all, exports all nine scale traces). Incompatible with \
+                 --full.")
+  in
   let analyze =
     Arg.(value & flag & info [ "analyze" ]
            ~doc:"Print distribution summaries instead of writing SWF files.")
   in
-  let term = Term.(const generate $ preset $ all $ out $ dir $ full $ analyze) in
+  let term =
+    Term.(const generate $ preset $ all $ out $ dir $ full $ scale $ analyze)
+  in
   Cmd.v
     (Cmd.info "jigsaw-trace-gen" ~version:"1.0.0"
        ~doc:"Export the evaluation job traces as SWF files")

@@ -1,31 +1,30 @@
 open Fattree
 
-(* First [size] free nodes in id order.  Walks leaves through the
-   state's cached per-leaf summaries (free counts and slot masks), which
-   skips busy leaves in O(1) instead of testing every node bit. *)
+(* First [size] free nodes in id order.  Hops from one nonempty leaf to
+   the next through the state's word-level leaf index
+   ([State.next_nonempty_leaf]), so fully busy stretches of a saturated
+   machine cost one word scan instead of a per-leaf summary read, then
+   takes slots from the cached free-slot masks. *)
 let get_allocation st ~job ~size =
   if size <= 0 || State.total_free_nodes st < size then None
   else begin
     let topo = State.topo st in
-    let num_leaves = Topology.num_leaves topo in
     let nodes = Array.make size (-1) in
     let found = ref 0 in
-    let leaf = ref 0 in
-    while !found < size && !leaf < num_leaves do
-      let free = State.free_nodes_on_leaf st !leaf in
-      if free > 0 then begin
-        let first = Topology.leaf_first_node topo !leaf in
-        let take = min free (size - !found) in
-        let slots =
-          Jigsaw_core.Mask.take_lowest (State.free_slot_mask st !leaf) take
-        in
-        Array.iter
-          (fun s ->
-            nodes.(!found) <- first + s;
-            incr found)
-          (Jigsaw_core.Mask.to_array slots)
-      end;
-      incr leaf
+    let leaf = ref (State.next_nonempty_leaf st ~from:0) in
+    while !found < size && !leaf <> None do
+      let l = Option.get !leaf in
+      let first = Topology.leaf_first_node topo l in
+      let take = min (State.free_nodes_on_leaf st l) (size - !found) in
+      let slots =
+        Jigsaw_core.Mask.take_lowest (State.free_slot_mask st l) take
+      in
+      Array.iter
+        (fun s ->
+          nodes.(!found) <- first + s;
+          incr found)
+        (Jigsaw_core.Mask.to_array slots);
+      leaf := State.next_nonempty_leaf st ~from:(l + 1)
     done;
     if !found < size then None
     else Some (Alloc.nodes_only ~job ~size nodes)

@@ -2,14 +2,49 @@ open Fattree
 
 let default_budget = 150_000
 
-(* Spine availability per pod and L2 index, at the given demand. *)
-let spine_masks st ~demand =
-  let topo = State.topo st in
-  let m1 = Topology.m1 topo in
-  Array.init (Topology.m3 topo) (fun pod ->
-      Array.init m1 (fun i ->
-          let l2 = Topology.l2_of_coords topo ~pod ~index:i in
-          State.l2_up_mask st ~l2 ~demand))
+(* Per-state memo of [Search.find_all] enumerations, living in the
+   state's extension slot so it dies with the state (never shared across
+   clones or sweep domains).  Entries are keyed by the full argument
+   tuple, stamped with the pod's node generation, and carry the exact
+   budget the enumeration consumed.  A hit requires the stamp to match
+   AND the remaining budget to cover the recorded cost; the cost is then
+   re-charged, so budget accounting — and therefore every Exhausted
+   verdict and fingerprint — is bit-identical to an uncached run.  Only
+   complete enumerations are recorded: one truncated by budget depends
+   on the starting budget and must re-run. *)
+type sols_entry = {
+  se_sols : Search.pod_solution list;
+  se_cost : int;
+  se_gen : int;
+}
+
+type lc_cache = (int * int * int * float, sols_entry) Hashtbl.t
+
+type State.ext += Lc_cache of lc_cache
+
+let cache_of st : lc_cache =
+  match State.get_ext st with
+  | Some (Lc_cache c) -> c
+  | _ ->
+      let c = Hashtbl.create 64 in
+      State.set_ext st (Some (Lc_cache c));
+      c
+
+let cached_find_all st ~pod ~l_t ~n_l ~demand ~budget =
+  let tbl = cache_of st in
+  let key = (pod, l_t, n_l, demand) in
+  let gen = State.pod_node_generation st ~pod in
+  match Hashtbl.find_opt tbl key with
+  | Some e when e.se_gen = gen && !budget >= e.se_cost ->
+      budget := !budget - e.se_cost;
+      e.se_sols
+  | _ ->
+      let b0 = !budget in
+      let sols = Search.find_all st ~pod ~l_t ~n_l ~demand ~budget in
+      if !budget > 0 then
+        Hashtbl.replace tbl key
+          { se_sols = sols; se_cost = b0 - !budget; se_gen = gen };
+      sols
 
 (* Materialize a full tree from a pod solution: every leaf carries n_l
    nodes uplinked to the common set [s]; spine sets attach to the indices
@@ -26,27 +61,19 @@ let materialize_tree st ~pod ~(sol : Search.pod_solution) ~n_l ~s ~spine_sets =
 let try_three_level st ~job ~size ~demand ~budget =
   let topo = State.topo st in
   let m1 = Topology.m1 topo and m3 = Topology.m3 topo in
-  let spines = spine_masks st ~demand in
+  (* Spine availability per pod and L2 index: consulted from the state's
+     incrementally maintained cache — a pod untouched since the last
+     probe costs one generation compare instead of an m1 x m2 rescan. *)
+  let spines = Array.init m3 (fun pod -> State.pod_spine_masks st ~pod ~demand) in
   let shapes = Shapes.three_level_all topo ~size in
   (* Cheap per-shape feasibility precheck: candidate_leaves.(pod).(n_l-1)
      counts leaves that could carry n_l nodes at this demand.  A shape
      needing t full pods of l_t such leaves (plus a remainder pod) is
      skipped outright when the counts cannot support it, so hopeless
-     shapes do not burn search budget. *)
+     shapes do not burn search budget.  Counts come from the same
+     generation-validated cache. *)
   let candidate_leaves =
-    let m2 = Topology.m2 topo in
-    Array.init m3 (fun pod ->
-        let counts = Array.make m1 0 in
-        for l = 0 to m2 - 1 do
-          let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
-          let free = State.free_nodes_on_leaf st leaf in
-          let cap = Mask.popcount (State.leaf_up_mask st ~leaf ~demand) in
-          let upto = min free cap in
-          for n = 1 to min upto m1 do
-            counts.(n - 1) <- counts.(n - 1) + 1
-          done
-        done;
-        counts)
+    Array.init m3 (fun pod -> State.pod_candidates st ~pod ~demand)
   in
   let shape_feasible (s : Shapes.three_level) =
     let pods_with k =
@@ -82,7 +109,7 @@ let try_three_level st ~job ~size ~demand ~budget =
             match sol_cache.(p) with
             | Some s -> s
             | None ->
-                let s = Search.find_all st ~pod:p ~l_t ~n_l ~demand ~budget in
+                let s = cached_find_all st ~pod:p ~l_t ~n_l ~demand ~budget in
                 sol_cache.(p) <- Some s;
                 s
           in
@@ -135,7 +162,8 @@ let try_three_level st ~job ~size ~demand ~budget =
                     let q_sols =
                       if l_rt = 0 then
                         [ { Search.leaf_set = [||]; cap_mask = lnot 0 } ]
-                      else Search.find_all st ~pod:q ~l_t:l_rt ~n_l ~demand ~budget
+                      else
+                        cached_find_all st ~pod:q ~l_t:l_rt ~n_l ~demand ~budget
                     in
                     over_q_sols q q_sols
                   end;
@@ -310,11 +338,21 @@ let try_two_level st ~job ~size ~demand =
   let topo = State.topo st in
   let m3 = Topology.m3 topo in
   let shapes = Shapes.two_level topo ~size in
+  (* Necessary-condition precheck from the cached candidate counts: a
+     pod lacking l_t leaves able to carry n_l nodes cannot host the
+     shape's full leaves, so the O(m2) backtracking setup is skipped.
+     The remainder leaf's needs are weaker than n_l, so the precheck
+     never rejects a feasible pod. *)
+  let pod_may_fit (shape : Shapes.two_level) pod =
+    shape.l_t = 0
+    || (State.pod_candidates st ~pod ~demand).(shape.n_l - 1) >= shape.l_t
+  in
   let rec over_shapes = function
     | [] -> None
-    | shape :: rest ->
+    | (shape : Shapes.two_level) :: rest ->
         let rec over_pods pod =
           if pod >= m3 then None
+          else if not (pod_may_fit shape pod) then over_pods (pod + 1)
           else begin
             match Search.find_two_level st ~job ~pod ~shape ~demand with
             | Some tree ->

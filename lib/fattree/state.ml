@@ -23,10 +23,27 @@ let eps = 1e-9
    in either order.  The counts make overlapping faults (a node failed
    both individually and via its leaf switch) repair correctly: the
    resource returns only when every covering fault is repaired. *)
+(* Per-demand cached feasibility summaries (see [pod_candidates] /
+   [pod_spine_masks] below).  One record per distinct bandwidth demand;
+   the workload draws demands from a handful of classes, so the list
+   stays tiny.  Staleness is tracked per pod against the pod generation
+   counters: a mutation bumps the touched pod's generation, and the next
+   consultation of that pod recomputes just that pod's row. *)
+type feas = {
+  f_demand : float;
+  cand : int array array; (* pod -> counts over n = 1..m1 *)
+  cand_gen : int array; (* pod -> pod_node_gen stamp; -1 = never *)
+  spine : int array array; (* pod -> per-L2-index spine up-mask *)
+  spine_gen : int array; (* pod -> pod_l2_gen stamp; -1 = never *)
+}
+
+type ext = ..
+
 type t = {
   topo : Topology.t;
   free : Sim.Bitset.t; (* node id -> available (not claimed, not failed) *)
   claimed : Sim.Bitset.t; (* node id -> held by a live allocation *)
+  nonempty_leaves : Sim.Bitset.t; (* leaf id -> >= 1 free node *)
   free_per_leaf : int array;
   slot_mask : int array; (* leaf -> bitmask of free slots *)
   leaf_up : float array; (* leaf-l2 cable -> remaining capacity *)
@@ -37,6 +54,8 @@ type t = {
   node_fail : int array; (* node -> # live faults covering it *)
   leaf_cable_fail : int array; (* leaf-l2 cable -> # live faults *)
   l2_cable_fail : int array; (* l2-spine cable -> # live faults *)
+  pod_node_gen : int array; (* pod -> leaf-level availability mutations *)
+  pod_l2_gen : int array; (* pod -> L2-spine availability mutations *)
   mutable failed_nodes : int; (* # nodes with node_fail > 0 *)
   mutable failed_claimed : int; (* # failed nodes also claimed *)
   mutable busy : int;
@@ -45,16 +64,21 @@ type t = {
   mutable failures : int; (* # fail operations since creation *)
   mutable repairs : int; (* # repair operations since creation *)
   mutable clones : int; (* # clones taken of this state *)
+  mutable feas_caches : feas list; (* per-demand candidate summaries *)
+  mutable ext_cache : ext option; (* allocator-owned cache slot *)
 }
 
 let create topo =
   let free = Sim.Bitset.create (Topology.num_nodes topo) in
   Sim.Bitset.fill free;
+  let nonempty_leaves = Sim.Bitset.create (Topology.num_leaves topo) in
+  Sim.Bitset.fill nonempty_leaves;
   let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
   {
     topo;
     free;
     claimed = Sim.Bitset.create (Topology.num_nodes topo);
+    nonempty_leaves;
     free_per_leaf = Array.make (Topology.num_leaves topo) m1;
     slot_mask = Array.make (Topology.num_leaves topo) ((1 lsl m1) - 1);
     leaf_up = Array.make (Topology.num_leaf_l2_cables topo) 1.0;
@@ -65,6 +89,8 @@ let create topo =
     node_fail = Array.make (Topology.num_nodes topo) 0;
     leaf_cable_fail = Array.make (Topology.num_leaf_l2_cables topo) 0;
     l2_cable_fail = Array.make (Topology.num_l2_spine_cables topo) 0;
+    pod_node_gen = Array.make (Topology.pods topo) 0;
+    pod_l2_gen = Array.make (Topology.pods topo) 0;
     failed_nodes = 0;
     failed_claimed = 0;
     busy = 0;
@@ -73,6 +99,8 @@ let create topo =
     failures = 0;
     repairs = 0;
     clones = 0;
+    feas_caches = [];
+    ext_cache = None;
   }
 
 let topo t = t.topo
@@ -83,6 +111,7 @@ let clone t =
     topo = t.topo;
     free = Sim.Bitset.copy t.free;
     claimed = Sim.Bitset.copy t.claimed;
+    nonempty_leaves = Sim.Bitset.copy t.nonempty_leaves;
     free_per_leaf = Array.copy t.free_per_leaf;
     slot_mask = Array.copy t.slot_mask;
     leaf_up = Array.copy t.leaf_up;
@@ -93,6 +122,8 @@ let clone t =
     node_fail = Array.copy t.node_fail;
     leaf_cable_fail = Array.copy t.leaf_cable_fail;
     l2_cable_fail = Array.copy t.l2_cable_fail;
+    pod_node_gen = Array.copy t.pod_node_gen;
+    pod_l2_gen = Array.copy t.pod_l2_gen;
     failed_nodes = t.failed_nodes;
     failed_claimed = t.failed_claimed;
     busy = t.busy;
@@ -101,11 +132,56 @@ let clone t =
     failures = t.failures;
     repairs = t.repairs;
     clones = 0;
+    (* Caches stay with their state: the copy starts cold, so stamped
+       entries can never validate against another state's counters. *)
+    feas_caches = [];
+    ext_cache = None;
   }
+
+(* Refresh [dst] to mirror [src] without allocating: the double-buffered
+   scratch primitive behind zero-clone reservation search.  Blits every
+   array, copies every scalar, and drops [dst]'s caches (their stamps
+   would otherwise validate against [src]'s copied generation counters
+   while the cached rows still describe [dst]'s previous contents).
+   Deliberately does NOT count as a clone: the clone counter measures
+   per-probe state duplication, which is exactly what this avoids. *)
+let copy_into ~src ~dst =
+  if
+    src.topo != dst.topo
+    && (Topology.m1 src.topo <> Topology.m1 dst.topo
+       || Topology.m2 src.topo <> Topology.m2 dst.topo
+       || Topology.m3 src.topo <> Topology.m3 dst.topo)
+  then invalid_arg "State.copy_into: topology mismatch";
+  Sim.Bitset.blit ~src:src.free ~dst:dst.free;
+  Sim.Bitset.blit ~src:src.claimed ~dst:dst.claimed;
+  Sim.Bitset.blit ~src:src.nonempty_leaves ~dst:dst.nonempty_leaves;
+  let blit a b = Array.blit a 0 b 0 (Array.length a) in
+  blit src.free_per_leaf dst.free_per_leaf;
+  blit src.slot_mask dst.slot_mask;
+  blit src.leaf_up dst.leaf_up;
+  blit src.l2_up dst.l2_up;
+  blit src.leaf_full_mask dst.leaf_full_mask;
+  blit src.l2_full_mask dst.l2_full_mask;
+  blit src.pod_free_leaves dst.pod_free_leaves;
+  blit src.node_fail dst.node_fail;
+  blit src.leaf_cable_fail dst.leaf_cable_fail;
+  blit src.l2_cable_fail dst.l2_cable_fail;
+  blit src.pod_node_gen dst.pod_node_gen;
+  blit src.pod_l2_gen dst.pod_l2_gen;
+  dst.failed_nodes <- src.failed_nodes;
+  dst.failed_claimed <- src.failed_claimed;
+  dst.busy <- src.busy;
+  dst.claims <- src.claims;
+  dst.releases <- src.releases;
+  dst.failures <- src.failures;
+  dst.repairs <- src.repairs;
+  dst.feas_caches <- [];
+  dst.ext_cache <- None
 
 let node_free t n = Sim.Bitset.mem t.free n
 let node_claimed t n = Sim.Bitset.mem t.claimed n
 let iter_free_nodes t ~f = Sim.Bitset.iter_set t.free ~f
+let next_nonempty_leaf t ~from = Sim.Bitset.next_set_from t.nonempty_leaves from
 let any_claimed_in t nodes = Sim.Bitset.intersects_array t.claimed nodes
 
 (* Raw claim accounting, ignoring the failure overlay: a cable is
@@ -225,6 +301,19 @@ let pod_delta t leaf was =
     t.pod_free_leaves.(pod) <- t.pod_free_leaves.(pod) + (if now then 1 else -1)
   end
 
+(* Generation bumps: every mutation that can change a pod's leaf-level
+   availability (free counts, slot masks, leaf-uplink capacity or
+   failure overlay) advances that pod's node generation; L2-spine
+   capacity and failure changes advance the pod's L2 generation.  The
+   cached summaries below validate per pod against these stamps. *)
+let bump_pod_node t leaf =
+  let pod = Topology.leaf_pod t.topo leaf in
+  t.pod_node_gen.(pod) <- t.pod_node_gen.(pod) + 1
+
+let bump_pod_l2 t l2 =
+  let pod = Topology.l2_pod t.topo l2 in
+  t.pod_l2_gen.(pod) <- t.pod_l2_gen.(pod) + 1
+
 (* Withdraw / restore a node from the availability summaries.  Claim
    state is tracked separately ([claimed]): both claiming and failing a
    node take it, and it comes back only when neither applies. *)
@@ -233,16 +322,20 @@ let take_node t n =
   let was = leaf_fully_free t leaf in
   Sim.Bitset.remove t.free n;
   t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) - 1;
+  if t.free_per_leaf.(leaf) = 0 then Sim.Bitset.remove t.nonempty_leaves leaf;
   t.slot_mask.(leaf) <- t.slot_mask.(leaf) land lnot (1 lsl Topology.node_slot t.topo n);
-  pod_delta t leaf was
+  pod_delta t leaf was;
+  bump_pod_node t leaf
 
 let give_node t n =
   let leaf = Topology.node_leaf t.topo n in
   let was = leaf_fully_free t leaf in
   Sim.Bitset.add t.free n;
   t.free_per_leaf.(leaf) <- t.free_per_leaf.(leaf) + 1;
+  if t.free_per_leaf.(leaf) = 1 then Sim.Bitset.add t.nonempty_leaves leaf;
   t.slot_mask.(leaf) <- t.slot_mask.(leaf) lor (1 lsl Topology.node_slot t.topo n);
-  pod_delta t leaf was
+  pod_delta t leaf was;
+  bump_pod_node t leaf
 
 (* The full-capacity mask bit is the conjunction of the claim accounting
    (remaining >= 1.0) and the failure overlay (no live fault). *)
@@ -254,7 +347,8 @@ let set_leaf_up t c v =
   if v >= 1.0 -. eps && t.leaf_cable_fail.(c) = 0 then
     t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) lor bit
   else t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) land lnot bit;
-  pod_delta t leaf was
+  pod_delta t leaf was;
+  bump_pod_node t leaf
 
 let set_l2_up t c v =
   let l2 = Topology.l2_spine_cable_l2 t.topo c in
@@ -262,7 +356,8 @@ let set_l2_up t c v =
   let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
   if v >= 1.0 -. eps && t.l2_cable_fail.(c) = 0 then
     t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
-  else t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit
+  else t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit;
+  bump_pod_l2 t l2
 
 (* ------------------------------------------------------------------ *)
 (* Claim / release                                                     *)
@@ -421,7 +516,8 @@ let fail_leaf_cable t c =
     let was = leaf_fully_free t leaf in
     let bit = 1 lsl Topology.leaf_l2_cable_l2_index t.topo c in
     t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) land lnot bit;
-    pod_delta t leaf was
+    pod_delta t leaf was;
+    bump_pod_node t leaf
   end;
   t.failures <- t.failures + 1
 
@@ -439,7 +535,8 @@ let repair_leaf_cable t c =
       let bit = 1 lsl Topology.leaf_l2_cable_l2_index t.topo c in
       t.leaf_full_mask.(leaf) <- t.leaf_full_mask.(leaf) lor bit
     end;
-    pod_delta t leaf was
+    pod_delta t leaf was;
+    bump_pod_node t leaf
   end;
   t.repairs <- t.repairs + 1
 
@@ -449,7 +546,8 @@ let fail_l2_cable t c =
   if k = 0 then begin
     let l2 = Topology.l2_spine_cable_l2 t.topo c in
     let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
-    t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit
+    t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) land lnot bit;
+    bump_pod_l2 t l2
   end;
   t.failures <- t.failures + 1
 
@@ -460,11 +558,93 @@ let repair_l2_cable t c =
       (Printf.sprintf "State.repair_l2_cable: cable %d is not failed (%s)" c
          (describe_l2_cable t c));
   t.l2_cable_fail.(c) <- k - 1;
-  if k = 1 && t.l2_up.(c) >= 1.0 -. eps then begin
+  if k = 1 then begin
     let l2 = Topology.l2_spine_cable_l2 t.topo c in
-    let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
-    t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
+    if t.l2_up.(c) >= 1.0 -. eps then begin
+      let bit = 1 lsl Topology.l2_spine_cable_spine_index t.topo c in
+      t.l2_full_mask.(l2) <- t.l2_full_mask.(l2) lor bit
+    end;
+    (* Even without the full-capacity bit, sub-1.0 demand masks change
+       the moment the last covering fault clears. *)
+    bump_pod_l2 t l2
   end;
   t.repairs <- t.repairs + 1
 
 let snapshot_free_nodes t = Sim.Bitset.copy t.free
+
+(* ------------------------------------------------------------------ *)
+(* Cached per-pod feasibility summaries                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pod_node_generation t ~pod = t.pod_node_gen.(pod)
+let pod_l2_generation t ~pod = t.pod_l2_gen.(pod)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let feas_for t demand =
+  let rec find = function
+    | f :: rest -> if f.f_demand = demand then Some f else find rest
+    | [] -> None
+  in
+  match find t.feas_caches with
+  | Some f -> f
+  | None ->
+      let pods = Topology.pods t.topo in
+      let m1 = Topology.m1 t.topo in
+      let f =
+        {
+          f_demand = demand;
+          cand = Array.init pods (fun _ -> Array.make m1 0);
+          cand_gen = Array.make pods (-1);
+          spine = Array.init pods (fun _ -> Array.make m1 0);
+          spine_gen = Array.make pods (-1);
+        }
+      in
+      t.feas_caches <- f :: t.feas_caches;
+      f
+
+let pod_candidates t ~pod ~demand =
+  let f = feas_for t demand in
+  let gen = t.pod_node_gen.(pod) in
+  let counts = f.cand.(pod) in
+  if f.cand_gen.(pod) <> gen then begin
+    (* counts.(n-1) = number of leaves in the pod able to carry n nodes
+       at this demand (free nodes AND uplink-capable indices both >= n).
+       Built as a histogram over each leaf's capacity followed by a
+       suffix sum — O(m2 + m1) per refresh instead of O(m2 * m1). *)
+    let m1 = Topology.m1 t.topo and m2 = Topology.m2 t.topo in
+    Array.fill counts 0 m1 0;
+    for l = 0 to m2 - 1 do
+      let leaf = Topology.leaf_of_coords t.topo ~pod ~leaf:l in
+      let free = t.free_per_leaf.(leaf) in
+      let cap = popcount (leaf_up_mask t ~leaf ~demand) in
+      let upto = Stdlib.min (Stdlib.min free cap) m1 in
+      if upto > 0 then counts.(upto - 1) <- counts.(upto - 1) + 1
+    done;
+    let acc = ref 0 in
+    for n = m1 - 1 downto 0 do
+      acc := !acc + counts.(n);
+      counts.(n) <- !acc
+    done;
+    f.cand_gen.(pod) <- gen
+  end;
+  counts
+
+let pod_spine_masks t ~pod ~demand =
+  let f = feas_for t demand in
+  let gen = t.pod_l2_gen.(pod) in
+  let masks = f.spine.(pod) in
+  if f.spine_gen.(pod) <> gen then begin
+    let m1 = Topology.m1 t.topo in
+    for i = 0 to m1 - 1 do
+      let l2 = Topology.l2_of_coords t.topo ~pod ~index:i in
+      masks.(i) <- l2_up_mask t ~l2 ~demand
+    done;
+    f.spine_gen.(pod) <- gen
+  end;
+  masks
+
+let get_ext t = t.ext_cache
+let set_ext t e = t.ext_cache <- e

@@ -29,6 +29,14 @@ val create : Topology.t -> t
 val topo : t -> Topology.t
 val clone : t -> t
 
+val copy_into : src:t -> dst:t -> unit
+(** [copy_into ~src ~dst] refreshes [dst] to mirror [src] without
+    allocating — the double-buffered scratch primitive behind zero-clone
+    reservation search.  The two states must share topology dimensions.
+    [dst]'s cached summaries ({!pod_candidates} rows, the {!ext} slot)
+    are dropped, and the operation does {e not} count as a {!clone} in
+    either state's tally. *)
+
 (** {1 Nodes} *)
 
 val node_free : t -> int -> bool
@@ -40,6 +48,12 @@ val node_claimed : t -> int -> bool
 val iter_free_nodes : t -> f:(int -> unit) -> unit
 (** Visit every available node in increasing id order — a word-skipping
     walk of the free bitset, O(words + free nodes). *)
+
+val next_nonempty_leaf : t -> from:int -> int option
+(** Smallest leaf id [>= from] with at least one free node, found by a
+    word-level walk of the maintained nonempty-leaf bitset — on a
+    saturated machine, allocator leaf scans skip whole busy regions 63
+    leaves at a time instead of consulting each leaf's free count. *)
 
 val any_claimed_in : t -> int array -> bool
 (** True iff any listed node is held by a live allocation;
@@ -98,6 +112,17 @@ val claim_generation : t -> int
 
 val release_generation : t -> int
 (** Resource-adding mutations: releases + repair operations. *)
+
+val pod_node_generation : t -> pod:int -> int
+(** Per-pod stamp advanced by every mutation that can change the pod's
+    leaf-level availability: node take/give, leaf-uplink capacity
+    changes, and leaf-cable fail/repair.  Caches over per-pod leaf
+    summaries validate against it. *)
+
+val pod_l2_generation : t -> pod:int -> int
+(** Per-pod stamp advanced by every mutation that can change the pod's
+    L2-to-spine availability: spine-uplink capacity changes and
+    L2-cable fail/repair. *)
 
 (** {1 Operation counters}
 
@@ -199,3 +224,36 @@ val l2_cable_failed : t -> int -> bool
 
 val snapshot_free_nodes : t -> Sim.Bitset.t
 (** A copy of the free-node set (for tests and diagnostics). *)
+
+(** {1 Incremental feasibility summaries}
+
+    Per-pod candidate structures maintained lazily against the pod
+    generation counters: a probe consults the cached row; a mutation in
+    the pod invalidates (only) that pod's row, which is rebuilt on its
+    next consultation.  Answers are bit-identical to a from-scratch
+    scan — the property tests in test_incremental.ml check this on
+    random claim/release/fail/repair sequences. *)
+
+val pod_candidates : t -> pod:int -> demand:float -> int array
+(** [pod_candidates t ~pod ~demand].(n-1) is the number of leaves in
+    [pod] that could carry [n] nodes at [demand]: free nodes >= n and
+    at least [n] uplink indices with [demand] capacity remaining.  The
+    returned array is owned by the cache — callers must not mutate it,
+    and it is valid until the pod's next mutation. *)
+
+val pod_spine_masks : t -> pod:int -> demand:float -> int array
+(** [pod_spine_masks t ~pod ~demand].(i) is {!l2_up_mask} of the pod's
+    [i]-th L2 switch at [demand].  Same ownership rules as
+    {!pod_candidates}. *)
+
+(** {1 Allocator cache slot}
+
+    An extensible slot for allocator-owned caches that live and die
+    with one state (per-pod solution memos, etc.).  The slot travels
+    with the state — never across states: {!clone} starts the copy
+    empty and {!copy_into} drops the destination's slot. *)
+
+type ext = ..
+
+val get_ext : t -> ext option
+val set_ext : t -> ext option -> unit

@@ -71,10 +71,22 @@ let with_pool ~size f =
   let t = create ~size in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run_cells ?(chunk = 1) t ~f cells =
-  if chunk < 1 then invalid_arg "Pool.run_cells: chunk must be >= 1";
+let run_cells ?chunk t ~f cells =
   if not t.alive then invalid_arg "Pool.run_cells: pool is shut down";
   let n = Array.length cells in
+  (* Adaptive default: about eight chunks per worker.  Enough slack for
+     dynamic load balancing (one slow cell never strands more than 1/8th
+     of a worker's share behind it), while batches of cheap cells claim
+     the atomic cursor O(size) times instead of O(n).  An explicit
+     [chunk] always wins; chunking never affects results — the merge is
+     slot-indexed, not arrival-ordered. *)
+  let chunk =
+    match chunk with
+    | Some c ->
+        if c < 1 then invalid_arg "Pool.run_cells: chunk must be >= 1";
+        c
+    | None -> max 1 (n / (t.size * 8))
+  in
   if n = 0 then [||]
   else if t.size = 1 then Array.map f cells
   else begin

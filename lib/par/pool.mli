@@ -14,8 +14,9 @@
     is wall-clock, which the rest of the stack already excludes from
     fingerprints.
 
-    The queue hands out contiguous chunks of the cell array (default
-    size 1) via an atomic cursor, so load balancing is dynamic: a domain
+    The queue hands out contiguous chunks of the cell array (sized
+    adaptively by default — see {!run_cells}) via an atomic cursor, so
+    load balancing is dynamic: a domain
     that finishes a cheap cell immediately claims the next one, which is
     what keeps one expensive cell (LC+S on Synth-28) from serialising
     the whole sweep.
@@ -51,9 +52,13 @@ val run_cells : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
     several fail in a race, which ones ran before cancellation can vary,
     but the caller always sees one of the real failures.
 
-    [chunk] (default 1) is the number of consecutive cells claimed per
-    queue operation; raise it for very cheap cells to cut contention on
-    the cursor. *)
+    [chunk] is the number of consecutive cells claimed per queue
+    operation.  Default: adaptive — about eight chunks per worker
+    ([max 1 (n / (8 * size))]), which keeps load balancing dynamic for
+    expensive cells while large batches of cheap cells touch the cursor
+    O(size) times instead of O(n).  Pass an explicit value to pin it
+    (e.g. [~chunk:1] for maximally dynamic scheduling).  Chunking never
+    changes results: the merge is slot-indexed. *)
 
 val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent.  Any subsequent [run_cells]

@@ -119,6 +119,10 @@ type sim = {
   (* observability *)
   mutable started_total : int; (* jobs started, for Pass_end deltas *)
   mutable reserved : (int * float) option; (* live head reservation *)
+  (* Reservation scratch arena: one lazily-created state reused by every
+     reservation probe, refreshed from [st] by an allocation-free
+     [State.copy_into] instead of a clone per probe. *)
+  mutable scratch : State.t option;
 }
 
 let record sim =
@@ -178,13 +182,16 @@ let prof_incr sim name =
    Completions sharing an estimated end free resources together, so they
    form one candidate instant.  Feasibility after releasing groups 0..k
    is monotone in k (releases only add resources); a single working
-   clone therefore walks the groups forward, releasing each group
-   incrementally and probing once per instant, and the first success is
-   the earliest.  This replaces a clone-per-probe binary search: one
-   O(machine) clone per blocked pass instead of O(log groups) of them,
-   with each probe running against state that is bit-identical to the
-   old rebuild (same release sequence). *)
-let reservation (alloc : Allocator.t) st ~running ~job =
+   scratch state therefore walks the groups forward, releasing each
+   group incrementally and probing once per instant, and the first
+   success is the earliest.
+
+   [scratch ()] returns a reusable probe state refreshed to mirror [st]
+   — a [State.copy_into] into a per-sim arena, so the whole search
+   allocates nothing per probe where it used to pay a [State.clone]
+   each: the probe state's arrays are bit-identical to a fresh clone's
+   (same blit), so verdicts and fingerprints are unchanged. *)
+let reservation (alloc : Allocator.t) ~scratch ~running ~job =
   let completions =
     List.sort (fun (a, _) (b, _) -> compare a b) running |> Array.of_list
   in
@@ -207,7 +214,7 @@ let reservation (alloc : Allocator.t) st ~running ~job =
        prefixes (feasibility is monotone in released groups), paying a
        clone + prefix rebuild per probe instead. *)
     let attempt k =
-      let probe = State.clone st in
+      let probe = scratch () in
       for i = 0 to k do
         List.iter (fun a -> State.release probe a) (snd groups.(i))
       done;
@@ -229,10 +236,10 @@ let reservation (alloc : Allocator.t) st ~running ~job =
         Some (fst groups.(!hi), !best)
   end
   else begin
-    (* Cheap definitive probes: a single working clone walks the
-       completion groups forward, releasing each incrementally — one
-       state rebuild total instead of one per probe. *)
-    let probe = State.clone st in
+    (* Cheap definitive probes: the scratch state walks the completion
+       groups forward, releasing each incrementally — one refresh total
+       instead of one per probe. *)
+    let probe = scratch () in
     let rec walk k =
       if k >= g then None
       else begin
@@ -388,13 +395,25 @@ and compute_reservation sim (head : Trace.Job.t) =
      actual runtimes.  Since estimates are >= actuals, the reservation is
      conservative; the head still starts earlier if resources free up
      sooner (every completion triggers a scheduling pass). *)
+  let scratch () =
+    let sc =
+      match sim.scratch with
+      | Some sc -> sc
+      | None ->
+          let sc = State.create (State.topo sim.st) in
+          sim.scratch <- Some sc;
+          sc
+    in
+    State.copy_into ~src:sim.st ~dst:sc;
+    sc
+  in
   let search () =
     let running =
       Hashtbl.fold
         (fun _ r acc -> (r.r_est_end, r.r_alloc) :: acc)
         sim.running []
     in
-    reservation sim.cfg.allocator sim.st ~running ~job:head
+    reservation sim.cfg.allocator ~scratch ~running ~job:head
   in
   match sim.cfg.prof with
   | Some p -> Obs.Prof.time p "sched/reservation" search
@@ -731,6 +750,7 @@ let start cfg (w : Trace.Workload.t) =
       lost_node_time = 0.0;
       started_total = 0;
       reserved = None;
+      scratch = None;
     }
   in
   emit sim (fun () ->
@@ -1208,6 +1228,7 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
         lost_node_time = s.lost_node_time;
         started_total = s.started_total;
         reserved = s.reserved;
+        scratch = None;
       }
     in
     Array.iter (fun (id, g) -> Queue.add (id, g) sim.pending_ids) s.queue;

@@ -106,24 +106,29 @@ val default_config : Allocator.t -> radix:int -> config
 
 val reservation :
   Allocator.t ->
-  Fattree.State.t ->
+  scratch:(unit -> Fattree.State.t) ->
   running:(float * Fattree.Alloc.t) list ->
   job:Trace.Job.t ->
   (float * Fattree.Alloc.t) option
-(** [reservation alloc st ~running ~job] is the earliest estimated
+(** [reservation alloc ~scratch ~running ~job] is the earliest estimated
     completion time at which [job] could be placed, with the concrete
     allocation it would receive then.  [running] pairs every live
     allocation with its estimated end time.  Completions sharing an end
     time free resources together and feasibility is monotone in drained
     groups, so the earliest feasible group can be found in any probe
     order.  The strategy follows the allocator's cost model: cheap
-    definitive probes walk a single working clone forward, releasing
-    groups incrementally (one state rebuild total); budgeted searches
+    definitive probes walk a single probe state forward, releasing
+    groups incrementally (one refresh total); budgeted searches
     (LC/LC+S), whose failing probes burn their whole budget, binary
-    search over drained prefixes to minimize probe count.  [None] if the
-    job does not fit even on the fully drained machine.  Exposed for the
-    equivalence test against the clone-per-probe reference
-    implementation. *)
+    search over drained prefixes to minimize probe count.
+
+    [scratch ()] must return a state mirroring the live one that the
+    search may freely mutate; successive calls may return the same
+    (refreshed) arena — the simulator passes a [State.copy_into] of a
+    per-sim scratch state, making reservation search allocation-free
+    where it used to clone per probe.  [None] if the job does not fit
+    even on the fully drained machine.  Exposed for the equivalence
+    test against the clone-per-probe reference implementation. *)
 
 val run : config -> Trace.Workload.t -> Metrics.t
 (** Simulates the whole trace and gathers every metric.  Jobs that can

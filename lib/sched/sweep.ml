@@ -324,9 +324,7 @@ let merged_profile results =
     Some agg
   end
 
-let grid ?(profile = false) ?(faults_for = fun _ -> Trace.Faults.none) ~full ()
-    =
-  let entries = Trace.Presets.all ~full in
+let grid_of ~profile ~faults_for entries =
   List.concat_map
     (fun (e : Trace.Presets.entry) ->
       List.map
@@ -336,3 +334,11 @@ let grid ?(profile = false) ?(faults_for = fun _ -> Trace.Faults.none) ~full ()
         Allocator.all)
     entries
   |> Array.of_list
+
+let grid ?(profile = false) ?(faults_for = fun _ -> Trace.Faults.none) ~full ()
+    =
+  grid_of ~profile ~faults_for (Trace.Presets.all ~full)
+
+let scale_grid ?(profile = false) ?(faults_for = fun _ -> Trace.Faults.none) ()
+    =
+  grid_of ~profile ~faults_for (Trace.Presets.scale_all ())

@@ -77,17 +77,29 @@ let ntz_lsb lsb =
   if !v land 0x1 = 0 then bit := !bit + 1;
   !bit
 
+(* Dense words flip the cost balance: the lsb-isolation walk pays a
+   branchy ntz per set bit, so on a nearly-full word it does ~63 of
+   them and loses to a straight bit loop whose test is one [land].
+   Each word picks its strategy from its own popcount (O(set bits),
+   negligible on sparse words where the walk wins anyway). *)
+let dense_word_bits = 40
+
 let iter_set t ~f =
   let words = t.words in
   for w = 0 to Array.length words - 1 do
     let word = ref (Array.unsafe_get words w) in
     if !word <> 0 then begin
       let base = w * bits_per_word in
-      while !word <> 0 do
-        let lsb = !word land - !word in
-        f (base + ntz_lsb lsb);
-        word := !word land (!word - 1)
-      done
+      if popcount !word >= dense_word_bits then
+        for b = 0 to bits_per_word - 1 do
+          if !word land (1 lsl b) <> 0 then f (base + b)
+        done
+      else
+        while !word <> 0 do
+          let lsb = !word land - !word in
+          f (base + ntz_lsb lsb);
+          word := !word land (!word - 1)
+        done
     end
   done
 
@@ -143,6 +155,64 @@ let of_array n xs =
   let t = create n in
   Array.iter (fun i -> add t i) xs;
   t
+
+let blit ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Bitset.blit: capacity mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let next_set_from t start =
+  if start < 0 then invalid_arg "Bitset.next_set_from: negative index";
+  if start >= t.n then None
+  else begin
+    (* Word-walk: mask off bits below [start] in its word, then skip
+       empty words; the lowest set bit of the first non-empty word is
+       the answer. *)
+    let nw = Array.length t.words in
+    let rec go w mask =
+      if w >= nw then None
+      else begin
+        let v = t.words.(w) land mask in
+        if v = 0 then go (w + 1) (lnot 0)
+        else Some ((w * bits_per_word) + ntz_lsb (v land -v))
+      end
+    in
+    let w0 = start / bits_per_word in
+    go w0 (lnot ((1 lsl (start mod bits_per_word)) - 1))
+  end
+
+let rank t i =
+  let i = Stdlib.min (Stdlib.max i 0) t.n in
+  if i = 0 then 0
+  else begin
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    let acc = ref 0 in
+    for k = 0 to w - 1 do
+      acc := !acc + popcount t.words.(k)
+    done;
+    if b > 0 then acc := !acc + popcount (t.words.(w) land ((1 lsl b) - 1));
+    !acc
+  end
+
+let nth_set t k =
+  if k < 0 then invalid_arg "Bitset.nth_set: negative rank";
+  let nw = Array.length t.words in
+  let rec over_words w k =
+    if w >= nw then None
+    else begin
+      let word = t.words.(w) in
+      let pc = popcount word in
+      if k >= pc then over_words (w + 1) (k - pc)
+      else begin
+        (* Drop the k lowest set bits, then take the next one. *)
+        let v = ref word in
+        for _ = 1 to k do
+          v := !v land (!v - 1)
+        done;
+        Some ((w * bits_per_word) + ntz_lsb (!v land - !v))
+      end
+    end
+  in
+  over_words 0 k
 
 let first_clear_from t start =
   if start < 0 then invalid_arg "Bitset.first_clear_from: negative index";

@@ -38,6 +38,11 @@ val fill : t -> unit
 
 val copy : t -> t
 
+val blit : src:t -> dst:t -> unit
+(** [blit ~src ~dst] overwrites [dst]'s members with [src]'s without
+    allocating; capacities must match.  The refresh primitive behind
+    reusable scratch states. *)
+
 val equal : t -> t -> bool
 (** Same capacity and same members. *)
 
@@ -45,7 +50,10 @@ val iter_set : t -> f:(int -> unit) -> unit
 (** [iter_set t ~f] applies [f] to every set bit in increasing order.
     Skips empty words and isolates each set bit with word-level
     arithmetic — O(words + set bits) rather than O(universe), which is
-    what the hot backfill/fault paths need on mostly-empty maps. *)
+    what the hot backfill/fault paths need on mostly-empty maps.
+    Nearly-full words switch to a straight bit loop, so dense sets pay
+    one cheap test per bit instead of a branchy isolation per set
+    bit. *)
 
 val iter : t -> f:(int -> unit) -> unit
 (** Alias for {!iter_set} (the historical name). *)
@@ -70,6 +78,22 @@ val of_list : int -> int list -> t
 
 val of_array : int -> int array -> t
 (** [of_array n xs] is the bitset over [0..n-1] containing [xs]. *)
+
+val next_set_from : t -> int -> int option
+(** [next_set_from t i] is the smallest set index [>= i], or [None] if
+    no bit at or above [i] is set.  A word-walk: empty words are
+    skipped with one test each, so scans over sparse sets touch
+    O(words) memory rather than O(universe) bits. *)
+
+val rank : t -> int -> int
+(** [rank t i] is the number of set bits with index [< i].  [i] is
+    clamped to [0 .. n].  O(words up to [i]). *)
+
+val nth_set : t -> int -> int option
+(** [nth_set t k] is the [k]-th set bit in increasing order (0-based),
+    or [None] if fewer than [k+1] bits are set.  The select dual of
+    {!rank}: word-level popcounts skip ahead, then the target word is
+    walked. *)
 
 val first_clear_from : t -> int -> int option
 (** [first_clear_from t i] is the smallest index [>= i] whose bit is clear,

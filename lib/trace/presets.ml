@@ -127,5 +127,68 @@ let figure6_order ~full =
     nov_cab ~full;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Radix-48 scale tier                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let scale_radix = 48
+let scale_nodes = scale_radix * scale_radix * scale_radix / 4
+
+(* Re-target a native-tier workload at the radix-48 machine: sizes are
+   multiplied by the node-count ratio of the radix-48 cluster to the
+   family's native cluster, so each trace keeps its machine-relative
+   shape (a half-machine Atlas request stays half the machine).
+   Arrivals and runtimes are untouched — only the spatial axis grows. *)
+let rescale ~native_nodes (w : Workload.t) =
+  let factor =
+    max 1
+      (int_of_float
+         (Float.round (float_of_int scale_nodes /. float_of_int native_nodes)))
+  in
+  Workload.create
+    ~name:(Printf.sprintf "%s@%d" w.Workload.name scale_radix)
+    ~system_nodes:scale_nodes
+    (Array.map
+       (fun (j : Job.t) ->
+         { j with Job.size = min scale_nodes (j.Job.size * factor) })
+       w.Workload.jobs)
+
+(* Job counts are a fraction of the scaled native tier: per-event
+   allocator cost grows with radix, and the tier exists to measure that
+   cost — the full 45-cell grid should stay in the minutes range on one
+   core.  Seeds match the native families, so the streams are the same
+   draws, just rescaled. *)
+let scale_all () =
+  let e native w = { workload = rescale ~native_nodes:native w; cluster_radix = scale_radix } in
+  [
+    e 1024 (Synthetic.synth ~mean_size:16 ~n_jobs:250 ~seed:1601 ~max_size:1024);
+    e 2662 (Synthetic.synth ~mean_size:22 ~n_jobs:250 ~seed:2201 ~max_size:2662);
+    e 5488 (Synthetic.synth ~mean_size:28 ~n_jobs:250 ~seed:2801 ~max_size:5488);
+    e 1458
+      (Synthetic.cab_like ~runtime_cap:6000.0 ~month:"Aug" ~n_jobs:400
+         ~seed:3501 ~target_load:0.56 ~arrival_scale:0.5 ());
+    e 1458
+      (Synthetic.cab_like ~runtime_cap:6000.0 ~month:"Sep" ~n_jobs:600
+         ~seed:3601 ~target_load:1.12 ~arrival_scale:1.0 ());
+    e 1458
+      (Synthetic.cab_like ~runtime_cap:6000.0 ~month:"Oct" ~n_jobs:600
+         ~seed:3701 ~target_load:1.3 ~arrival_scale:1.0 ());
+    e 1458
+      (Synthetic.cab_like ~runtime_cap:6000.0 ~month:"Nov" ~n_jobs:400
+         ~seed:3801 ~target_load:0.58 ~arrival_scale:0.5 ());
+    e 1458
+      (Synthetic.thunder_like ~runtime_cap:40000.0 ~n_jobs:400 ~seed:3301 ());
+    e 1458 (Synthetic.atlas_like ~runtime_cap:60000.0 ~n_jobs:300 ~seed:3401 ());
+  ]
+
 let by_name ~full name =
-  List.find_opt (fun e -> e.workload.Workload.name = name) (all ~full)
+  match
+    List.find_opt (fun e -> e.workload.Workload.name = name) (all ~full)
+  with
+  | Some e -> Some e
+  | None ->
+      (* The scale tier is only generated when the native tier misses:
+         its "@48" names cannot collide with Table-1 names. *)
+      if String.contains name '@' then
+        List.find_opt (fun e -> e.workload.Workload.name = name) (scale_all ())
+      else None

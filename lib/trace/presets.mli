@@ -30,4 +30,21 @@ val figure6_order : full:bool -> entry list
 (** In Figure 6 x-axis order: Synth-16/22/28, Atlas, Thunder, then the
     Cab months. *)
 
+val scale_radix : int
+(** Switch radix of the scale tier's cluster: 48 (27648 nodes) —
+    beyond the paper's largest evaluation machine, for measuring
+    allocator cost growth with radix. *)
+
+val scale_all : unit -> entry list
+(** The radix-48 {e scale tier}: the nine Table-1 workload families
+    re-targeted at a radix-48 cluster.  Job sizes are multiplied by the
+    node-count ratio of the radix-48 machine to each family's native
+    cluster (so traces keep their machine-relative shape); arrivals and
+    runtimes are unchanged; job counts are small enough that the full
+    45-cell grid finishes in minutes on one core.  Workload names carry
+    an ["@48"] suffix (e.g. ["Synth-16@48"]), so sweep cell ids and
+    manifests never collide with the native tier's. *)
+
 val by_name : full:bool -> string -> entry option
+(** Looks up native-tier names first, then — for names containing
+    ['@'] — the scale tier. *)

@@ -1,0 +1,42 @@
+(* Scratch: LC+S multi-pod try_alloc latency, radix 24 and 48. *)
+let load_cluster ~radix ~seed ~target =
+  let topo = Fattree.Topology.of_radix radix in
+  let st = Fattree.State.create topo in
+  let prng = Sim.Prng.create ~seed in
+  let continue = ref true in
+  let id = ref 0 in
+  while !continue && Fattree.State.node_utilization st < target do
+    let size =
+      max 1
+        (min
+           (Fattree.Topology.num_nodes topo / 8)
+           (int_of_float (Sim.Prng.exponential prng ~mean:16.0)))
+    in
+    (match Jigsaw_core.Jigsaw.get_allocation st ~job:!id ~size with
+    | Some p ->
+        Fattree.State.claim_exn st
+          (Jigsaw_core.Partition.to_alloc topo p ~bw:1.0)
+    | None -> continue := false);
+    incr id
+  done;
+  st
+
+let time label iters f =
+  for _ = 1 to 5 do ignore (f ()) done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do ignore (f ()) done;
+  Printf.printf "%-40s %12.0f ns\n%!" label
+    ((Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters)
+
+let () =
+  List.iter (fun radix ->
+    let st = load_cluster ~radix ~seed:77 ~target:0.8 in
+    Printf.printf "radix %d util %.3f\n%!" radix (Fattree.State.node_utilization st);
+    List.iter (fun (a : Sched.Allocator.t) ->
+      List.iter (fun size ->
+        let job = Trace.Job.v ~id:999_999 ~size ~runtime:100.0 () in
+        time (Printf.sprintf "r%d %s size-%d" radix a.name size) 200
+          (fun () -> a.try_alloc st job))
+        [ 40; 200 ])
+      Sched.Allocator.all)
+    [ 24 ]

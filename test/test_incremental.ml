@@ -340,7 +340,15 @@ let test_reservation_equivalence () =
           List.iter
             (fun size ->
               let job = Trace.Job.v ~id:777 ~size ~runtime:50.0 () in
-              let fast = Sched.Simulator.reservation alloc st ~running ~job in
+              let scratch =
+                (* Same contract the simulator provides: a reusable arena
+                   refreshed from the live state on every call. *)
+                let arena = State.create (State.topo st) in
+                fun () ->
+                  State.copy_into ~src:st ~dst:arena;
+                  arena
+              in
+              let fast = Sched.Simulator.reservation alloc ~scratch ~running ~job in
               let slow = reference_reservation alloc st ~running ~job in
               match (fast, slow) with
               | None, None -> ()
@@ -365,8 +373,193 @@ let test_reservation_empty_running () =
   let st = State.create (Topology.of_radix 8) in
   let job = Trace.Job.v ~id:1 ~size:4 ~runtime:10.0 () in
   Alcotest.(check bool) "no completions, no reservation" true
-    (Sched.Simulator.reservation Sched.Allocator.jigsaw st ~running:[] ~job
+    (Sched.Simulator.reservation Sched.Allocator.jigsaw
+       ~scratch:(fun () -> State.clone st)
+       ~running:[] ~job
     = None)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: the lazily revalidated feasibility rows equal a fresh
+   re-solve under random claim/release/fail/repair sequences with
+   interleaved consultations (which is what plants stale rows for the
+   generation stamps to catch).                                        *)
+(* ------------------------------------------------------------------ *)
+
+let demands = [| 0.125; 0.25; 0.375; 0.5; 1.0 |]
+
+(* Ground truth from the capacity summaries only — never through the
+   [pod_candidates]/[pod_spine_masks] cache layer under test. *)
+let scratch_candidates st ~pod ~demand =
+  let topo = State.topo st in
+  let m1 = Topology.m1 topo and m2 = Topology.m2 topo in
+  Array.init m1 (fun i ->
+      let n = i + 1 in
+      let c = ref 0 in
+      for l = 0 to m2 - 1 do
+        let leaf = Topology.leaf_of_coords topo ~pod ~leaf:l in
+        if
+          State.free_nodes_on_leaf st leaf >= n
+          && Jigsaw_core.Mask.popcount (State.leaf_up_mask st ~leaf ~demand)
+             >= n
+        then incr c
+      done;
+      !c)
+
+let scratch_spines st ~pod ~demand =
+  let topo = State.topo st in
+  Array.init (Topology.m1 topo) (fun i ->
+      State.l2_up_mask st ~l2:(Topology.l2_of_coords topo ~pod ~index:i) ~demand)
+
+type fault = Fnode of int | Fleaf_cable of int | Fl2_cable of int
+
+let apply_repair st = function
+  | Fnode n -> State.repair_node st n
+  | Fleaf_cable c -> State.repair_leaf_cable st c
+  | Fl2_cable c -> State.repair_l2_cable st c
+
+(* One random step: claim, release, fail, repair, or a cache-warming
+   consultation.  Returns updated (live allocs, live faults). *)
+let random_step st prng ~id live faults =
+  let topo = State.topo st in
+  let r = Sim.Prng.float prng ~bound:1.0 in
+  if r < 0.40 then begin
+    let size = Sim.Prng.int_in prng ~lo:1 ~hi:(Topology.num_nodes topo / 4) in
+    let bw = demands.(Sim.Prng.int_in prng ~lo:0 ~hi:4) in
+    let found =
+      if bw = 1.0 then Jigsaw_core.Jigsaw.get_allocation st ~job:id ~size
+      else
+        Jigsaw_core.Least_constrained.get_allocation ~demand:bw st ~job:id ~size
+    in
+    match found with
+    | Some p ->
+        let a = Jigsaw_core.Partition.to_alloc topo p ~bw in
+        State.claim_exn st a;
+        (a :: live, faults)
+    | None -> (live, faults)
+  end
+  else if r < 0.65 then
+    match live with
+    | [] -> (live, faults)
+    | _ ->
+        let k = Sim.Prng.int_in prng ~lo:0 ~hi:(List.length live - 1) in
+        State.release st (List.nth live k);
+        (List.filteri (fun i _ -> i <> k) live, faults)
+  else if r < 0.80 then begin
+    let f =
+      match Sim.Prng.int_in prng ~lo:0 ~hi:2 with
+      | 0 -> Fnode (Sim.Prng.int_in prng ~lo:0 ~hi:(Topology.num_nodes topo - 1))
+      | 1 ->
+          Fleaf_cable
+            (Sim.Prng.int_in prng ~lo:0
+               ~hi:(Topology.num_leaf_l2_cables topo - 1))
+      | _ ->
+          Fl2_cable
+            (Sim.Prng.int_in prng ~lo:0
+               ~hi:(Topology.num_l2_spine_cables topo - 1))
+    in
+    (match f with
+    | Fnode n -> State.fail_node st n
+    | Fleaf_cable c -> State.fail_leaf_cable st c
+    | Fl2_cable c -> State.fail_l2_cable st c);
+    (live, f :: faults)
+  end
+  else if r < 0.90 then
+    match faults with
+    | [] -> (live, faults)
+    | _ ->
+        let k = Sim.Prng.int_in prng ~lo:0 ~hi:(List.length faults - 1) in
+        apply_repair st (List.nth faults k);
+        (live, List.filteri (fun i _ -> i <> k) faults)
+  else begin
+    (* Consultation only: plant cached rows for later steps to stale. *)
+    let pod = Sim.Prng.int_in prng ~lo:0 ~hi:(Topology.pods topo - 1) in
+    let demand = demands.(Sim.Prng.int_in prng ~lo:0 ~hi:4) in
+    ignore (State.pod_candidates st ~pod ~demand);
+    ignore (State.pod_spine_masks st ~pod ~demand);
+    (live, faults)
+  end
+
+let prop_feasibility_rows_match_fresh_resolve =
+  QCheck2.Test.make
+    ~name:"pod_candidates/pod_spine_masks == fresh re-solve" ~count:30
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = State.create (Topology.of_radix 8) in
+      let topo = State.topo st in
+      let prng = Sim.Prng.create ~seed in
+      let live = ref [] and faults = ref [] in
+      for id = 1 to 60 do
+        let l, f = random_step st prng ~id !live !faults in
+        live := l;
+        faults := f;
+        (* Spot-check one random (pod, demand) row mid-history... *)
+        let pod = Sim.Prng.int_in prng ~lo:0 ~hi:(Topology.pods topo - 1) in
+        let demand = demands.(Sim.Prng.int_in prng ~lo:0 ~hi:4) in
+        if State.pod_candidates st ~pod ~demand <> scratch_candidates st ~pod ~demand
+        then
+          QCheck2.Test.fail_reportf "candidates diverge: pod %d demand %g" pod
+            demand;
+        if State.pod_spine_masks st ~pod ~demand <> scratch_spines st ~pod ~demand
+        then
+          QCheck2.Test.fail_reportf "spine masks diverge: pod %d demand %g" pod
+            demand
+      done;
+      (* ... and every (pod, demand) row at the end. *)
+      Array.iter
+        (fun demand ->
+          for pod = 0 to Topology.pods topo - 1 do
+            if
+              State.pod_candidates st ~pod ~demand
+              <> scratch_candidates st ~pod ~demand
+              || State.pod_spine_masks st ~pod ~demand
+                 <> scratch_spines st ~pod ~demand
+            then
+              QCheck2.Test.fail_reportf "final row diverges: pod %d demand %g"
+                pod demand
+          done)
+        demands;
+      true)
+
+(* The LC solution memo (budget-replaying, generation-stamped) must be
+   invisible: probing a state whose caches are warm returns exactly what
+   probing a cold fresh copy does, verdict for verdict — including
+   [Exhausted] cut-offs, because cache hits re-charge their original
+   search cost. *)
+let prop_lc_cached_probe_matches_fresh =
+  QCheck2.Test.make ~name:"LC probe on warm caches == on cold clone" ~count:20
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = State.create (Topology.of_radix 8) in
+      let prng = Sim.Prng.create ~seed in
+      let live = ref [] and faults = ref [] in
+      for id = 1 to 40 do
+        let l, f = random_step st prng ~id !live !faults in
+        live := l;
+        faults := f;
+        (* Warm the LC memo on the live state as a scheduler would. *)
+        if id mod 4 = 0 then
+          ignore
+            (Jigsaw_core.Least_constrained.probe ~demand:0.25 st ~job:7000
+               ~size:(Sim.Prng.int_in prng ~lo:1 ~hi:48))
+      done;
+      List.iter
+        (fun (demand, budget) ->
+          for size = 1 to 24 do
+            let warm =
+              Jigsaw_core.Least_constrained.probe ~demand ~budget st ~job:9000
+                ~size
+            in
+            let cold =
+              Jigsaw_core.Least_constrained.probe ~demand ~budget
+                (State.clone st) ~job:9000 ~size
+            in
+            if warm <> cold then
+              QCheck2.Test.fail_reportf
+                "LC probe diverges: size %d demand %g budget %d" size demand
+                budget
+          done)
+        [ (1.0, 5_000); (0.25, 5_000); (0.5, 200); (0.25, 60) ];
+      true)
 
 let suite =
   [
@@ -383,4 +576,6 @@ let suite =
       test_reservation_equivalence;
     Alcotest.test_case "reservation with no completions" `Quick
       test_reservation_empty_running;
+    QCheck_alcotest.to_alcotest prop_feasibility_rows_match_fresh_resolve;
+    QCheck_alcotest.to_alcotest prop_lc_cached_probe_matches_fresh;
   ]
