@@ -132,8 +132,10 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
         match Trace.Faults.load path with
         | Ok f -> f
         | Error m ->
+            (* Exit 2: input-file rejection (the message carries the
+               offending line number), distinct from usage errors. *)
             Format.eprintf "cannot load fault trace %s: %s@." path m;
-            exit 1)
+            exit 2)
     | None, Some mtbf ->
         let horizon =
           match fault_horizon with
@@ -185,8 +187,9 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
             with
             | Ok w -> { Trace.Presets.workload = w; cluster_radix = radix }
             | Error m ->
+                (* Exit 2: input-file rejection, line number included. *)
                 Format.eprintf "cannot load %s: %s@." path m;
-                exit 1)
+                exit 2)
         | Some _, Some _ ->
             Format.eprintf "--trace and --swf are mutually exclusive@.";
             exit 1
@@ -279,6 +282,33 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
             restored = false;
           };
         |]
+    | None, None when sweep -> (
+        (* Graceful SIGINT/SIGTERM: finish (and journal) the cells in
+           flight, start nothing new, exit 130 — a rerun with the same
+           --resume-sweep file completes only the missing cells. *)
+        let stop = Atomic.make false in
+        let arm s =
+          try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+          with Invalid_argument _ -> ()
+        in
+        arm Sys.sigint;
+        arm Sys.sigterm;
+        match
+          Sched.Sweep.run ~jobs ?manifest:resume_sweep
+            ~should_stop:(fun () -> Atomic.get stop)
+            cells
+        with
+        | results -> results
+        | exception Sched.Sweep.Interrupted ->
+            Format.eprintf "interrupted: in-flight cells journaled%s@."
+              (match resume_sweep with
+              | Some f ->
+                  Printf.sprintf " to %s; rerun with the same flags to finish"
+                    f
+              | None ->
+                  "; use --resume-sweep FILE to make interrupted sweeps \
+                   resumable");
+            exit 130)
     | None, None -> Sched.Sweep.run ~jobs ?manifest:resume_sweep cells
     | None, Some path ->
         (* Serial path with a live sink: all cells of one invocation

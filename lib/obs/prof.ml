@@ -160,6 +160,9 @@ let gauge_view acc =
 
 let gauges t = List.map (fun (k, a) -> (k, gauge_view a)) (sorted t.gauges)
 
+let find_gauge t name =
+  Option.map gauge_view (Hashtbl.find_opt t.gauges name)
+
 type span_view = {
   sp_count : int;
   sp_total_ns : float;
@@ -179,6 +182,8 @@ let span_view s =
   }
 
 let spans t = List.map (fun (k, s) -> (k, span_view s)) (sorted t.spans)
+
+let find_span t name = Option.map span_view (Hashtbl.find_opt t.spans name)
 
 (* ------------------------------------------------------------------ *)
 (* Flat codec                                                          *)

@@ -67,6 +67,10 @@ type gauge_view = {
 
 val gauges : t -> (string * gauge_view) list
 
+val find_gauge : t -> string -> gauge_view option
+(** Single-gauge read, for live telemetry endpoints (the daemon's
+    status reply) that must not pay a full sorted listing per query. *)
+
 (** {1 Spans} — wall-clock timings of code regions. *)
 
 val span_boundaries : float array
@@ -88,6 +92,9 @@ type span_view = {
 }
 
 val spans : t -> (string * span_view) list
+
+val find_span : t -> string -> span_view option
+(** Single-span read (e.g. ["svc/recovery"] in the daemon status). *)
 
 (** {1 Output} *)
 

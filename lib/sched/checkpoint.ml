@@ -37,7 +37,18 @@ let nofit_str a =
   |> List.map (fun (size, bw) -> Printf.sprintf "%d:%h" size bw)
   |> String.concat " "
 
-let save ~path (s : Simulator.Snapshot.t) =
+(* Durability helpers.  [fsync_dir] is best-effort: directory fsync is
+   the POSIX way to persist a rename, but some filesystems reject fsync
+   on a directory fd — a failure there must not fail the save. *)
+let fsync_dir dir =
+  let dir = if dir = "" then Filename.current_dir_name else dir in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let save ?(meta = []) ~path (s : Simulator.Snapshot.t) =
   let buf = Buffer.create 65536 in
   let line fields =
     Obs.Json.write buf fields;
@@ -45,7 +56,7 @@ let save ~path (s : Simulator.Snapshot.t) =
   in
   let r = s.resilience in
   line
-    [
+    ([
       ("record", str magic);
       ("version", int_ version);
       ("scheme", str s.scheme);
@@ -66,7 +77,8 @@ let save ~path (s : Simulator.Snapshot.t) =
       ("running", int_ (Array.length s.running));
       ("finished", int_ (Array.length s.finished));
       ("samples", int_ (Array.length s.samples));
-    ];
+    ]
+    @ meta);
   Array.iter
     (fun (j : Trace.Job.t) ->
       line
@@ -175,6 +187,7 @@ let save ~path (s : Simulator.Snapshot.t) =
        ("abandoned", int_ s.abandoned);
        ("lost_node_time", num s.lost_node_time);
        ("started_total", int_ s.started_total);
+       ("cancelled", int_ s.cancelled);
        ("st_claims", int_ s.st_claims);
        ("st_releases", int_ s.st_releases);
        ("st_failures", int_ s.st_failures);
@@ -198,9 +211,16 @@ let save ~path (s : Simulator.Snapshot.t) =
     ];
   Buffer.add_char buf '\n';
   let tmp = path ^ ".tmp" in
+  (* Crash-ordering discipline: the bytes must be durable before the
+     rename publishes them (or a crash after the rename could expose an
+     empty/stale file), and the rename itself must be durable before the
+     save is reported successful (directory fsync). *)
   Out_channel.with_open_bin tmp (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  Sys.rename tmp path
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -283,7 +303,7 @@ let verify_integrity path content =
       expected;
   body
 
-let load ~path =
+let load_ext ~path =
   try
     let content =
       try In_channel.with_open_bin path In_channel.input_all
@@ -450,6 +470,9 @@ let load ~path =
         abandoned = jint acc "abandoned";
         lost_node_time = jnum acc "lost_node_time";
         started_total = jint acc "started_total";
+        (* Absent in pre-daemon checkpoint files: no cancellations. *)
+        cancelled =
+          (if Obs.Json.mem acc "cancelled" then jint acc "cancelled" else 0);
         st_claims = jint acc "st_claims";
         st_releases = jint acc "st_releases";
         st_failures = jint acc "st_failures";
@@ -457,10 +480,12 @@ let load ~path =
         st_clones = jint acc "st_clones";
       }
     in
-    Ok s
+    Ok (s, header)
   with
   | Bad m -> Error m
   | Obs.Json.Parse_error m -> Error (Printf.sprintf "%s: %s" path m)
+
+let load ~path = Result.map fst (load_ext ~path)
 
 (* ------------------------------------------------------------------ *)
 (* Convenience                                                         *)

@@ -27,13 +27,34 @@
 val version : int
 (** Format version written by {!save}; {!load} rejects others. *)
 
-val save : path:string -> Simulator.Snapshot.t -> unit
-(** Write a checkpoint file atomically (temp file + rename).  Raises
+val save :
+  ?meta:(string * Obs.Json.value) list ->
+  path:string ->
+  Simulator.Snapshot.t ->
+  unit
+(** Write a checkpoint file atomically and durably: temp file + fsync +
+    rename + directory fsync, so a crash at any instant leaves either
+    the previous checkpoint or the complete new one — never a stale or
+    empty file that was already reported saved.  [meta] fields are
+    appended to the header record (callers must avoid the header's own
+    keys); {!load} ignores them, {!load_ext} returns them.  Raises
     [Sys_error] on I/O failure. *)
 
 val load : path:string -> (Simulator.Snapshot.t, string) result
 (** Read a checkpoint back.  [Error] on I/O failure, a failed integrity
     check, a bad magic/version, or any malformed or missing record. *)
+
+val load_ext :
+  path:string ->
+  (Simulator.Snapshot.t * (string * Obs.Json.value) list, string) result
+(** {!load}, also returning the raw header fields — including any
+    [?meta] fields the writer embedded (the daemon stores its
+    last-applied WAL sequence number there). *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory fd — the POSIX idiom for making a
+    rename durable.  Errors (filesystems that reject directory fsync)
+    are swallowed: this hardens crash ordering, it cannot create one. *)
 
 val write : path:string -> Simulator.t -> unit
 (** [save] of {!Simulator.snapshot} — raises [Invalid_argument] if a

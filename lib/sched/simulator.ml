@@ -123,6 +123,15 @@ type sim = {
      reservation probe, refreshed from [st] by an allocation-free
      [State.copy_into] instead of a clone per probe. *)
   mutable scratch : State.t option;
+  (* Online front-end (daemon) state: every job the simulation knows,
+     plus jobs and fault events accepted after [start] (newest first).
+     Snapshots append the dynamic lists to the static workload/trace so
+     a restore sees one merged history; [cancelled] counts pending jobs
+     withdrawn before they started. *)
+  jobs_by_id : (int, Trace.Job.t) Hashtbl.t;
+  mutable dyn_jobs : Trace.Job.t list;
+  mutable dyn_faults : Trace.Faults.event list;
+  mutable cancelled : int;
 }
 
 let record sim =
@@ -712,6 +721,96 @@ let fault_event sim (e : Trace.Faults.event) =
          some, so a pass is useful only after a kill. *)
       if victims <> [] then request_pass sim
 
+(* ---- online operations (daemon front-end) -------------------------- *)
+
+(* The three mutators below are the daemon's write surface.  Each one
+   only *schedules* engine events; the caller is expected to follow up
+   with [run_until] to the stamped time, which executes them and drains
+   any same-instant scheduling pass — keeping the simulation
+   snapshot-able between operations.  All are pure functions of the
+   simulation state and their arguments, so a WAL replay of the same
+   calls with the same stamps reproduces the run bit-identically. *)
+
+let submit sim (j : Trace.Job.t) =
+  if Hashtbl.mem sim.jobs_by_id j.id then
+    Error (Printf.sprintf "job %d already exists" j.id)
+  else if j.arrival < Sim.Engine.now sim.engine then
+    Error
+      (Printf.sprintf "job %d arrival %.17g is in the past (now %.17g)" j.id
+         j.arrival (Sim.Engine.now sim.engine))
+  else begin
+    Hashtbl.replace sim.jobs_by_id j.id j;
+    sim.dyn_jobs <- j :: sim.dyn_jobs;
+    Sim.Engine.schedule sim.engine ~time:j.arrival ~priority:1
+      ~tag:(Printf.sprintf "a:%d" j.id)
+      (fun _ -> arrive sim j);
+    Ok ()
+  end
+
+type cancel_outcome = Cancelled | Not_pending | Unknown_job
+
+let cancel sim id =
+  if not (Hashtbl.mem sim.jobs_by_id id) then Unknown_job
+  else if not (Hashtbl.mem sim.pending id) then
+    (* Running, finished, rejected, abandoned, or not yet arrived — the
+       queue entry is the only thing a cancel may retract. *)
+    Not_pending
+  else begin
+    Hashtbl.remove sim.pending id;
+    (* Dropping the generation kills the queue entry lazily, exactly
+       like a requeue invalidates a backfilled job's stale entry. *)
+    Hashtbl.remove sim.pending_gen id;
+    sim.cancelled <- sim.cancelled + 1;
+    (match sim.reserved with
+    | Some (rid, _) when rid = id ->
+        sim.reserved <- None;
+        emit sim (fun () -> Obs.Event.Reservation_clear { job = id })
+    | _ -> ());
+    record sim;
+    (* The head (or its reservation) may have been the cancelled job;
+       re-run the pass so the queue reflects the withdrawal. *)
+    request_pass sim;
+    Cancelled
+  end
+
+let inject_fault sim (e : Trace.Faults.event) =
+  if e.time < Sim.Engine.now sim.engine then
+    Error
+      (Printf.sprintf "fault time %.17g is in the past (now %.17g)" e.time
+         (Sim.Engine.now sim.engine))
+  else
+    match Trace.Faults.resources (State.topo sim.st) e.target with
+    | exception Invalid_argument m -> Error m
+    | _ ->
+        (* The tag index continues past the static trace; [of_snapshot]
+           rebuilds the merged array with [Faults.of_ordered], so the
+           index keeps naming this event across a restore even though
+           its time may precede later-positioned static events. *)
+        let idx =
+          Array.length (Trace.Faults.events sim.cfg.faults)
+          + List.length sim.dyn_faults
+        in
+        sim.dyn_faults <- e :: sim.dyn_faults;
+        if e.kind = Trace.Faults.Repair then
+          sim.pending_repairs <- sim.pending_repairs + 1;
+        Sim.Engine.schedule sim.engine ~time:e.time ~priority:0
+          ~tag:(Printf.sprintf "f:%d" idx)
+          (fun _ -> fault_event sim e);
+        Ok ()
+
+let pending_count sim = Hashtbl.length sim.pending
+let running_count sim = Hashtbl.length sim.running
+let finished_count sim = List.length sim.finished
+let cancelled_count sim = sim.cancelled
+let rejected_count sim = sim.rejected
+let known_job sim id = Hashtbl.mem sim.jobs_by_id id
+let max_job_id sim = Hashtbl.fold (fun id _ acc -> max id acc) sim.jobs_by_id (-1)
+
+let fault_log sim =
+  Array.append
+    (Trace.Faults.events sim.cfg.faults)
+    (Array.of_list (List.rev sim.dyn_faults))
+
 let start cfg (w : Trace.Workload.t) =
   let topo = Fattree.Topology.of_radix cfg.radix in
   let sim =
@@ -751,8 +850,15 @@ let start cfg (w : Trace.Workload.t) =
       started_total = 0;
       reserved = None;
       scratch = None;
+      jobs_by_id = Hashtbl.create (max 16 (Array.length w.jobs));
+      dyn_jobs = [];
+      dyn_faults = [];
+      cancelled = 0;
     }
   in
+  Array.iter
+    (fun (j : Trace.Job.t) -> Hashtbl.replace sim.jobs_by_id j.id j)
+    w.jobs;
   emit sim (fun () ->
       Obs.Event.Run_meta
         {
@@ -978,6 +1084,7 @@ module Snapshot = struct
     abandoned : int;
     lost_node_time : float;
     started_total : int;
+    cancelled : int;
     (* state operation counters *)
     st_claims : int;
     st_releases : int;
@@ -1048,8 +1155,13 @@ let snapshot sim : Snapshot.t =
     resilience = sim.cfg.resilience;
     trace_name = sim.workload.Trace.Workload.name;
     system_nodes = sim.workload.Trace.Workload.system_nodes;
-    jobs = sim.workload.Trace.Workload.jobs;
-    faults = Trace.Faults.events sim.cfg.faults;
+    jobs =
+      (match sim.dyn_jobs with
+      | [] -> sim.workload.Trace.Workload.jobs
+      | dyn ->
+          Array.append sim.workload.Trace.Workload.jobs
+            (Array.of_list (List.rev dyn)));
+    faults = fault_log sim;
     clock = Sim.Engine.now sim.engine;
     steps = Sim.Engine.steps sim.engine;
     next_seq = Sim.Engine.next_seq sim.engine;
@@ -1085,6 +1197,7 @@ let snapshot sim : Snapshot.t =
     abandoned = sim.abandoned;
     lost_node_time = sim.lost_node_time;
     started_total = sim.started_total;
+    cancelled = sim.cancelled;
     st_claims = State.claim_count sim.st;
     st_releases = State.release_count sim.st;
     st_failures = State.failure_count sim.st;
@@ -1110,9 +1223,13 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
       | Error m -> restore_fail "%s" m
     in
     let cfg =
+      (* [of_ordered], not [scripted]: the array's positions are the
+         [f:<idx>] event tags, and a daemon-injected event may sit after
+         a static event it precedes in time — re-sorting would silently
+         retarget every pending fault tag. *)
       Config.make ~scenario ~scenario_seed:s.scenario_seed
         ~backfill_window:s.backfill_window ~backfill:s.backfill
-        ~faults:(Trace.Faults.scripted (Array.to_list s.faults))
+        ~faults:(Trace.Faults.of_ordered (Array.to_list s.faults))
         ~resilience:s.resilience ~sink ?prof ~radix:s.radix allocator
     in
     let w =
@@ -1135,13 +1252,19 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
        faults never intersect running allocations (intersecting jobs
        were killed at the fault instant), so the rebuilt summaries are
        bit-identical to the uninterrupted run's. *)
-    Array.iter
-      (fun (e : Trace.Faults.event) ->
-        if e.time <= s.clock then
-          match e.kind with
-          | Trace.Faults.Fail -> Trace.Faults.apply st e.target
-          | Trace.Faults.Repair -> Trace.Faults.revert st e.target)
-      s.faults;
+    (* Stable time order, not array order: injected events live past the
+       static suffix but may precede it in time, and a revert must never
+       run before its matching apply (repairing a healthy resource
+       raises).  For a purely static trace the array is already
+       time-sorted, so the stable sort is the identity. *)
+    Array.to_list s.faults
+    |> List.filter (fun (e : Trace.Faults.event) -> e.time <= s.clock)
+    |> List.stable_sort (fun (a : Trace.Faults.event) b ->
+           compare a.time b.time)
+    |> List.iter (fun (e : Trace.Faults.event) ->
+           match e.kind with
+           | Trace.Faults.Fail -> Trace.Faults.apply st e.target
+           | Trace.Faults.Repair -> Trace.Faults.revert st e.target);
     let running_tbl = Hashtbl.create 256 in
     Array.iter
       (fun (r : Snapshot.running_job) ->
@@ -1229,6 +1352,10 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
         started_total = s.started_total;
         reserved = s.reserved;
         scratch = None;
+        jobs_by_id = job_tbl;
+        dyn_jobs = [];
+        dyn_faults = [];
+        cancelled = s.cancelled;
       }
     in
     Array.iter (fun (id, g) -> Queue.add (id, g) sim.pending_ids) s.queue;

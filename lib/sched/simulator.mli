@@ -175,6 +175,49 @@ val finish : t -> Metrics.t * Metrics.per_job list
 (** Run the remaining events and compute the metrics (flushing the sink
     and importing the end-of-run profile counters, as {!run} does). *)
 
+(** {1 Online operations}
+
+    The daemon's write surface: mutate a live simulation between
+    {!run_until} slices.  Each call only {e schedules} engine events;
+    follow up with [run_until] to the operation's time so it executes
+    and any same-instant scheduling pass drains, keeping the state
+    {!snapshot}-able.  All three are deterministic functions of the
+    current state and their arguments, so replaying the same calls with
+    the same times reproduces the run bit-identically — the property the
+    service layer's write-ahead log relies on. *)
+
+val submit : t -> Trace.Job.t -> (unit, string) result
+(** Accept a job after {!start}: schedules its arrival at
+    [j.arrival].  [Error] on a duplicate id or an arrival before the
+    current clock. *)
+
+type cancel_outcome = Cancelled | Not_pending | Unknown_job
+
+val cancel : t -> int -> cancel_outcome
+(** Withdraw a job from the pending queue (clearing its reservation if
+    it holds one).  [Not_pending] if the job is running, finished,
+    rejected, abandoned or not yet arrived — a cancel never kills a
+    running allocation. *)
+
+val inject_fault : t -> Trace.Faults.event -> (unit, string) result
+(** Append a fail/repair event to the live fault history and schedule
+    it.  [Error] on a time before the clock or an out-of-range target.
+    The caller is responsible for fail/repair pairing: a repair of a
+    never-failed target raises when the event {e executes}. *)
+
+val pending_count : t -> int
+val running_count : t -> int
+val finished_count : t -> int
+val cancelled_count : t -> int
+val rejected_count : t -> int
+val known_job : t -> int -> bool
+val max_job_id : t -> int
+(** [-1] when the simulation knows no jobs. *)
+
+val fault_log : t -> Trace.Faults.event array
+(** Static trace followed by dynamically injected events, in injection
+    order — index [i] is the event tagged [f:<i>]. *)
+
 (** A serializable snapshot of a mid-flight simulation, taken between
     events.  Self-contained: carries the full workload and fault trace
     plus every piece of dynamic state, so restore needs no side files.
@@ -248,6 +291,7 @@ module Snapshot : sig
     abandoned : int;
     lost_node_time : float;
     started_total : int;
+    cancelled : int;
     st_claims : int;
     st_releases : int;
     st_failures : int;

@@ -296,15 +296,27 @@ let plan_resume manifest_path cells =
       in
       (to_run, stitch)
 
-let run_in ?chunk ?manifest pool cells =
+exception Interrupted
+
+(* Cooperative cancellation: checked before each cell starts, never
+   mid-cell, so every journaled row is a complete, verified run.  The
+   raise rides the pool's error path — in-flight cells on other domains
+   finish (and journal) before [Interrupted] reaches the caller, which
+   is exactly what makes a [should_stop] sweep resumable. *)
+let stoppable ?should_stop f =
+  match should_stop with
+  | None -> f
+  | Some stop -> fun c -> if stop () then raise Interrupted else f c
+
+let run_in ?chunk ?manifest ?should_stop pool cells =
   let to_run, stitch = plan_resume manifest cells in
-  let f = journaling_runner manifest in
+  let f = stoppable ?should_stop (journaling_runner manifest) in
   stitch (Par.Pool.run_cells ?chunk pool ~f to_run)
 
-let run ?chunk ?manifest ~jobs cells =
+let run ?chunk ?manifest ?should_stop ~jobs cells =
   let jobs = if jobs = 0 then Par.Pool.default_jobs () else jobs in
   let to_run, stitch = plan_resume manifest cells in
-  let f = journaling_runner manifest in
+  let f = stoppable ?should_stop (journaling_runner manifest) in
   stitch
     (if jobs <= 1 then Array.map f to_run
      else

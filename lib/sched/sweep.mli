@@ -75,12 +75,32 @@ type result = {
 val run_cell : cell -> result
 (** One cell, on the calling domain. *)
 
+exception Interrupted
+(** Raised out of {!run}/{!run_in} when [should_stop] turned true: no
+    new cell was started after the flag, every cell already in flight
+    finished and journaled its manifest row, and a re-run with the same
+    [manifest] completes only the missing cells.  (The CLI maps this to
+    exit code 130 on SIGINT/SIGTERM.) *)
+
 val run_in :
-  ?chunk:int -> ?manifest:string -> Par.Pool.t -> cell array -> result array
-(** All cells on an existing pool; results indexed like the input. *)
+  ?chunk:int ->
+  ?manifest:string ->
+  ?should_stop:(unit -> bool) ->
+  Par.Pool.t ->
+  cell array ->
+  result array
+(** All cells on an existing pool; results indexed like the input.
+    [should_stop] is polled before each cell starts (from worker
+    domains — it must be domain-safe, e.g. an [Atomic.t] read); once
+    true, {!Interrupted} is raised after in-flight cells drain. *)
 
 val run :
-  ?chunk:int -> ?manifest:string -> jobs:int -> cell array -> result array
+  ?chunk:int ->
+  ?manifest:string ->
+  ?should_stop:(unit -> bool) ->
+  jobs:int ->
+  cell array ->
+  result array
 (** [run ~jobs cells] shards the cells over a fresh pool of [jobs]
     domains ([jobs <= 1]: serial on the calling domain; [jobs = 0]:
     {!Par.Pool.default_jobs}).

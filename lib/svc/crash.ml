@@ -1,0 +1,43 @@
+(* Crash-point injection for the recovery test suite.
+
+   JIGSAW_SVC_CRASH="<point>" or "<point>:<n>" arms one named crash
+   point; the [n]-th time execution reaches it (default: the first) the
+   process SIGKILLs itself — the real thing, not an exception: no
+   at_exit handlers, no buffer flushes, no unwinding.  A crash point
+   placed between a write and its fsync therefore exercises exactly the
+   torn-tail/unsynced-data states the recovery path must survive.
+
+   Unarmed (the production case), every [hit] is one getenv plus a
+   string compare.  The hit counter keyed by point name persists for the
+   life of the process, so "<point>:3" crashes on the third visit. *)
+
+let counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let die () =
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* SIGKILL is delivered before [kill] returns to the caller. *)
+  assert false
+
+(* Returns [true] exactly when the armed point fires, letting callers
+   stage a deliberately inconsistent state (e.g. a half-written WAL
+   line) before dying. *)
+let triggered point =
+  match Sys.getenv_opt "JIGSAW_SVC_CRASH" with
+  | None | Some "" -> false
+  | Some spec ->
+      let name, n =
+        match String.index_opt spec ':' with
+        | None -> (spec, 1)
+        | Some i ->
+            ( String.sub spec 0 i,
+              Option.value ~default:1
+                (int_of_string_opt
+                   (String.sub spec (i + 1) (String.length spec - i - 1))) )
+      in
+      name = point
+      &&
+      let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts point) in
+      Hashtbl.replace counts point c;
+      c = n
+
+let hit point = if triggered point then die ()

@@ -1,0 +1,23 @@
+(** Named crash points for recovery testing.
+
+    The environment variable [JIGSAW_SVC_CRASH="<point>[:<n>]"] arms one
+    point; the [n]-th time execution reaches it the process delivers
+    SIGKILL to itself — indistinguishable from a [kill -9] landing at
+    that exact instruction.  Unarmed, a crash point costs one [getenv].
+
+    Points are laced through the WAL append and checkpoint paths
+    (["wal-torn"], ["wal-pre-fsync"], ["wal-post-fsync"],
+    ["post-apply"], ["ckpt-post-save"]); the test suite forks a daemon
+    with the variable set and asserts recovery reaches the uncrashed
+    fingerprint. *)
+
+val hit : string -> unit
+(** SIGKILL the process if this point is armed and its count is due. *)
+
+val triggered : string -> bool
+(** Like {!hit} but returns [true] instead of dying, so the caller can
+    stage a deliberately torn state (a half-written line) first and then
+    call {!die}. *)
+
+val die : unit -> 'a
+(** [kill -9] self.  Never returns. *)

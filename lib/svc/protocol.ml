@@ -1,0 +1,147 @@
+(* Wire protocol: line-delimited flat JSON over a Unix-domain socket.
+
+   One request per line, one reply per line, same [Obs.Json] dialect as
+   the WAL and the trace sink.  Parsing is total: any byte sequence a
+   client can send maps to either a typed request or a typed error —
+   never an exception escaping to the reactor.  The fuzz suite in
+   [test_svc] holds the reactor to that. *)
+
+type request =
+  | Submit of {
+      id : int option;  (** Daemon assigns the next id when absent. *)
+      size : int;
+      runtime : float;
+      est_runtime : float option;
+      bw_class : float option;
+    }
+  | Cancel of { id : int }
+  | Fault of { kind : Trace.Faults.kind; target : Trace.Faults.target }
+  | Advance of { upto : float }
+  | Drain
+  | Status
+  | Ping
+  | Shutdown
+  | Crash of { point : string }
+
+type envelope = { rid : string option; at : float option; req : request }
+
+type error_code =
+  | Parse_failed  (** Not a flat JSON line. *)
+  | Bad_request  (** Parsed, but no valid request in it. *)
+  | Invalid  (** Well-formed, rejected by the engine. *)
+  | Overloaded  (** Ingest queue full — retry after the hint. *)
+  | Internal
+
+let error_code_name = function
+  | Parse_failed -> "parse"
+  | Bad_request -> "bad-request"
+  | Invalid -> "invalid"
+  | Overloaded -> "overloaded"
+  | Internal -> "internal"
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let opt_str fields k =
+  if Obs.Json.mem fields k then Some (Obs.Json.str fields k) else None
+
+let opt_num fields k =
+  if Obs.Json.mem fields k then Some (Obs.Json.num fields k) else None
+
+let opt_int fields k =
+  if Obs.Json.mem fields k then Some (Obs.Json.int fields k) else None
+
+let finite what x =
+  if Float.is_nan x || Float.abs x = Float.infinity then
+    raise (Obs.Json.Parse_error (what ^ " must be finite"))
+  else x
+
+let request_of_fields fields =
+  match Obs.Json.str fields "op" with
+  | "submit" ->
+      let size = Obs.Json.int fields "size" in
+      let runtime = finite "runtime" (Obs.Json.num fields "runtime") in
+      if size <= 0 then Error "size must be positive"
+      else if runtime < 0.0 then Error "runtime must be non-negative"
+      else
+        Ok
+          (Submit
+             {
+               id = opt_int fields "id";
+               size;
+               runtime;
+               est_runtime =
+                 Option.map (finite "est_runtime")
+                   (opt_num fields "est_runtime");
+               bw_class = Option.map (finite "bw") (opt_num fields "bw");
+             })
+  | "cancel" -> Ok (Cancel { id = Obs.Json.int fields "id" })
+  | "fail" | "repair" -> (
+      let op = Obs.Json.str fields "op" in
+      let kind =
+        if op = "fail" then Trace.Faults.Fail else Trace.Faults.Repair
+      in
+      match
+        Trace.Faults.target_of_name
+          (Obs.Json.str fields "target")
+          (Obs.Json.int fields "index")
+      with
+      | Ok target -> Ok (Fault { kind; target })
+      | Error m -> Error m)
+  | "advance" -> Ok (Advance { upto = finite "to" (Obs.Json.num fields "to") })
+  | "drain" -> Ok Drain
+  | "status" -> Ok Status
+  | "ping" -> Ok Ping
+  | "shutdown" -> Ok Shutdown
+  | "crash" ->
+      Ok (Crash { point = Option.value ~default:"" (opt_str fields "point") })
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let request_of_line line =
+  match Obs.Json.parse_line line with
+  | exception Obs.Json.Parse_error m -> Error (Parse_failed, m)
+  | fields -> (
+      let rid = try opt_str fields "rid" with Obs.Json.Parse_error _ -> None in
+      match request_of_fields fields with
+      | Ok req -> (
+          (* [rid]/[at] validated after op dispatch so a malformed
+             envelope still reports against the right request. *)
+          match Option.map (finite "at") (opt_num fields "at") with
+          | at -> Ok { rid; at; req }
+          | exception Obs.Json.Parse_error m -> Error (Bad_request, m))
+      | Error m -> Error (Bad_request, m)
+      | exception Obs.Json.Parse_error m -> Error (Bad_request, m))
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let reply_line fields =
+  let b = Buffer.create 128 in
+  Obs.Json.write b fields;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let with_rid rid fields =
+  match rid with
+  | None -> fields
+  | Some r -> fields @ [ ("rid", Obs.Json.Str r) ]
+
+let ok_reply ?(fields = []) rid =
+  reply_line (("ok", Obs.Json.Num 1.0) :: with_rid rid fields)
+
+let error_reply ?retry_after ~rid code message =
+  let extra =
+    match retry_after with
+    | None -> []
+    | Some s -> [ ("retry_after", Obs.Json.Num s) ]
+  in
+  reply_line
+    (with_rid rid
+       ([
+          ("ok", Obs.Json.Num 0.0);
+          ("error", Obs.Json.Str (error_code_name code));
+          ("message", Obs.Json.Str message);
+        ]
+       @ extra))

@@ -1,0 +1,56 @@
+(** Daemon wire protocol: one flat-JSON object per line, both ways.
+
+    Requests carry an ["op"] field naming the operation, an optional
+    ["rid"] (client request id, echoed in the reply and used for
+    duplicate suppression across retries), and an optional ["at"]
+    (logical timestamp; ignored in wall-clock mode).  Parsing is total —
+    {!request_of_line} never raises, whatever the bytes.
+
+    Ops: [submit] (size, runtime, [est_runtime]?, [bw]?, [id]?), [cancel] (id),
+    [fail]/[repair] (target, index — names as in fault-script files),
+    [advance] (to — logical mode only), [drain], [status], [ping],
+    [shutdown], [crash] (test hook, gated by the daemon).
+
+    Replies: [{"ok":1,...}] or
+    [{"ok":0,"error":<code>,"message":...,"retry_after":<s>?}]. *)
+
+type request =
+  | Submit of {
+      id : int option;  (** Daemon assigns the next id when absent. *)
+      size : int;
+      runtime : float;
+      est_runtime : float option;
+      bw_class : float option;  (** LC+S bandwidth class, default 0.25. *)
+    }
+  | Cancel of { id : int }
+  | Fault of { kind : Trace.Faults.kind; target : Trace.Faults.target }
+  | Advance of { upto : float }
+  | Drain
+  | Status
+  | Ping
+  | Shutdown
+  | Crash of { point : string }
+
+type envelope = { rid : string option; at : float option; req : request }
+
+type error_code =
+  | Parse_failed  (** Not a flat JSON line. *)
+  | Bad_request  (** Parsed, but no valid request in it. *)
+  | Invalid  (** Well-formed, rejected by the engine. *)
+  | Overloaded  (** Ingest queue full — retry after the hint. *)
+  | Internal
+
+val error_code_name : error_code -> string
+
+val request_of_line : string -> (envelope, error_code * string) result
+(** Total: any input maps to a typed request or a typed error. *)
+
+val ok_reply : ?fields:(string * Obs.Json.value) list -> string option -> string
+(** [ok_reply ?fields rid] is one reply line (newline included). *)
+
+val error_reply :
+  ?retry_after:float ->
+  rid:string option ->
+  error_code ->
+  string ->
+  string

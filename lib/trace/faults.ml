@@ -27,6 +27,18 @@ let scripted evs =
     events;
   { events }
 
+(* Keeps the caller's order verbatim — the constructor for traces whose
+   positions are load-bearing (the simulator tags scheduled fault events
+   by array index, and a daemon appends injected events after the fact,
+   possibly with earlier times than static ones). *)
+let of_ordered evs =
+  let events = Array.of_list evs in
+  Array.iter
+    (fun e ->
+      if e.time < 0.0 then invalid_arg "Faults.of_ordered: negative event time")
+    events;
+  { events }
+
 let events t = t.events
 let num_events t = Array.length t.events
 let is_empty t = Array.length t.events = 0
@@ -196,6 +208,9 @@ let parse_line ~lineno line =
             int_of_string_opt id )
         with
         | Some time, Some kind, Some id -> (
+            if time < 0.0 then
+              Error (Printf.sprintf "line %d: negative event time" lineno)
+            else
             match target_of_name target id with
             | Ok target -> Ok (Some { time; kind; target })
             | Error _ ->

@@ -38,6 +38,14 @@ val scripted : event list -> t
 (** Sorts by time (stable).  Raises [Invalid_argument] on a negative
     event time. *)
 
+val of_ordered : event list -> t
+(** Like {!scripted} but keeps the caller's order verbatim, for callers
+    whose event {e positions} are load-bearing — the simulator schedules
+    fault events tagged by array index, and checkpoint restore must
+    reproduce those indices even when events were injected dynamically
+    (appended after, but timed before, earlier entries).  Raises
+    [Invalid_argument] on a negative event time. *)
+
 val events : t -> event array
 val num_events : t -> int
 val is_empty : t -> bool

@@ -32,11 +32,14 @@ let parse_line id line =
             | _ -> None
           in
           if size <= 0 || runtime <= 0.0 then Ok None
-          else
-            Ok
-              (Some
-                 (Job.v ~id ~size ~runtime ?est_runtime
-                    ~arrival:(Float.max 0.0 submit) ()))
+          else (
+            match
+              Job.v ~id ~size ~runtime ?est_runtime
+                ~arrival:(Float.max 0.0 submit) ()
+            with
+            | j -> Ok (Some j)
+            | exception Invalid_argument m ->
+                Error (Printf.sprintf "SWF: unusable job record: %s" m))
       | (Error _ as e), _, _, _
       | _, (Error _ as e), _, _
       | _, _, (Error _ as e), _

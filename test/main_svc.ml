@@ -1,0 +1,5 @@
+(* The svc suite runs in its own executable: its crash trials fork, and
+   OCaml 5 forbids [Unix.fork] in any process that has ever spawned a
+   domain — which the par and sweep suites in [main] do.  Everything in
+   [Test_svc] is single-domain (sweeps run with [jobs:1]). *)
+let () = Alcotest.run "jigsaw-svc" [ ("svc", Test_svc.suite) ]

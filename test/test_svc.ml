@@ -1,0 +1,761 @@
+(* Crash-safety of the scheduler-as-a-service layer: the state directory
+   must recover to the uncrashed state from a [kill -9] landing at any
+   instruction — mid-WAL-write, between fsync and apply, right after a
+   checkpoint — for every scheme, with and without faults.  Plus the
+   degradation contract: fuzzed input never raises out of the protocol
+   parser or kills the reactor, and interrupted sweeps journal and
+   resume.
+
+   The crash trials fork a child that drives the daemon's journaled op
+   path (admit -> WAL append+fsync -> apply -> maybe checkpoint) with a
+   [Crash] point armed via JIGSAW_SVC_CRASH, wait for the self-SIGKILL,
+   then recover in-process and finish the op script.  The final drained
+   fingerprint must equal the script run uncrashed. *)
+
+let radix = 8
+
+let requeue_policy =
+  {
+    Sched.Simulator.requeue = true;
+    resubmit_delay = 30.0;
+    max_retries = 2;
+    charge_lost_work = true;
+  }
+
+let params ?(scheme = "Jigsaw") ?(faulty = false) () =
+  {
+    Svc.Core.scheme;
+    radix;
+    scenario = "None";
+    scenario_seed = 1;
+    backfill_window = 50;
+    backfill = true;
+    resilience =
+      (if faulty then requeue_policy else Sched.Simulator.no_resilience);
+    trace_name = "svc-test";
+    system_nodes = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Temp dirs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { st_kind = S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "jigsaw-svc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let config = [ ("who", Obs.Json.Str "test"); ("n", Obs.Json.Num 3.0) ]
+let op_fields i = [ ("op", Obs.Json.Str "noop"); ("i", Obs.Json.Num (float_of_int i)) ]
+
+let test_wal_roundtrip () =
+  with_tmpdir (fun dir ->
+      let w = Svc.Wal.create ~dir ~config ~start_seq:0 in
+      let seqs = List.init 5 (fun i -> Svc.Wal.append w (op_fields i)) in
+      Alcotest.(check (list int)) "seqs" [ 0; 1; 2; 3; 4 ] seqs;
+      Svc.Wal.rotate w;
+      Alcotest.(check int) "segment start after rotate" 5
+        (Svc.Wal.segment_start w);
+      ignore (Svc.Wal.append w (op_fields 5));
+      ignore (Svc.Wal.append w (op_fields 6));
+      Svc.Wal.close w;
+      match Svc.Wal.read_dir ~dir with
+      | Error m -> Alcotest.failf "read_dir: %s" m
+      | Ok None -> Alcotest.fail "read_dir: empty"
+      | Ok (Some r) ->
+          Alcotest.(check int) "entries" 7 (List.length r.entries);
+          Alcotest.(check int) "next" 7 r.wal_next_seq;
+          Alcotest.(check int) "dropped" 0 r.dropped;
+          Alcotest.(check int) "segments" 2 r.segments;
+          List.iteri
+            (fun i (e : Svc.Wal.entry) ->
+              Alcotest.(check int) "seq" i e.seq;
+              Alcotest.(check (float 0.0)) "payload" (float_of_int i)
+                (Obs.Json.num e.fields "i"))
+            r.entries;
+          Alcotest.(check string) "config str" "test"
+            (Obs.Json.str r.config "who"))
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_wal_torn_tail () =
+  with_tmpdir (fun dir ->
+      let w = Svc.Wal.create ~dir ~config ~start_seq:0 in
+      for i = 0 to 3 do
+        ignore (Svc.Wal.append w (op_fields i))
+      done;
+      Svc.Wal.close w;
+      let seg = Filename.concat dir (Svc.Wal.segment_name 0) in
+      (* A half-written line: no CRC, no newline — what a crash mid-
+         [write] leaves behind. *)
+      append_bytes seg "{\"op\":\"noop\",\"i\":4";
+      (match Svc.Wal.read_dir ~dir with
+      | Error m -> Alcotest.failf "torn tail should recover: %s" m
+      | Ok None -> Alcotest.fail "torn tail: empty"
+      | Ok (Some r) ->
+          Alcotest.(check int) "entries survive" 4 (List.length r.entries);
+          Alcotest.(check int) "dropped" 1 r.dropped;
+          Alcotest.(check int) "next" 4 r.wal_next_seq);
+      (* A complete line whose CRC fails (bit flip in transit to disk)
+         is also only tolerable as the final line. *)
+      let good =
+        Svc.Wal.line_of
+          (("record", Obs.Json.Str "op") :: ("seq", Obs.Json.Num 5.0)
+          :: op_fields 5)
+      in
+      let flipped = Bytes.of_string good in
+      Bytes.set flipped 8 'X';
+      with_tmpdir (fun dir2 ->
+          let w2 = Svc.Wal.create ~dir:dir2 ~config ~start_seq:0 in
+          for i = 0 to 2 do
+            ignore (Svc.Wal.append w2 (op_fields i))
+          done;
+          Svc.Wal.close w2;
+          append_bytes
+            (Filename.concat dir2 (Svc.Wal.segment_name 0))
+            (Bytes.to_string flipped);
+          match Svc.Wal.read_dir ~dir:dir2 with
+          | Ok (Some r) ->
+              Alcotest.(check int) "crc-fail tail dropped" 1 r.dropped;
+              Alcotest.(check int) "entries" 3 (List.length r.entries)
+          | Ok None -> Alcotest.fail "crc tail: empty"
+          | Error m -> Alcotest.failf "crc tail should recover: %s" m))
+
+let test_wal_mid_corruption () =
+  with_tmpdir (fun dir ->
+      let w = Svc.Wal.create ~dir ~config ~start_seq:0 in
+      for i = 0 to 4 do
+        ignore (Svc.Wal.append w (op_fields i))
+      done;
+      Svc.Wal.close w;
+      let seg = Filename.concat dir (Svc.Wal.segment_name 0) in
+      let lines = In_channel.with_open_bin seg In_channel.input_lines in
+      (* Flip a byte in an interior line: damage a crash cannot cause,
+         so the reader must refuse the whole directory loudly. *)
+      let corrupted =
+        List.mapi
+          (fun i l ->
+            if i = 2 then (
+              let b = Bytes.of_string l in
+              Bytes.set b (Bytes.length b / 2) '~';
+              Bytes.to_string b)
+            else l)
+          lines
+      in
+      Out_channel.with_open_bin seg (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) corrupted);
+      match Svc.Wal.read_dir ~dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "interior corruption must be a loud error")
+
+let test_wal_seq_gap () =
+  with_tmpdir (fun dir ->
+      let w = Svc.Wal.create ~dir ~config ~start_seq:0 in
+      for i = 0 to 2 do
+        ignore (Svc.Wal.append w (op_fields i))
+      done;
+      Svc.Wal.close w;
+      (* A second segment that skips seq 3–4: continuity violation. *)
+      let w2 = Svc.Wal.create ~dir ~config ~start_seq:5 in
+      ignore (Svc.Wal.append w2 (op_fields 5));
+      Svc.Wal.close w2;
+      match Svc.Wal.read_dir ~dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "sequence gap must be a loud error")
+
+let test_wal_gc () =
+  with_tmpdir (fun dir ->
+      let w = Svc.Wal.create ~dir ~config ~start_seq:0 in
+      for i = 0 to 2 do
+        ignore (Svc.Wal.append w (op_fields i))
+      done;
+      Svc.Wal.rotate w;
+      for i = 3 to 5 do
+        ignore (Svc.Wal.append w (op_fields i))
+      done;
+      Svc.Wal.rotate w;
+      ignore (Svc.Wal.append w (op_fields 6));
+      Svc.Wal.close w;
+      (* keep_from inside the second segment: only the first may go. *)
+      Alcotest.(check int) "gc one segment" 1 (Svc.Wal.gc ~dir ~keep_from:4);
+      (match Svc.Wal.read_dir ~dir with
+      | Ok (Some r) ->
+          Alcotest.(check int) "first_seq" 3 r.first_seq;
+          Alcotest.(check int) "next" 7 r.wal_next_seq
+      | _ -> Alcotest.fail "gc broke the dir");
+      Alcotest.(check int) "gc keeps live tail" 0
+        (Svc.Wal.gc ~dir ~keep_from:4))
+
+let test_wal_empty_and_fully_torn () =
+  with_tmpdir (fun dir ->
+      (match Svc.Wal.read_dir ~dir with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "empty dir must read as None");
+      (* A lone segment whose header never made it to disk whole:
+         nothing was acknowledged, so this is a fresh start. *)
+      append_bytes (Filename.concat dir (Svc.Wal.segment_name 0)) "{\"rec";
+      match Svc.Wal.read_dir ~dir with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "torn header must collapse to None"
+      | Error m -> Alcotest.failf "torn lone header must recover: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol fuzz                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_fuzz () =
+  let prng = Sim.Prng.create ~seed:97 in
+  for _ = 1 to 2000 do
+    let len = Sim.Prng.int prng ~bound:120 in
+    let line =
+      String.init len (fun _ ->
+          (* Bias toward JSON punctuation so some lines get deep into
+             the parser before failing. *)
+          match Sim.Prng.int prng ~bound:10 with
+          | 0 -> '{'
+          | 1 -> '}'
+          | 2 -> '"'
+          | 3 -> ':'
+          | 4 -> ','
+          | 5 -> Char.chr (Sim.Prng.int prng ~bound:256)
+          | _ -> Char.chr (32 + Sim.Prng.int prng ~bound:95))
+    in
+    match Svc.Protocol.request_of_line line with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "request_of_line raised %s on %S"
+          (Printexc.to_string e) line
+  done
+
+let test_protocol_typed_errors () =
+  let err line =
+    match Svc.Protocol.request_of_line line with
+    | Error (code, _) -> Svc.Protocol.error_code_name code
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  Alcotest.(check string) "garbage" "parse" (err "not json at all");
+  Alcotest.(check string) "no op" "bad-request" (err "{}");
+  Alcotest.(check string) "unknown op" "bad-request"
+    (err "{\"op\":\"frobnicate\"}");
+  Alcotest.(check string) "submit sans size" "bad-request"
+    (err "{\"op\":\"submit\",\"runtime\":10}");
+  Alcotest.(check string) "negative size" "bad-request"
+    (err "{\"op\":\"submit\",\"size\":-4,\"runtime\":10}");
+  Alcotest.(check string) "nan runtime" "parse"
+    (err "{\"op\":\"submit\",\"size\":4,\"runtime\":nan}");
+  Alcotest.(check string) "infinite runtime" "bad-request"
+    (err "{\"op\":\"submit\",\"size\":4,\"runtime\":1e999}");
+  Alcotest.(check string) "bad fault target" "bad-request"
+    (err "{\"op\":\"fail\",\"target\":\"moon\",\"index\":0}");
+  match Svc.Protocol.request_of_line "{\"op\":\"ping\",\"rid\":\"r1\"}" with
+  | Ok { rid = Some "r1"; req = Svc.Protocol.Ping; _ } -> ()
+  | _ -> Alcotest.fail "ping did not parse"
+
+(* ------------------------------------------------------------------ *)
+(* Op scripts: the deterministic workload every recovery test replays   *)
+(* ------------------------------------------------------------------ *)
+
+let submit_of (j : Trace.Job.t) =
+  Svc.Protocol.Submit
+    {
+      id = None;
+      size = j.size;
+      runtime = j.runtime;
+      est_runtime = Some j.est_runtime;
+      bw_class = Some j.bw_class;
+    }
+
+(* [n_jobs] submissions spaced 40 s apart, two cancels (one live, one
+   unknown), and — when [faulty] — a fail/repair pair on a node and on
+   a whole leaf switch, straddling several submissions. *)
+let mk_ops ~n_jobs ~faulty =
+  let w = Trace.Synthetic.synth ~mean_size:16 ~n_jobs ~seed:42 ~max_size:128 in
+  let submits =
+    Array.to_list
+      (Array.mapi (fun i j -> (float_of_int i *. 40.0, submit_of j)) w.jobs)
+  in
+  let cancels =
+    [
+      (85.0, Svc.Protocol.Cancel { id = 1 });
+      (130.0, Svc.Protocol.Cancel { id = 999 });
+    ]
+  in
+  let faults =
+    if not faulty then []
+    else
+      [
+        (200.0, Svc.Protocol.Fault { kind = Fail; target = Node 5 });
+        (810.0, Svc.Protocol.Fault { kind = Repair; target = Node 5 });
+        (350.0, Svc.Protocol.Fault { kind = Fail; target = Leaf_switch 1 });
+        (1400.0, Svc.Protocol.Fault { kind = Repair; target = Leaf_switch 1 });
+      ]
+  in
+  let ops =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (submits @ cancels @ faults)
+  in
+  ops @ [ (float_of_int n_jobs *. 40.0 +. 10.0, Svc.Protocol.Drain) ]
+
+(* The daemon's journaled path, minus the socket: recover whatever the
+   directory holds, then admit -> append -> apply the remainder of the
+   script, checkpointing every [ckpt_every] ops.  Total for any prefix
+   of prior progress, so the same call is the crashing child, the
+   recovering parent, and the uncrashed reference. *)
+let drive ~dir ~p ~ops ~ckpt_every =
+  match Svc.Daemon.recover ~params:p ~dir () with
+  | Error m -> Alcotest.failf "recover: %s" m
+  | Ok (core, wal, _report) ->
+      let next = Svc.Core.last_seq core + 1 in
+      List.iteri
+        (fun seq (at, req) ->
+          if seq >= next then begin
+            let stamp = Float.max at (Svc.Core.now core) in
+            match Svc.Core.admit core ~stamp req with
+            | Error m -> Alcotest.failf "admit seq %d: %s" seq m
+            | Ok op ->
+                let fields = Svc.Core.fields_of_op ~stamp ~rid:None op in
+                let seq' = Svc.Wal.append wal fields in
+                Alcotest.(check int) "wal seq tracks script" seq seq';
+                ignore (Svc.Core.apply core ~seq ~rid:None ~stamp op);
+                if ckpt_every > 0 && (seq + 1) mod ckpt_every = 0 then begin
+                  let path =
+                    Filename.concat dir (Svc.Daemon.ckpt_name seq)
+                  in
+                  if Svc.Core.checkpoint core ~path then Svc.Wal.rotate wal
+                end
+          end)
+        ops;
+      Svc.Wal.close wal;
+      core
+
+let drained_fingerprint core =
+  match Svc.Core.fingerprint core with
+  | Some fp -> fp
+  | None -> Alcotest.fail "script ended undrained"
+
+let reference_fingerprint ~p ~ops ~ckpt_every =
+  with_tmpdir (fun dir -> drained_fingerprint (drive ~dir ~p ~ops ~ckpt_every))
+
+(* ------------------------------------------------------------------ *)
+(* Core determinism: checkpoint mid-stream + replay == one shot         *)
+(* ------------------------------------------------------------------ *)
+
+let test_core_replay_equivalence () =
+  List.iter
+    (fun (alloc : Sched.Allocator.t) ->
+      List.iter
+        (fun faulty ->
+          let p = params ~scheme:alloc.name ~faulty () in
+          let ops = mk_ops ~n_jobs:18 ~faulty in
+          (* No checkpoints: pure WAL replay from genesis. *)
+          let a = reference_fingerprint ~p ~ops ~ckpt_every:0 in
+          (* Checkpoint every 4 ops: recovery = snapshot + short replay. *)
+          let b = reference_fingerprint ~p ~ops ~ckpt_every:4 in
+          (* Same directory driven twice: the second drive recovers a
+             finished run and must see the same drained result. *)
+          let c =
+            with_tmpdir (fun dir ->
+                ignore (drive ~dir ~p ~ops ~ckpt_every:5);
+                drained_fingerprint (drive ~dir ~p ~ops ~ckpt_every:5))
+          in
+          let name suffix =
+            Printf.sprintf "%s%s %s" alloc.name
+              (if faulty then " faulty" else "")
+              suffix
+          in
+          Alcotest.(check string) (name "ckpt path") a b;
+          Alcotest.(check string) (name "re-recover") a c)
+        [ false; true ])
+    Sched.Allocator.all
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection: kill -9 at armed points, recover, compare            *)
+(* ------------------------------------------------------------------ *)
+
+let crash_points =
+  [ "wal-torn"; "wal-pre-fsync"; "wal-post-fsync"; "post-apply"; "ckpt-post-save" ]
+
+(* Fork a child that drives the script with [point:count] armed; it
+   SIGKILLs itself at that instruction (or finishes, if the count
+   overshoots — an admissible, vacuous trial).  The parent then
+   recovers the directory and finishes the script in-process. *)
+let crash_trial ~p ~ops ~ckpt_every ~point ~count ~expected =
+  with_tmpdir (fun dir ->
+      (match Unix.fork () with
+      | 0 ->
+          Unix.putenv "JIGSAW_SVC_CRASH" (Printf.sprintf "%s:%d" point count);
+          (try ignore (drive ~dir ~p ~ops ~ckpt_every) with _ -> ());
+          Unix._exit 0
+      | pid -> (
+          match Unix.waitpid [] pid with
+          | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+          | _, Unix.WEXITED 0 -> () (* count overshot: ran to completion *)
+          | _, st ->
+              Alcotest.failf "%s:%d child ended oddly (%s)" point count
+                (match st with
+                | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+                | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)));
+      let core = drive ~dir ~p ~ops ~ckpt_every in
+      Alcotest.(check string)
+        (Printf.sprintf "recover after %s:%d" point count)
+        expected
+        (drained_fingerprint core))
+
+let test_crash_every_point () =
+  (* Jigsaw, faulty: every point, early and late occurrences. *)
+  let p = params ~faulty:true () in
+  let ops = mk_ops ~n_jobs:14 ~faulty:true in
+  let expected = reference_fingerprint ~p ~ops ~ckpt_every:4 in
+  List.iter
+    (fun point ->
+      List.iter
+        (fun count -> crash_trial ~p ~ops ~ckpt_every:4 ~point ~count ~expected)
+        [ 1; 3 ])
+    crash_points
+
+let test_crash_random_all_schemes () =
+  let prng = Sim.Prng.create ~seed:23 in
+  List.iter
+    (fun (alloc : Sched.Allocator.t) ->
+      List.iter
+        (fun faulty ->
+          let p = params ~scheme:alloc.name ~faulty () in
+          let ops = mk_ops ~n_jobs:12 ~faulty in
+          let n_ops = List.length ops in
+          let expected = reference_fingerprint ~p ~ops ~ckpt_every:5 in
+          for _ = 1 to 3 do
+            let point =
+              List.nth crash_points
+                (Sim.Prng.int prng ~bound:(List.length crash_points))
+            in
+            let count =
+              if point = "ckpt-post-save" then
+                1 + Sim.Prng.int prng ~bound:2
+              else 1 + Sim.Prng.int prng ~bound:(n_ops - 1)
+            in
+            crash_trial ~p ~ops ~ckpt_every:5 ~point ~count ~expected
+          done)
+        [ false; true ])
+    Sched.Allocator.all
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint corruption: fall back to an older snapshot, or genesis     *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 5
+         && String.sub f 0 5 = "ckpt-"
+         && Filename.check_suffix f ".jsonl")
+  |> List.sort (fun a b -> compare b a)
+
+let clobber path =
+  let st = Unix.stat path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd (st.st_size / 2) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "XXXX" 0 4);
+  Unix.close fd
+
+let test_checkpoint_fallback () =
+  let p = params ~faulty:true () in
+  let ops = mk_ops ~n_jobs:14 ~faulty:true in
+  let expected = reference_fingerprint ~p ~ops ~ckpt_every:0 in
+  with_tmpdir (fun dir ->
+      ignore (drive ~dir ~p ~ops ~ckpt_every:4);
+      (match checkpoint_files dir with
+      | newest :: _ :: _ ->
+          (* Corrupt the newest: recovery must step back to the next
+             one and replay a longer WAL suffix. *)
+          clobber (Filename.concat dir newest)
+      | _ -> Alcotest.fail "expected at least two checkpoints");
+      Alcotest.(check string) "older ckpt + longer replay" expected
+        (drained_fingerprint (drive ~dir ~p ~ops ~ckpt_every:4));
+      (* Corrupt every checkpoint: recovery must replay the WAL from
+         genesis and still land on the same state. *)
+      List.iter
+        (fun f -> clobber (Filename.concat dir f))
+        (checkpoint_files dir);
+      Alcotest.(check string) "all ckpts dead -> full replay" expected
+        (drained_fingerprint (drive ~dir ~p ~ops ~ckpt_every:4)))
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon over a socket                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+(* Blocking line reader over a raw fd. *)
+let line_reader fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec next () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i ->
+        let s = Buffer.contents buf in
+        let line = String.sub s 0 i in
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        line
+    | None ->
+        let n = Unix.read fd chunk 0 4096 in
+        if n = 0 then Alcotest.fail "daemon closed the connection";
+        Buffer.add_subbytes buf chunk 0 n;
+        next ()
+  in
+  next
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> fd
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.02;
+        go (tries - 1)
+  in
+  go 250
+
+let with_daemon ~p f =
+  with_tmpdir (fun dir ->
+      let sock = Filename.concat dir "s" in
+      match Unix.fork () with
+      | 0 ->
+          let opts =
+            {
+              (Svc.Daemon.default_opts ~socket:sock
+                 ~dir:(Filename.concat dir "state"))
+              with
+              params = Some p;
+              ckpt_every_ops = 6;
+            }
+          in
+          (try ignore (Svc.Daemon.run opts) with _ -> ());
+          Unix._exit 0
+      | pid ->
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid))
+            (fun () -> f sock pid))
+
+let rpc fd read line =
+  write_all fd (line ^ "\n");
+  Obs.Json.parse_line (read ())
+
+let test_daemon_socket_parity () =
+  (* Ops submitted over the wire must drain to the same fingerprint the
+     in-process drive produces — the socket adds no nondeterminism. *)
+  let p = params ~faulty:true () in
+  let ops = mk_ops ~n_jobs:12 ~faulty:true in
+  let expected = reference_fingerprint ~p ~ops ~ckpt_every:0 in
+  with_daemon ~p (fun sock _pid ->
+      let fd = connect sock in
+      let read = line_reader fd in
+      let fp = ref "" in
+      List.iter
+        (fun (at, req) ->
+          let fields =
+            match (req : Svc.Protocol.request) with
+            | Submit { size; runtime; est_runtime; bw_class; _ } ->
+                [ ("op", Obs.Json.Str "submit");
+                  ("size", Obs.Json.Num (float_of_int size));
+                  ("runtime", Obs.Json.Num runtime) ]
+                @ (match est_runtime with
+                  | Some e -> [ ("est_runtime", Obs.Json.Num e) ]
+                  | None -> [])
+                @ (match bw_class with
+                  | Some b -> [ ("bw", Obs.Json.Num b) ]
+                  | None -> [])
+            | Cancel { id } ->
+                [ ("op", Obs.Json.Str "cancel");
+                  ("id", Obs.Json.Num (float_of_int id)) ]
+            | Fault { kind; target } ->
+                let name, index =
+                  match target with
+                  | Trace.Faults.Node i -> ("node", i)
+                  | Trace.Faults.Leaf_switch i -> ("leaf", i)
+                  | _ -> Alcotest.fail "unused target in script"
+                in
+                [ ("op",
+                   Obs.Json.Str
+                     (match kind with Fail -> "fail" | Repair -> "repair"));
+                  ("target", Obs.Json.Str name);
+                  ("index", Obs.Json.Num (float_of_int index)) ]
+            | Drain -> [ ("op", Obs.Json.Str "drain") ]
+            | _ -> Alcotest.fail "unused op in script"
+          in
+          let b = Buffer.create 128 in
+          Obs.Json.write b (fields @ [ ("at", Obs.Json.Num at) ]);
+          let reply = rpc fd read (Buffer.contents b) in
+          Alcotest.(check (float 0.0)) "ok" 1.0 (Obs.Json.num reply "ok");
+          if Obs.Json.mem reply "fingerprint" then
+            fp := Obs.Json.str reply "fingerprint")
+        ops;
+      Alcotest.(check string) "socket == in-process" expected !fp;
+      Unix.close fd)
+
+let test_daemon_survives_fuzz () =
+  let p = params () in
+  with_daemon ~p (fun sock pid ->
+      let prng = Sim.Prng.create ~seed:5 in
+      let fd = connect sock in
+      let read = line_reader fd in
+      for i = 1 to 300 do
+        let len = Sim.Prng.int prng ~bound:200 in
+        let junk =
+          String.init len (fun _ ->
+              match Char.chr (Sim.Prng.int prng ~bound:256) with
+              | '\n' -> ' '
+              | c -> c)
+        in
+        write_all fd (junk ^ "\n");
+        (* Every line gets exactly one reply; malformed ones must be
+           typed errors, never silence or a dead reactor. *)
+        let reply = Obs.Json.parse_line (read ()) in
+        if Obs.Json.num reply "ok" = 0.0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "typed error %d" i)
+            true
+            (Obs.Json.mem reply "error")
+      done;
+      (* The reactor is still serving. *)
+      let pong = rpc fd read "{\"op\":\"ping\",\"rid\":\"alive\"}" in
+      Alcotest.(check (float 0.0)) "pong" 1.0 (Obs.Json.num pong "ok");
+      Alcotest.(check string) "rid echo" "alive" (Obs.Json.str pong "rid");
+      Unix.kill pid 0 (* still alive *);
+      Unix.close fd)
+
+let test_daemon_rejects_oversize_line () =
+  let p = params () in
+  with_daemon ~p (fun sock _pid ->
+      let fd = connect sock in
+      let read = line_reader fd in
+      write_all fd (String.make 70_000 'a');
+      (* 70 000 > max_line without a newline: rejected mid-stream. *)
+      let reply = Obs.Json.parse_line (read ()) in
+      Alcotest.(check (float 0.0)) "rejected" 0.0 (Obs.Json.num reply "ok");
+      Alcotest.(check string) "parse error" "parse"
+        (Obs.Json.str reply "error");
+      Unix.close fd;
+      (* A fresh connection still works. *)
+      let fd2 = connect sock in
+      let read2 = line_reader fd2 in
+      let pong = rpc fd2 read2 "{\"op\":\"ping\"}" in
+      Alcotest.(check (float 0.0)) "fresh pong" 1.0 (Obs.Json.num pong "ok");
+      Unix.close fd2)
+
+let test_daemon_rid_dedup () =
+  let p = params () in
+  with_daemon ~p (fun sock _pid ->
+      let fd = connect sock in
+      let read = line_reader fd in
+      let line =
+        "{\"op\":\"submit\",\"size\":4,\"runtime\":100,\"rid\":\"once\"}"
+      in
+      let r1 = rpc fd read line in
+      let r2 = rpc fd read line in
+      Alcotest.(check (float 0.0)) "first ok" 1.0 (Obs.Json.num r1 "ok");
+      Alcotest.(check (float 0.0)) "retry ok" 1.0 (Obs.Json.num r2 "ok");
+      Alcotest.(check (float 0.0))
+        "retry suppressed, same seq" (Obs.Json.num r1 "seq")
+        (Obs.Json.num r2 "seq");
+      Alcotest.(check (float 0.0)) "flagged duplicate" 1.0
+        (Obs.Json.num r2 "duplicate");
+      let st = rpc fd read "{\"op\":\"status\"}" in
+      Alcotest.(check (float 0.0)) "only one op journaled" 0.0
+        (Obs.Json.num st "seq");
+      Unix.close fd)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep interruption                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_interrupt_resume () =
+  let w = Trace.Synthetic.synth ~mean_size:16 ~n_jobs:25 ~seed:9 ~max_size:128 in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun a -> Sched.Sweep.cell ~radix a w)
+         Sched.Allocator.all)
+  in
+  let fresh = Sched.Sweep.run ~jobs:1 cells in
+  with_tmpdir (fun dir ->
+      let manifest = Filename.concat dir "man.jsonl" in
+      (* Stop after the first cell: polled before each start, so cell 0
+         runs and journals, cell 1 never begins. *)
+      let polls = Atomic.make 0 in
+      let should_stop () = Atomic.fetch_and_add polls 1 >= 1 in
+      (match Sched.Sweep.run ~jobs:1 ~manifest ~should_stop cells with
+      | _ -> Alcotest.fail "expected Interrupted"
+      | exception Sched.Sweep.Interrupted -> ());
+      (match Sched.Sweep.load_manifest manifest with
+      | Ok m ->
+          Alcotest.(check int) "one row journaled" 1 (List.length m.rows);
+          Alcotest.(check int) "no corruption" 0 m.corrupt
+      | Error m -> Alcotest.failf "manifest unreadable: %s" m);
+      let resumed = Sched.Sweep.run ~jobs:1 ~manifest cells in
+      Alcotest.(check bool) "cell 0 restored" true resumed.(0).restored;
+      Array.iteri
+        (fun i (r : Sched.Sweep.result) ->
+          Alcotest.(check string)
+            (Printf.sprintf "cell %d fingerprint" i)
+            (Sched.Metrics.fingerprint fresh.(i).metrics)
+            (Sched.Metrics.fingerprint r.metrics))
+        resumed)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "wal round-trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail;
+    Alcotest.test_case "wal interior corruption" `Quick test_wal_mid_corruption;
+    Alcotest.test_case "wal sequence gap" `Quick test_wal_seq_gap;
+    Alcotest.test_case "wal gc" `Quick test_wal_gc;
+    Alcotest.test_case "wal empty / fully torn" `Quick
+      test_wal_empty_and_fully_torn;
+    Alcotest.test_case "protocol fuzz never raises" `Quick test_protocol_fuzz;
+    Alcotest.test_case "protocol typed errors" `Quick
+      test_protocol_typed_errors;
+    Alcotest.test_case "core replay equivalence (all schemes)" `Quick
+      test_core_replay_equivalence;
+    Alcotest.test_case "crash at every point (jigsaw, faulty)" `Quick
+      test_crash_every_point;
+    Alcotest.test_case "random crashes, all schemes" `Slow
+      test_crash_random_all_schemes;
+    Alcotest.test_case "corrupt checkpoint fallback" `Quick
+      test_checkpoint_fallback;
+    Alcotest.test_case "daemon socket parity" `Quick test_daemon_socket_parity;
+    Alcotest.test_case "daemon survives fuzz" `Quick test_daemon_survives_fuzz;
+    Alcotest.test_case "daemon rejects oversize line" `Quick
+      test_daemon_rejects_oversize_line;
+    Alcotest.test_case "daemon rid dedup" `Quick test_daemon_rid_dedup;
+    Alcotest.test_case "sweep interrupt + resume" `Quick
+      test_sweep_interrupt_resume;
+  ]
