@@ -439,7 +439,7 @@ let micro () =
     groups
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_0004.json: machine-readable perf trajectory across PRs.       *)
+(* BENCH_0005.json: machine-readable perf trajectory across PRs.       *)
 (* ------------------------------------------------------------------ *)
 
 (* Emits allocator micro-latencies (mean try_alloc on a busy radix-24
@@ -450,13 +450,16 @@ let micro () =
    counters incl. memo hit rate, state clone/claim tallies, span
    totals) from an instrumented Synth-16 run, and a parallel-sweep
    section (serial vs 1/2/4/8-domain wall-clock over the full
-   preset x scheme grid, with a fingerprint cross-check), so
-   regressions show up as a diff of this file rather than a human
-   re-reading bench output.  Traces are truncated in default mode to
+   preset x scheme grid, with a fingerprint cross-check), and a "net"
+   section racing every scheme x routing policy with live network
+   telemetry (peak/mean channel load, shared channels, interfered
+   flows, pigeonhole lower bound) plus the telemetry on/off overhead
+   and per-event route/retract span costs, so regressions show up as
+   a diff of this file rather than a human re-reading bench output.  Traces are truncated in default mode to
    keep the target in the ~minute range; REPRO_FULL=1 uses paper
    scale.  BENCH_SCALE=N overrides the scale section's large radix. *)
 
-let bench_json_file = "BENCH_0004.json"
+let bench_json_file = "BENCH_0005.json"
 
 let bench_json () =
   section (Printf.sprintf "%s (machine-readable perf trajectory)" bench_json_file);
@@ -623,6 +626,115 @@ let bench_json () =
         (a.name, memo_rate, Buffer.contents b))
       Sched.Allocator.all
   in
+  (* The net section: every Table 3 trace raced across every scheme x
+     routing policy with live flow telemetry.  All-to-all traffic on
+     the radix-16 trace; ring on the larger machines, where a single
+     1000+-node job's all-to-all set is a million flows and would
+     drown the race in routing work the congestion counters do not
+     need (ring exercises the identical add/remove/index paths at
+     O(k) flows per job).  Two built-in regression guards: the
+     paper's headline — Jigsaw allocations routed over their own
+     cables never interfere — and the pigeonhole invariant that no
+     routing's peak max channel load can undercut the incremental
+     lower bound. *)
+  let net_shape_for (e : Trace.Presets.entry) =
+    if e.cluster_radix <= 16 then Routing.Telemetry.Alltoall
+    else Routing.Telemetry.Ring
+  in
+  let net_combos =
+    List.concat_map
+      (fun (e : Trace.Presets.entry) ->
+        List.concat_map
+          (fun (a : Sched.Allocator.t) ->
+            List.map
+              (fun p -> (e, a, p))
+              [ Routing.Telemetry.Dmodk; Routing.Telemetry.Greedy;
+                Routing.Telemetry.Jigsaw ])
+          Sched.Allocator.all)
+      entries
+  in
+  let net_rows =
+    Format.printf
+      "  net telemetry race: %d trace x scheme x routing cells@."
+      (List.length net_combos);
+    let cells =
+      List.map
+        (fun ((e : Trace.Presets.entry), (a : Sched.Allocator.t), p) ->
+          Sched.Sweep.cell ~net:(p, net_shape_for e)
+            ~radix:e.cluster_radix a e.workload)
+        net_combos
+      |> Array.of_list
+    in
+    let results = Sched.Sweep.run ~jobs:bench_jobs cells in
+    List.mapi
+      (fun i ((e : Trace.Presets.entry), (a : Sched.Allocator.t), p) ->
+        (e.workload.Trace.Workload.name, a.name,
+         Routing.Telemetry.policy_name p,
+         Routing.Telemetry.shape_name (net_shape_for e),
+         Option.get results.(i).Sched.Sweep.net))
+      net_combos
+  in
+  List.iter
+    (fun (trace, scheme, policy, _, (s : Routing.Telemetry.summary)) ->
+      if scheme = "Jigsaw" && policy = "jigsaw" && s.sm_peak_interfered <> 0
+      then
+        failwith
+          (Printf.sprintf
+             "net regression: Jigsaw-on-jigsaw shows %d interfered flows on %s"
+             s.sm_peak_interfered trace);
+      if s.sm_peak_max_load < s.sm_peak_lower_bound then
+        failwith
+          (Printf.sprintf
+             "net invariant broken: %s %s/%s peak load %d under lower bound %d"
+             trace scheme policy s.sm_peak_max_load s.sm_peak_lower_bound))
+    net_rows;
+  (* Telemetry overhead on a busy radix-24 machine (no Table 3 preset
+     uses that radix, so a bespoke synthetic workload): the same
+     Jigsaw cell with telemetry off, then on, per shape, all
+     un-instrumented fresh runs outside the shared cache — wall-clock
+     needs real work.  A final profiled all-to-all run supplies the
+     per-event route/retract span costs without polluting the timing
+     pairs.  Ring tracking must stay within 1.5x of the bare run;
+     all-to-all's ratio is recorded as data (its cost is the O(k^2)
+     flow count, not the index). *)
+  let net_overhead =
+    let w24 =
+      Trace.Synthetic.synth ~mean_size:24 ~n_jobs:1_500 ~seed:2401
+        ~max_size:3456
+    in
+    let mk ?net ?(profile = false) () =
+      Sched.Sweep.run_cell
+        (Sched.Sweep.cell ?net ~profile ~radix:24 Sched.Allocator.jigsaw w24)
+    in
+    let off = (mk ()).Sched.Sweep.wall_s in
+    let shapes = [ Routing.Telemetry.Ring; Routing.Telemetry.Alltoall ] in
+    let ratios =
+      List.map
+        (fun sh ->
+          let on_ =
+            (mk ~net:(Routing.Telemetry.Jigsaw, sh) ()).Sched.Sweep.wall_s
+          in
+          let r = if off > 0.0 then on_ /. off else 0.0 in
+          Format.printf "  radix-24 overhead, %s flows: %.2fs on / %.2fs off (%.2fx)@."
+            (Routing.Telemetry.shape_name sh) on_ off r;
+          (Routing.Telemetry.shape_name sh, on_, r))
+        shapes
+    in
+    (match List.assoc_opt "ring" (List.map (fun (n, _, r) -> (n, r)) ratios)
+     with
+    | Some r when r > 1.5 ->
+        failwith
+          (Printf.sprintf
+             "net overhead regression: ring telemetry %.2fx the bare run" r)
+    | _ -> ());
+    let prof =
+      Option.get
+        (mk ~net:(Routing.Telemetry.Jigsaw, Routing.Telemetry.Alltoall)
+           ~profile:true ())
+          .Sched.Sweep.prof
+    in
+    (off, ratios, prof)
+  in
   (* The sweep section: the full preset x scheme grid (45 cells at this
      scale) timed end-to-end at 1/2/4/8 domains.  Fingerprints of every
      cell must match the serial run bit-for-bit — the merge is
@@ -665,7 +777,7 @@ let bench_json () =
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"bench_id\": \"BENCH_0004\",\n";
+  out "  \"bench_id\": \"BENCH_0005\",\n";
   out "  \"repro_scale\": \"%s\",\n" (if full then "full" else "default");
   out "  \"host_domains\": %d,\n" host_domains;
   out "  \"micro_try_alloc\": {\n";
@@ -737,14 +849,52 @@ let bench_json () =
         memo_rate prof_json
         (if i = List.length profile_rows - 1 then "" else ","))
     profile_rows;
-  out "    }\n  }\n}\n";
+  out "    }\n  },\n";
+  out "  \"net\": {\n";
+  out "    \"rows\": [\n";
+  List.iteri
+    (fun i (trace, scheme, policy, shape, (s : Routing.Telemetry.summary)) ->
+      out
+        "      { \"trace\": %S, \"scheme\": %S, \"routing\": %S, \"shape\": %S, \"routed_jobs\": %d, \"routed_flows\": %d, \"peak_max_load\": %d, \"mean_max_load\": %.3f, \"peak_leaf\": %d, \"peak_l2\": %d, \"peak_shared\": %d, \"peak_interfered\": %d, \"peak_lower_bound\": %d, \"interfered_fraction\": %.6f }%s\n"
+        trace scheme policy shape s.sm_routed_jobs s.sm_routed_flows
+        s.sm_peak_max_load s.sm_mean_max_load s.sm_peak_leaf s.sm_peak_l2
+        s.sm_peak_shared s.sm_peak_interfered s.sm_peak_lower_bound
+        s.sm_interfered_fraction
+        (if i = List.length net_rows - 1 then "" else ","))
+    net_rows;
+  out "    ],\n";
+  (let span_json name p =
+     match Obs.Prof.find_span p name with
+     | None -> "{ \"count\": 0 }"
+     | Some (s : Obs.Prof.span_view) ->
+         Printf.sprintf
+           "{ \"count\": %d, \"mean_ns\": %.1f, \"p50_ns\": %.1f, \"p90_ns\": %.1f, \"p99_ns\": %.1f, \"max_ns\": %.1f }"
+           s.sp_count s.sp_mean_ns s.sp_p50_ns s.sp_p90_ns s.sp_p99_ns
+           s.sp_max_ns
+   in
+   let off_s, ratios, p = net_overhead in
+   out
+     "    \"overhead\": { \"cluster_radix\": 24, \"jobs\": 1500, \"scheme\": \"Jigsaw\", \"routing\": \"jigsaw\", \"wall_off_s\": %.3f,\n"
+     off_s;
+   out "      \"runs\": [\n";
+   List.iteri
+     (fun i (shape, on_s, ratio) ->
+       out "        { \"shape\": %S, \"wall_on_s\": %.3f, \"ratio\": %.3f }%s\n"
+         shape on_s ratio
+         (if i = List.length ratios - 1 then "" else ","))
+     ratios;
+   out "      ],\n";
+   out "      \"route_span\": %s,\n" (span_json "net/route" p);
+   out "      \"retract_span\": %s }\n" (span_json "net/retract" p));
+  out "  }\n}\n";
   close_out oc;
   Format.printf
-    "wrote %s (%d micro rows, %d scale rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles)@."
+    "wrote %s (%d micro rows, %d scale rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles, %d net rows)@."
     bench_json_file (List.length micro_rows) (List.length scale_rows)
     (List.length bitset_rows) (List.length sweep_runs)
     (List.length trace_rows)
     (List.length profile_rows)
+    (List.length net_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                  *)

@@ -132,8 +132,8 @@ let parse_pair what spec =
       Format.eprintf "bad %s spec %S (want TARGET,INDEX)@." what spec;
       exit 1
 
-let run sock retries at rid ping status advance submit cancel fail_t repair_t
-    play full jobs drain fingerprint shutdown crash =
+let run sock retries at rid ping status stats advance submit cancel fail_t
+    repair_t play full jobs drain fingerprint shutdown crash =
   let c = { fd = None } in
   let failed = ref false in
   let at_fields = match at with None -> [] | Some t -> [ num_field "at" t ] in
@@ -254,6 +254,7 @@ let run sock retries at rid ping status advance submit cancel fail_t repair_t
          print_endline (Obs.Json.str reply "fingerprint")
      | _ -> ());
   if status then ignore (send [ str_field "op" "status" ]);
+  if stats then ignore (send [ str_field "op" "stats" ]);
   if shutdown then ignore (send [ str_field "op" "shutdown" ]);
   (match crash with
   | None -> ()
@@ -293,6 +294,12 @@ let cmd =
   in
   let ping = Arg.(value & flag & info [ "ping" ]) in
   let status = Arg.(value & flag & info [ "status" ]) in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the daemon's operational counters: uptime, ops \
+                 applied, WAL sequence and segment counts, checkpoints on \
+                 disk and written, queue depth, shed/disconnect tallies.")
+  in
   let advance =
     Arg.(value & opt (some float) None & info [ "advance" ] ~docv:"TIME"
            ~doc:"Advance a logical-clock daemon's simulation to TIME.")
@@ -342,9 +349,9 @@ let cmd =
   in
   let term =
     Term.(
-      const run $ sock $ retries $ at $ rid $ ping $ status $ advance $ submit
-      $ cancel $ fail_t $ repair_t $ play $ full $ jobs $ drain $ fingerprint
-      $ shutdown $ crash)
+      const run $ sock $ retries $ at $ rid $ ping $ status $ stats $ advance
+      $ submit $ cancel $ fail_t $ repair_t $ play $ full $ jobs $ drain
+      $ fingerprint $ shutdown $ crash)
   in
   Cmd.v
     (Cmd.info "jigsaw-client" ~version:"1.0.0"

@@ -44,8 +44,8 @@ let checkpoint_loop sim ~every ~out =
 (* --restore: the checkpoint is self-describing (workload, faults and
    scheme travel inside it), so no --trace/--sched flags are read. *)
 let run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
-    ~table2 =
-  match Sched.Checkpoint.restore ~path () with
+    ~table2 ~net =
+  match Sched.Checkpoint.restore ?net ~path () with
   | Error m ->
       Format.eprintf "cannot restore %s: %s@." path m;
       exit 1
@@ -69,14 +69,33 @@ let run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
           Format.printf
             "  instantaneous utilization: >=98:%d  95-97:%d  90-95:%d  80-90:%d  60-80:%d  <=60:%d@."
             h.(5) h.(4) h.(3) h.(2) h.(1) h.(0)
-        end
+        end;
+        match Sched.Simulator.net_summary sim with
+        | Some s -> Format.printf "%a@." Routing.Telemetry.pp_summary s
+        | None -> ()
       end
 
 let run preset swf radix sched scenario seed window truncate jobs sweep full
     scale table2 series mtbf mttr fault_seed fault_trace fault_horizon requeue
     resubmit_delay charge_lost_work trace_out trace_format profile json
     fingerprint series_out checkpoint_every checkpoint_out restore resume_sweep
-    =
+    net_telemetry net_routing net_flows =
+  let net =
+    if not net_telemetry then None
+    else
+      match
+        ( Routing.Telemetry.policy_of_name net_routing,
+          Routing.Telemetry.shape_of_name net_flows )
+      with
+      | Some p, Some sh -> Some (p, sh)
+      | None, _ ->
+          Format.eprintf "unknown --net-routing %s (dmodk|greedy|jigsaw)@."
+            net_routing;
+          exit 1
+      | _, None ->
+          Format.eprintf "unknown --net-flows %s (alltoall|ring)@." net_flows;
+          exit 1
+  in
   (match restore with
   | Some path ->
       if preset <> None || swf <> None || sweep then begin
@@ -85,7 +104,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
         exit 1
       end;
       run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
-        ~table2;
+        ~table2 ~net;
       exit 0
   | None -> ());
   let jobs = if jobs = 0 then Par.Pool.default_jobs () else max 1 jobs in
@@ -153,7 +172,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
     Sched.Sweep.cell ~scenario ~scenario_seed:seed ~backfill_window:window
       ~backfill:(window > 0)
       ~faults:(faults_for entry workload)
-      ~resilience ~profile ~radix:entry.cluster_radix alloc workload
+      ~resilience ~profile ?net ~radix:entry.cluster_radix alloc workload
   in
   if scale && full then begin
     Format.eprintf
@@ -268,7 +287,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
           Sched.Simulator.Config.make ~scenario:c.scenario
             ~scenario_seed:c.scenario_seed ~backfill_window:c.backfill_window
             ~backfill:c.backfill ~faults:c.faults ~resilience:c.resilience
-            ?prof ~radix:c.radix c.allocator
+            ?prof ?net:c.net ~radix:c.radix c.allocator
         in
         let sim = Sched.Simulator.start cfg c.workload in
         let out = Option.get checkpoint_out in
@@ -278,6 +297,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
           {
             Sched.Sweep.metrics;
             prof;
+            net = Sched.Simulator.net_summary sim;
             wall_s = Unix.gettimeofday () -. t0;
             restored = false;
           };
@@ -341,12 +361,14 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
                   ~scenario_seed:c.scenario_seed
                   ~backfill_window:c.backfill_window ~backfill:c.backfill
                   ~faults:c.faults ~resilience:c.resilience ~sink ?prof
-                  ~radix:c.radix c.allocator
+                  ?net:c.net ~radix:c.radix c.allocator
               in
-              let metrics = Sched.Simulator.run cfg c.workload in
+              let sim = Sched.Simulator.start cfg c.workload in
+              let metrics, _ = Sched.Simulator.finish sim in
               {
                 Sched.Sweep.metrics;
                 prof;
+                net = Sched.Simulator.net_summary sim;
                 wall_s = Unix.gettimeofday () -. t0;
                 restored = false;
               })
@@ -402,6 +424,10 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
             end
             else Format.printf "%a" Obs.Prof.pp_report p
         | None -> ());
+        (match r.net with
+        | Some s when not json ->
+            Format.printf "%a@." Routing.Telemetry.pp_summary s
+        | _ -> ());
         if table2 && not json then begin
           let h = m.inst_hist in
           Format.printf
@@ -624,6 +650,29 @@ let cmd =
                  rerun with the same flags completes only the missing cells \
                  and reports identical results.")
   in
+  let net_telemetry =
+    Arg.(value & flag & info [ "net-telemetry" ]
+           ~doc:"Route every running job's synthetic flow set and measure \
+                 per-channel congestion and cross-job interference live: \
+                 each start routes the job's flows under --net-routing, each \
+                 completion or kill retracts them, maintaining incremental \
+                 channel loads, shared-channel and interfered-flow counts. \
+                 Emits net_route/net_sample trace events (see jigsaw-trace) \
+                 and prints a telemetry summary per cell. Pure observer: \
+                 metrics fingerprints are unchanged.")
+  in
+  let net_routing =
+    Arg.(value & opt string "jigsaw" & info [ "net-routing" ] ~docv:"POLICY"
+           ~doc:"Routing policy for --net-telemetry: dmodk (static \
+                 destination-mod-k up-paths), greedy (load-aware per-job \
+                 routing), or jigsaw (forwarding tables over the job's own \
+                 allocated cables, as the paper's compiler would emit).")
+  in
+  let net_flows =
+    Arg.(value & opt string "alltoall" & info [ "net-flows" ] ~docv:"SHAPE"
+           ~doc:"Synthetic flow set routed per job: alltoall (every ordered \
+                 node pair) or ring (each node to its successor).")
+  in
   let term =
     Term.(
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
@@ -631,7 +680,7 @@ let cmd =
       $ fault_seed $ fault_trace $ fault_horizon $ requeue $ resubmit_delay
       $ charge_lost_work $ trace_out $ trace_format $ profile $ json
       $ fingerprint $ series_out $ checkpoint_every $ checkpoint_out $ restore
-      $ resume_sweep)
+      $ resume_sweep $ net_telemetry $ net_routing $ net_flows)
   in
   Cmd.v
     (Cmd.info "jigsaw-sim" ~version:"1.0.0"

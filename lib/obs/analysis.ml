@@ -23,6 +23,23 @@ type fault_view = {
   f_killed : int list;  (** Job ids killed by this fault, in kill order. *)
 }
 
+type net_job = {
+  nj_id : int;
+  nj_flows : int;
+  nj_peak_interfered : int;  (** Across all its route/retract events. *)
+}
+
+type net_view = {
+  nv_samples : int;
+  nv_routes : int;
+  nv_retracts : int;
+  nv_peak_max_load : int;
+  nv_peak_shared : int;
+  nv_peak_interfered : int;
+  nv_peak_lower_bound : int;
+  nv_jobs : net_job list;  (** Sorted by job id; every routed job. *)
+}
+
 type t = {
   meta : Reader.meta option;
   events : int;
@@ -34,6 +51,7 @@ type t = {
   faults : fault_view list;
   requeues : int;
   repairs : int;
+  net : net_view option;  (** Present iff the run carried net events. *)
 }
 
 type builder = {
@@ -72,6 +90,12 @@ let of_run (run : Reader.run) =
   in
   let faults = ref [] and open_fault = ref None in
   let requeues = ref 0 and repairs = ref 0 in
+  let net_samples = ref 0 and net_routes = ref 0 and net_retracts = ref 0 in
+  let net_peak_max = ref 0
+  and net_peak_shared = ref 0
+  and net_peak_interfered = ref 0
+  and net_peak_lb = ref 0 in
+  let net_jobs : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 32 in
   let close_fault () =
     match !open_fault with
     | None -> ()
@@ -83,9 +107,12 @@ let of_run (run : Reader.run) =
     (fun (e : Event.t) ->
       (* Kills (with their interleaved requeue/abandon outcomes) follow
          their Fail at the same instant; any other event kind closes the
-         association window. *)
+         association window.  Net events ride along with the kills they
+         retract for, so they must not close it either. *)
       (match (e.payload, !open_fault) with
-      | (Event.Fail _ | Event.Kill _ | Event.Requeue _ | Event.Abandon _), _ ->
+      | ( ( Event.Fail _ | Event.Kill _ | Event.Requeue _ | Event.Abandon _
+          | Event.Net_route _ | Event.Net_congestion_sample _ ),
+          _ ) ->
           ()
       | _, Some _ -> close_fault ()
       | _, None -> ());
@@ -137,7 +164,26 @@ let of_run (run : Reader.run) =
               open_fault := Some { f with f_killed = job :: f.f_killed }
           | _ -> ())
       | Event.Requeue _ -> incr requeues
-      | Event.Abandon { job; _ } -> (builder job).b_abandoned <- true)
+      | Event.Abandon { job; _ } -> (builder job).b_abandoned <- true
+      | Event.Net_route { job; retract; flows; interfered; _ } ->
+          if retract then incr net_retracts else incr net_routes;
+          let fl, pk =
+            match Hashtbl.find_opt net_jobs job with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0) in
+                Hashtbl.replace net_jobs job cell;
+                cell
+          in
+          fl := max !fl flows;
+          pk := max !pk interfered
+      | Event.Net_congestion_sample
+          { max_load; shared; interfered; lower_bound; _ } ->
+          incr net_samples;
+          net_peak_max := max !net_peak_max max_load;
+          net_peak_shared := max !net_peak_shared shared;
+          net_peak_interfered := max !net_peak_interfered interfered;
+          net_peak_lb := max !net_peak_lb lower_bound)
     run.events;
   close_fault ();
   let timelines =
@@ -176,6 +222,26 @@ let of_run (run : Reader.run) =
         if rows = [] then None else Some (Event.ctx_name ctx, rows))
       [ Event.Head; Event.Backfill ]
   in
+  let net =
+    if !net_routes = 0 && !net_retracts = 0 && !net_samples = 0 then None
+    else
+      Some
+        {
+          nv_samples = !net_samples;
+          nv_routes = !net_routes;
+          nv_retracts = !net_retracts;
+          nv_peak_max_load = !net_peak_max;
+          nv_peak_shared = !net_peak_shared;
+          nv_peak_interfered = !net_peak_interfered;
+          nv_peak_lower_bound = !net_peak_lb;
+          nv_jobs =
+            Hashtbl.fold
+              (fun id (fl, pk) acc ->
+                { nj_id = id; nj_flows = !fl; nj_peak_interfered = !pk } :: acc)
+              net_jobs []
+            |> List.sort (fun a b -> compare a.nj_id b.nj_id);
+        }
+  in
   {
     meta = run.meta;
     events = List.length run.events;
@@ -186,6 +252,7 @@ let of_run (run : Reader.run) =
     faults = List.rev !faults;
     requeues = !requeues;
     repairs = !repairs;
+    net;
   }
 
 let count_fate t fate =
@@ -263,6 +330,29 @@ let pp_summary ?(timeline = false) ppf t =
              ^ "]"))
       t.faults
   end;
+  (match t.net with
+  | None -> ()
+  | Some nv ->
+      Format.fprintf ppf
+        "interference: %d routes, %d retracts, %d samples@." nv.nv_routes
+        nv.nv_retracts nv.nv_samples;
+      Format.fprintf ppf
+        "  peak max channel load %d (lower bound %d); peak shared channels \
+         %d; peak interfered flows %d@."
+        nv.nv_peak_max_load nv.nv_peak_lower_bound nv.nv_peak_shared
+        nv.nv_peak_interfered;
+      let hit =
+        List.filter (fun nj -> nj.nj_peak_interfered > 0) nv.nv_jobs
+      in
+      if hit <> [] then begin
+        Format.fprintf ppf "  interfered jobs (%d):" (List.length hit);
+        List.iter
+          (fun nj ->
+            Format.fprintf ppf " %d(%d/%d)" nj.nj_id nj.nj_peak_interfered
+              nj.nj_flows)
+          hit;
+        Format.fprintf ppf "@."
+      end);
   if timeline then begin
     Format.fprintf ppf "timelines:@.";
     List.iter

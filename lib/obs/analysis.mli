@@ -30,6 +30,27 @@ type fault_view = {
   f_killed : int list;  (** Jobs this fault killed, in kill order. *)
 }
 
+type net_job = {
+  nj_id : int;
+  nj_flows : int;  (** Flows routed for the job (largest seen). *)
+  nj_peak_interfered : int;
+      (** Most of its flows ever observed sharing a channel with
+          another job — the per-job interference attribution. *)
+}
+
+(** Interference post-mortem, folded from [Net_route] /
+    [Net_congestion_sample] events of a [--net-telemetry] run. *)
+type net_view = {
+  nv_samples : int;
+  nv_routes : int;
+  nv_retracts : int;
+  nv_peak_max_load : int;
+  nv_peak_shared : int;
+  nv_peak_interfered : int;
+  nv_peak_lower_bound : int;
+  nv_jobs : net_job list;  (** Sorted by job id; every routed job. *)
+}
+
 type t = {
   meta : Reader.meta option;
   events : int;
@@ -43,6 +64,7 @@ type t = {
   faults : fault_view list;
   requeues : int;
   repairs : int;
+  net : net_view option;  (** Present iff the run carried net events. *)
 }
 
 val of_run : Reader.run -> t

@@ -59,6 +59,20 @@ type payload =
   | Kill of { job : int; attempt : int; lost : float }
   | Requeue of { job : int; attempt : int; resume_at : float }
   | Abandon of { job : int; attempt : int }
+  | Net_route of {
+      job : int;
+      retract : bool;
+      flows : int;
+      channels : int;
+      interfered : int;
+    }
+  | Net_congestion_sample of {
+      max_load : int;
+      shared : int;
+      interfered : int;
+      total_flows : int;
+      lower_bound : int;
+    }
 
 type t = { time : float; payload : payload }
 
@@ -101,9 +115,14 @@ let kind_name = function
   | Kill _ -> "kill"
   | Requeue _ -> "requeue"
   | Abandon _ -> "abandon"
+  | Net_route { retract = false; _ } -> "net_route"
+  | Net_route { retract = true; _ } -> "net_retract"
+  | Net_congestion_sample _ -> "net_sample"
 
 let job_id = function
-  | Run_meta _ | Pass_start _ | Pass_end _ | Fail _ | Repair _ -> None
+  | Run_meta _ | Pass_start _ | Pass_end _ | Fail _ | Repair _
+  | Net_congestion_sample _ ->
+      None
   | Arrival { job; _ }
   | Attempt { job; _ }
   | Start { job; _ }
@@ -113,7 +132,8 @@ let job_id = function
   | Reject { job }
   | Kill { job; _ }
   | Requeue { job; _ }
-  | Abandon { job; _ } ->
+  | Abandon { job; _ }
+  | Net_route { job; _ } ->
       Some job
 
 (* ------------------------------------------------------------------ *)
@@ -185,6 +205,22 @@ let json_fields e =
   | Requeue { job; attempt; resume_at } ->
       [ ("job", n job); ("attempt", n attempt); ("resume_at", f resume_at) ]
   | Abandon { job; attempt } -> [ ("job", n job); ("attempt", n attempt) ]
+  | Net_route { job; retract = _; flows; channels; interfered } ->
+      [
+        ("job", n job);
+        ("flows", n flows);
+        ("channels", n channels);
+        ("interfered", n interfered);
+      ]
+  | Net_congestion_sample { max_load; shared; interfered; total_flows; lower_bound }
+    ->
+      [
+        ("max_load", n max_load);
+        ("shared", n shared);
+        ("interfered", n interfered);
+        ("flows", n total_flows);
+        ("lb", n lower_bound);
+      ]
 
 let to_jsonl b e =
   Json.write b (json_fields e);
@@ -274,6 +310,24 @@ let of_json_fields fields =
             resume_at = Json.num fields "resume_at";
           }
     | "abandon" -> Abandon { job = job (); attempt = Json.int fields "attempt" }
+    | ("net_route" | "net_retract") as k ->
+        Net_route
+          {
+            job = job ();
+            retract = k = "net_retract";
+            flows = Json.int fields "flows";
+            channels = Json.int fields "channels";
+            interfered = Json.int fields "interfered";
+          }
+    | "net_sample" ->
+        Net_congestion_sample
+          {
+            max_load = Json.int fields "max_load";
+            shared = Json.int fields "shared";
+            interfered = Json.int fields "interfered";
+            total_flows = Json.int fields "flows";
+            lower_bound = Json.int fields "lb";
+          }
     | k -> raise (Json.Parse_error (Printf.sprintf "unknown event kind %S" k))
   in
   { time; payload }
@@ -329,6 +383,14 @@ let to_csv b e =
     | Requeue { job; attempt; resume_at } ->
         row ~job ~a:(float_of_int attempt) ~b:resume_at ()
     | Abandon { job; attempt } -> row ~job ~a:(float_of_int attempt) ()
+    | Net_route { job; retract = _; flows; channels; interfered } ->
+        row ~job ~counts:(flows, channels, interfered) ()
+    | Net_congestion_sample
+        { max_load; shared; interfered; total_flows; lower_bound } ->
+        row
+          ~counts:(max_load, shared, interfered)
+          ~a:(float_of_int total_flows)
+          ~b:(float_of_int lower_bound) ()
   in
   add_float b e.time;
   Buffer.add_char b ',';
@@ -428,6 +490,26 @@ let of_csv line =
         | "requeue" ->
             Requeue { job = job (); attempt = a_i (); resume_at = b_f () }
         | "abandon" -> Abandon { job = job (); attempt = a_i () }
+        | "net_route" | "net_retract" ->
+            let flows, channels, interfered = counts () in
+            Net_route
+              {
+                job = job ();
+                retract = event = "net_retract";
+                flows;
+                channels;
+                interfered;
+              }
+        | "net_sample" ->
+            let max_load, shared, interfered = counts () in
+            Net_congestion_sample
+              {
+                max_load;
+                shared;
+                interfered;
+                total_flows = a_i ();
+                lower_bound = b_i ();
+              }
         | k -> fail "unknown event kind %S" k
       in
       { time; payload }

@@ -78,6 +78,31 @@ type payload =
       (** [lost]: node-seconds of the killed attempt. *)
   | Requeue of { job : int; attempt : int; resume_at : float }
   | Abandon of { job : int; attempt : int }
+  | Net_route of {
+      job : int;
+      retract : bool;
+          (** false: flows installed at start (serialized [net_route]);
+              true: flows retracted at completion/kill ([net_retract]). *)
+      flows : int;  (** Flows routed for the job. *)
+      channels : int;  (** Distinct channels the job occupies. *)
+      interfered : int;
+          (** Of the job's flows, how many share a channel with another
+              job at event time (for retracts: just before removal). *)
+    }
+      (** Emitted by [--net-telemetry] when a job's synthetic flow set
+          is (un)installed.  All values are logical routing results —
+          deterministic per (workload, scheme, seeds). *)
+  | Net_congestion_sample of {
+      max_load : int;  (** Largest per-channel flow count right now. *)
+      shared : int;  (** Channels carrying >= 2 jobs. *)
+      interfered : int;  (** Flows sharing a channel with another job. *)
+      total_flows : int;
+      lower_bound : int;
+          (** Routing-independent pigeonhole bound on [max_load]
+              ({!Greedy.lower_bound_load} of the installed flows). *)
+    }
+      (** Cluster-wide congestion snapshot, emitted after every
+          [Net_route]/[net_retract] transition. *)
 
 type t = { time : float; payload : payload }
 

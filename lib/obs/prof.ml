@@ -168,17 +168,49 @@ type span_view = {
   sp_total_ns : float;
   sp_mean_ns : float;
   sp_max_ns : float;
+  sp_p50_ns : float;
+  sp_p90_ns : float;
+  sp_p99_ns : float;
   sp_hist : int array;
 }
 
+(* Histogram-derived percentile: the upper edge of the bucket where the
+   cumulative count crosses the quantile, clamped by the observed
+   maximum (which is also the estimate for the open overflow bucket).
+   Decade buckets make this an order-of-magnitude answer — exactly the
+   resolution a tail-latency report needs. *)
+let hist_percentile counts total max_ns q =
+  if total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int total in
+    let acc = ref 0 and bucket = ref (Array.length counts - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if float_of_int !acc >= rank then begin
+             bucket := i;
+             raise Exit
+           end)
+         counts
+     with Exit -> ());
+    if !bucket >= Array.length span_boundaries then max_ns
+    else Float.min span_boundaries.(!bucket) max_ns
+  end
+
 let span_view s =
+  let hist = Sim.Stats.Hist.counts s.s_hist in
+  let pct q = hist_percentile hist s.s_count s.s_max_ns q in
   {
     sp_count = s.s_count;
     sp_total_ns = s.s_total_ns;
     sp_mean_ns =
       (if s.s_count = 0 then 0.0 else s.s_total_ns /. float_of_int s.s_count);
     sp_max_ns = s.s_max_ns;
-    sp_hist = Sim.Stats.Hist.counts s.s_hist;
+    sp_p50_ns = pct 0.5;
+    sp_p90_ns = pct 0.9;
+    sp_p99_ns = pct 0.99;
+    sp_hist = hist;
   }
 
 let spans t = List.map (fun (k, s) -> (k, span_view s)) (sorted t.spans)
@@ -289,11 +321,15 @@ let pp_report ppf t =
   let spans = spans t and counters = counters t and gauges = gauges t in
   Format.fprintf ppf "profile:@.";
   if spans <> [] then begin
-    Format.fprintf ppf "  spans (count / total ms / mean us / max ms):@.";
+    Format.fprintf ppf
+      "  spans (count / total ms / mean us / p50 us / p90 us / p99 us / max \
+       ms):@.";
     List.iter
       (fun (name, v) ->
-        Format.fprintf ppf "    %-24s %9d %11.3f %9.2f %9.3f@." name v.sp_count
-          (ms v.sp_total_ns) (v.sp_mean_ns /. 1e3) (ms v.sp_max_ns))
+        Format.fprintf ppf "    %-24s %9d %11.3f %9.2f %9.2f %9.2f %9.2f %9.3f@."
+          name v.sp_count (ms v.sp_total_ns) (v.sp_mean_ns /. 1e3)
+          (v.sp_p50_ns /. 1e3) (v.sp_p90_ns /. 1e3) (v.sp_p99_ns /. 1e3)
+          (ms v.sp_max_ns))
       spans;
     Format.fprintf ppf
       "    (span histogram buckets: <=1us 1-10us 10-100us 0.1-1ms 1-10ms 10-100ms 0.1-1s >1s)@.";
@@ -359,6 +395,15 @@ let write_json b t =
                   Buffer.add_char b ',';
                   add_key "max_ns";
                   Buffer.add_string b (Printf.sprintf "%.0f" v.sp_max_ns);
+                  Buffer.add_char b ',';
+                  add_key "p50_ns";
+                  Buffer.add_string b (Printf.sprintf "%.0f" v.sp_p50_ns);
+                  Buffer.add_char b ',';
+                  add_key "p90_ns";
+                  Buffer.add_string b (Printf.sprintf "%.0f" v.sp_p90_ns);
+                  Buffer.add_char b ',';
+                  add_key "p99_ns";
+                  Buffer.add_string b (Printf.sprintf "%.0f" v.sp_p99_ns);
                   Buffer.add_char b ',';
                   add_key "hist";
                   Buffer.add_char b '[';

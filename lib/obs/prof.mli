@@ -88,6 +88,12 @@ type span_view = {
   sp_total_ns : float;
   sp_mean_ns : float;
   sp_max_ns : float;
+  sp_p50_ns : float;
+      (** Histogram-derived percentile: upper edge of the bucket where
+          the cumulative count crosses the quantile, clamped by the
+          observed maximum — order-of-magnitude tail estimates. *)
+  sp_p90_ns : float;
+  sp_p99_ns : float;
   sp_hist : int array;  (** Per-{!span_boundaries} bucket counts. *)
 }
 

@@ -57,3 +57,194 @@ let pp_report ppf r =
   Format.fprintf ppf
     "max channel load %d; %d shared channels; %d/%d flows interfered"
     r.max_load r.shared_channels r.interfered_flows r.total_flows
+
+(* Occupancy-histogram maximum tracker: [hist.(v)] counts values
+   currently equal to [v]; the cached maximum only ever descends through
+   emptied buckets, so the total descent work is bounded by the total
+   number of increments — O(1) amortized per update. *)
+module Maxtrack = struct
+  type t = { mutable hist : int array; mutable cur : int }
+
+  let create () = { hist = Array.make 64 0; cur = 0 }
+
+  let ensure t v =
+    let n = Array.length t.hist in
+    if v >= n then begin
+      let n' = max (v + 1) (2 * n) in
+      let h = Array.make n' 0 in
+      Array.blit t.hist 0 h 0 n;
+      t.hist <- h
+    end
+
+  (* A tracked value changed from [from_] to [to_]. *)
+  let move t ~from_ ~to_ =
+    if from_ > 0 then t.hist.(from_) <- t.hist.(from_) - 1;
+    if to_ > 0 then begin
+      ensure t to_;
+      t.hist.(to_) <- t.hist.(to_) + 1
+    end;
+    if to_ > t.cur then t.cur <- to_
+    else while t.cur > 0 && t.hist.(t.cur) = 0 do t.cur <- t.cur - 1 done
+
+  let max t = t.cur
+end
+
+module Index = struct
+  (* One (channel, job) pair.  [c_flows] holds one entry per hop the
+     job's flows place on the channel (minimal up/down paths never visit
+     a channel twice, so each flow appears at most once). *)
+  type flow = { mutable f_shared : int }
+
+  type cell = { c_job : int; mutable c_count : int; mutable c_flows : flow list }
+
+  type jobrec = {
+    j_flows : flow array;
+    j_cells : (int * cell) list;  (** (packed channel, cell) pairs. *)
+  }
+
+  type t = {
+    leaf_cables : int;  (** Leaf–L2 cable count [L]. *)
+    cells : cell list array;  (** Packed channel -> cells, one per job. *)
+    loads : int array;  (** Packed channel -> total flow count. *)
+    jobs : (int, jobrec) Hashtbl.t;
+    leaf_max : Maxtrack.t;  (** Over channels [0, 2L). *)
+    l2_max : Maxtrack.t;  (** Over channels [2L, 2L+2S). *)
+    mutable shared_channels : int;
+    mutable interfered_flows : int;
+    mutable total_flows : int;
+  }
+
+  let create topo =
+    let l = Fattree.Topology.num_leaf_l2_cables topo in
+    let s = Fattree.Topology.num_l2_spine_cables topo in
+    let n = (2 * l) + (2 * s) in
+    {
+      leaf_cables = l;
+      cells = Array.make n [];
+      loads = Array.make n 0;
+      jobs = Hashtbl.create 64;
+      leaf_max = Maxtrack.create ();
+      l2_max = Maxtrack.create ();
+      shared_channels = 0;
+      interfered_flows = 0;
+      total_flows = 0;
+    }
+
+  (* Four contiguous segments: leaf-up, leaf-down, l2-up, l2-down. *)
+  let pack t (h : Path.hop) =
+    match (h.tier, h.dir) with
+    | Path.Leaf_l2, Path.Up -> h.cable
+    | Path.Leaf_l2, Path.Down -> t.leaf_cables + h.cable
+    | Path.L2_spine, Path.Up -> (2 * t.leaf_cables) + h.cable
+    | Path.L2_spine, Path.Down ->
+        (2 * t.leaf_cables) + ((Array.length t.loads - (2 * t.leaf_cables)) / 2)
+        + h.cable
+
+  let tracker t ch = if ch < 2 * t.leaf_cables then t.leaf_max else t.l2_max
+
+  let bump_flow t f delta =
+    let before = f.f_shared in
+    f.f_shared <- before + delta;
+    if before = 0 && delta > 0 then t.interfered_flows <- t.interfered_flows + 1
+    else if before + delta = 0 && delta < 0 then
+      t.interfered_flows <- t.interfered_flows - 1
+
+  let add_job t ~job paths =
+    if Hashtbl.mem t.jobs job then
+      invalid_arg (Printf.sprintf "Congestion.Index.add_job: job %d present" job);
+    (* Channels this add already touched, so later hops of the same job
+       reuse their cell instead of scanning the channel's cell list. *)
+    let mine : (int, cell) Hashtbl.t = Hashtbl.create 64 in
+    let j_cells = ref [] in
+    let flows =
+      List.map
+        (fun (p : Path.t) ->
+          let f = { f_shared = 0 } in
+          t.total_flows <- t.total_flows + 1;
+          List.iter
+            (fun (h : Path.hop) ->
+              let ch = pack t h in
+              let cell =
+                match Hashtbl.find_opt mine ch with
+                | Some c -> c
+                | None ->
+                    let c = { c_job = job; c_count = 0; c_flows = [] } in
+                    let others = t.cells.(ch) in
+                    t.cells.(ch) <- c :: others;
+                    Hashtbl.add mine ch c;
+                    j_cells := (ch, c) :: !j_cells;
+                    (* Our arrival just made the channel shared: every
+                       flow already on it gains a shared hop. *)
+                    (match others with
+                    | [ o ] ->
+                        t.shared_channels <- t.shared_channels + 1;
+                        List.iter (fun f' -> bump_flow t f' 1) o.c_flows
+                    | _ -> ());
+                    c
+              in
+              cell.c_count <- cell.c_count + 1;
+              cell.c_flows <- f :: cell.c_flows;
+              (match t.cells.(ch) with
+              | _ :: _ :: _ -> bump_flow t f 1
+              | _ -> ());
+              let load = t.loads.(ch) in
+              t.loads.(ch) <- load + 1;
+              Maxtrack.move (tracker t ch) ~from_:load ~to_:(load + 1))
+            p.hops;
+          f)
+        paths
+    in
+    Hashtbl.add t.jobs job
+      { j_flows = Array.of_list flows; j_cells = !j_cells }
+
+  let remove_job t job =
+    match Hashtbl.find_opt t.jobs job with
+    | None -> invalid_arg (Printf.sprintf "Congestion.Index.remove_job: job %d absent" job)
+    | Some jr ->
+        Hashtbl.remove t.jobs job;
+        t.total_flows <- t.total_flows - Array.length jr.j_flows;
+        Array.iter
+          (fun f -> if f.f_shared > 0 then
+              t.interfered_flows <- t.interfered_flows - 1)
+          jr.j_flows;
+        List.iter
+          (fun (ch, cell) ->
+            let rest =
+              List.filter (fun (c : cell) -> c != cell) t.cells.(ch)
+            in
+            t.cells.(ch) <- rest;
+            (* Down to one job: the survivor's flows lose a shared hop. *)
+            (match rest with
+            | [ o ] ->
+                t.shared_channels <- t.shared_channels - 1;
+                List.iter (fun f' -> bump_flow t f' (-1)) o.c_flows
+            | _ -> ());
+            let load = t.loads.(ch) in
+            t.loads.(ch) <- load - cell.c_count;
+            Maxtrack.move (tracker t ch) ~from_:load ~to_:(load - cell.c_count))
+          jr.j_cells
+
+  let mem t job = Hashtbl.mem t.jobs job
+  let jobs t = Hashtbl.length t.jobs
+  let max_load_leaf t = Maxtrack.max t.leaf_max
+  let max_load_l2 t = Maxtrack.max t.l2_max
+
+  let job_stats t job =
+    match Hashtbl.find_opt t.jobs job with
+    | None -> None
+    | Some jr ->
+        let interfered =
+          Array.fold_left
+            (fun acc f -> if f.f_shared > 0 then acc + 1 else acc)
+            0 jr.j_flows
+        in
+        Some (Array.length jr.j_flows, List.length jr.j_cells, interfered)
+
+  let report t =
+    {
+      max_load = max (Maxtrack.max t.leaf_max) (Maxtrack.max t.l2_max);
+      shared_channels = t.shared_channels;
+      interfered_flows = t.interfered_flows;
+      total_flows = t.total_flows;
+    }
+end

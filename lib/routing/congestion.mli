@@ -20,3 +20,70 @@ val analyze : (int * Path.t list) list -> report
     interference (it is under the application's own control). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** Occupancy-histogram maximum tracker over a multiset of nonnegative
+    integers: [move] records one element changing value, [max] is the
+    current largest element, O(1) amortized (the cached maximum only
+    descends through buckets whose count reached zero). *)
+module Maxtrack : sig
+  type t
+
+  val create : unit -> t
+
+  val move : t -> from_:int -> to_:int -> unit
+  (** One tracked value changed from [from_] to [to_].  Value 0 is "not
+      present": entering a value with [~from_:0] adds it, leaving with
+      [~to_:0] drops it. *)
+
+  val max : t -> int
+  (** Largest value present; 0 when empty. *)
+end
+
+(** Persistent incremental interference index.
+
+    Maintains the same quantities as {!analyze} under job add/remove in
+    time proportional to the {e changed} job's hops — no full re-solve
+    per event — so the simulator can keep measured congestion live at
+    every start/completion/kill.  State transitions are counted exactly:
+    a channel becomes shared when a second job lands on it (every flow
+    already there gains a shared hop), and unshared when it drops back
+    to one job.  Per-channel maxima are tracked with an occupancy
+    histogram, O(1) amortized.
+
+    The result after any add/remove sequence equals {!analyze} of the
+    currently-present jobs (property-tested), and is independent of the
+    order jobs were added. *)
+module Index : sig
+  type t
+
+  val create : Fattree.Topology.t -> t
+  (** An empty index over the topology's channel space (up and down
+      directions of every leaf–L2 and L2–spine cable). *)
+
+  val add_job : t -> job:int -> Path.t list -> unit
+  (** Install a job's routed flows.  Raises [Invalid_argument] if [job]
+      is already present. *)
+
+  val remove_job : t -> int -> unit
+  (** Retract every flow of a job, restoring all counters to their
+      values as if the job had never been added.  Raises
+      [Invalid_argument] if the job is absent. *)
+
+  val mem : t -> int -> bool
+  val jobs : t -> int
+  (** Number of jobs currently installed. *)
+
+  val max_load_leaf : t -> int
+  (** Largest current load on any leaf–L2 channel. *)
+
+  val max_load_l2 : t -> int
+  (** Largest current load on any L2–spine channel. *)
+
+  val job_stats : t -> int -> (int * int * int) option
+  (** [job_stats t job] is [Some (flows, channels, interfered)]: the
+      job's flow count, distinct channels used, and how many of its
+      flows currently share a channel with another job. *)
+
+  val report : t -> report
+  (** The same report {!analyze} would compute for the present jobs. *)
+end

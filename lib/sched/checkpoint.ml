@@ -493,7 +493,7 @@ let load ~path = Result.map fst (load_ext ~path)
 
 let write ~path sim = save ~path (Simulator.snapshot sim)
 
-let restore ?sink ?prof ~path () =
+let restore ?sink ?prof ?net ~path () =
   match load ~path with
   | Error m -> Error m
-  | Ok s -> Simulator.of_snapshot ?sink ?prof s
+  | Ok s -> Simulator.of_snapshot ?sink ?prof ?net s

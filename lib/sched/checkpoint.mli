@@ -64,6 +64,7 @@ val write : path:string -> Simulator.t -> unit
 val restore :
   ?sink:Obs.Sink.t ->
   ?prof:Obs.Prof.t ->
+  ?net:Routing.Telemetry.policy * Routing.Telemetry.shape ->
   path:string ->
   unit ->
   (Simulator.t, string) result

@@ -27,6 +27,7 @@ type config = {
   resilience : resilience;
   sink : Obs.Sink.t;
   prof : Obs.Prof.t option;
+  net : (Routing.Telemetry.policy * Routing.Telemetry.shape) option;
 }
 
 module Config = struct
@@ -34,7 +35,7 @@ module Config = struct
 
   let make ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
       ?(backfill_window = 50) ?(backfill = true) ?(faults = Trace.Faults.none)
-      ?(resilience = no_resilience) ?(sink = Obs.Sink.null) ?prof ~radix
+      ?(resilience = no_resilience) ?(sink = Obs.Sink.null) ?prof ?net ~radix
       allocator =
     {
       allocator;
@@ -47,6 +48,7 @@ module Config = struct
       resilience;
       sink;
       prof;
+      net;
     }
 
   let with_allocator allocator cfg = { cfg with allocator }
@@ -59,6 +61,7 @@ module Config = struct
   let with_resilience resilience cfg = { cfg with resilience }
   let with_sink sink cfg = { cfg with sink }
   let with_prof prof cfg = { cfg with prof }
+  let with_net net cfg = { cfg with net }
 end
 
 let default_config allocator ~radix = Config.make ~radix allocator
@@ -132,6 +135,10 @@ type sim = {
   mutable dyn_jobs : Trace.Job.t list;
   mutable dyn_faults : Trace.Faults.event list;
   mutable cancelled : int;
+  (* Network telemetry (cfg.net): live congestion index over the running
+     jobs' routed flows.  Pure observer — it never feeds back into
+     scheduling or metrics, so telemetry-off runs are bit-identical. *)
+  net : Routing.Telemetry.t option;
 }
 
 let record sim =
@@ -182,6 +189,66 @@ let emit sim mk_payload =
 
 let prof_incr sim name =
   match sim.cfg.prof with Some p -> Obs.Prof.incr p name | None -> ()
+
+(* Telemetry hooks.  Each job transition (un)installs the job's flow set
+   and emits a [Net_route] plus a cluster-wide [Net_congestion_sample].
+   The (re)route runs under a profiling span so the per-event
+   maintenance cost shows up as a tail, not just a mean. *)
+let net_sample_event sim net =
+  emit sim (fun () ->
+      let s = Routing.Telemetry.sample net in
+      Obs.Event.Net_congestion_sample
+        {
+          max_load = s.Routing.Telemetry.s_max_load;
+          shared = s.s_shared;
+          interfered = s.s_interfered;
+          total_flows = s.s_total_flows;
+          lower_bound = s.s_lower_bound;
+        })
+
+let net_install sim (alloc : Alloc.t) =
+  match sim.net with
+  | None -> ()
+  | Some net ->
+      let now = Sim.Engine.now sim.engine in
+      let add () = Routing.Telemetry.add_job net ~now alloc in
+      let info =
+        match sim.cfg.prof with
+        | Some p -> Obs.Prof.time p "net/route" add
+        | None -> add ()
+      in
+      emit sim (fun () ->
+          Obs.Event.Net_route
+            {
+              job = alloc.Alloc.job;
+              retract = false;
+              flows = info.Routing.Telemetry.ri_flows;
+              channels = info.ri_channels;
+              interfered = info.ri_interfered;
+            });
+      net_sample_event sim net
+
+let net_retract sim job =
+  match sim.net with
+  | None -> ()
+  | Some net ->
+      let now = Sim.Engine.now sim.engine in
+      let remove () = Routing.Telemetry.remove_job net ~now job in
+      let info =
+        match sim.cfg.prof with
+        | Some p -> Obs.Prof.time p "net/retract" remove
+        | None -> remove ()
+      in
+      emit sim (fun () ->
+          Obs.Event.Net_route
+            {
+              job;
+              retract = true;
+              flows = info.Routing.Telemetry.ri_flows;
+              channels = info.ri_channels;
+              interfered = info.ri_interfered;
+            });
+      net_sample_event sim net
 
 (* Earliest estimated completion time at which [job] could be placed,
    with the allocation it would get then.  [running] pairs each live
@@ -355,6 +422,7 @@ let rec start_job sim ~ctx (j : Trace.Job.t) (alloc : Alloc.t) =
           est_end = now +. job_estimate j;
           attempt;
         });
+  net_install sim alloc;
   (* The attempt number guards against a stale completion: a killed and
      requeued job must not be finished by its first attempt's event. *)
   Sim.Engine.schedule sim.engine ~time:r_end ~priority:0
@@ -381,6 +449,7 @@ and complete_job sim id ~attempt =
               started = r.r_start;
               waited = r.r_start -. r.r_job.arrival;
             });
+      net_retract sim id;
       record sim;
       request_pass sim
 
@@ -628,6 +697,7 @@ let kill_job sim (r : running) =
           attempt = r.r_attempt;
           lost = (now -. r.r_start) *. float_of_int r.r_job.size;
         });
+  net_retract sim r.r_job.id;
   if requeue then begin
     sim.requeued <- sim.requeued + 1;
     let resume_at = now +. sim.cfg.resilience.resubmit_delay in
@@ -804,6 +874,11 @@ let finished_count sim = List.length sim.finished
 let cancelled_count sim = sim.cancelled
 let rejected_count sim = sim.rejected
 let known_job sim id = Hashtbl.mem sim.jobs_by_id id
+
+let net_summary sim =
+  Option.map
+    (fun nt -> Routing.Telemetry.summary nt ~now:(Sim.Engine.now sim.engine))
+    sim.net
 let max_job_id sim = Hashtbl.fold (fun id _ acc -> max id acc) sim.jobs_by_id (-1)
 
 let fault_log sim =
@@ -854,6 +929,11 @@ let start cfg (w : Trace.Workload.t) =
       dyn_jobs = [];
       dyn_faults = [];
       cancelled = 0;
+      net =
+        Option.map
+          (fun (policy, shape) ->
+            Routing.Telemetry.create topo ~policy ~shape ~now:0.0)
+          cfg.net;
     }
   in
   Array.iter
@@ -1210,7 +1290,7 @@ exception Restore_error of string
 let restore_fail fmt =
   Printf.ksprintf (fun m -> raise (Restore_error m)) fmt
 
-let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
+let of_snapshot ?(sink = Obs.Sink.null) ?prof ?net (s : Snapshot.t) =
   try
     let allocator =
       match Allocator.by_name s.scheme with
@@ -1230,7 +1310,7 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
       Config.make ~scenario ~scenario_seed:s.scenario_seed
         ~backfill_window:s.backfill_window ~backfill:s.backfill
         ~faults:(Trace.Faults.of_ordered (Array.to_list s.faults))
-        ~resilience:s.resilience ~sink ?prof ~radix:s.radix allocator
+        ~resilience:s.resilience ~sink ?prof ?net ~radix:s.radix allocator
     in
     let w =
       Trace.Workload.create ~name:s.trace_name ~system_nodes:s.system_nodes
@@ -1266,6 +1346,17 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
            | Trace.Faults.Fail -> Trace.Faults.apply st e.target
            | Trace.Faults.Repair -> Trace.Faults.revert st e.target);
     let running_tbl = Hashtbl.create 256 in
+    (* Telemetry state is not checkpointed: it is a pure function of the
+       running set, so it is rebuilt here by re-routing each running
+       allocation at the restore clock.  No events are emitted — this is
+       reconstruction, not replay — so post-restore traces stay
+       byte-identical to the uninterrupted run's suffix. *)
+    let net_state =
+      Option.map
+        (fun (policy, shape) ->
+          Routing.Telemetry.create topo ~policy ~shape ~now:s.clock)
+        net
+    in
     Array.iter
       (fun (r : Snapshot.running_job) ->
         let j = find_job r.rs_job in
@@ -1284,6 +1375,10 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
         | exception e ->
             restore_fail "checkpoint is inconsistent: re-claiming job %d: %s"
               r.rs_job (Printexc.to_string e));
+        Option.iter
+          (fun nt ->
+            ignore (Routing.Telemetry.add_job nt ~now:s.clock alloc))
+          net_state;
         Hashtbl.replace running_tbl r.rs_job
           {
             r_job = j;
@@ -1356,6 +1451,7 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof (s : Snapshot.t) =
         dyn_jobs = [];
         dyn_faults = [];
         cancelled = s.cancelled;
+        net = net_state;
       }
     in
     Array.iter (fun (id, g) -> Queue.add (id, g) sim.pending_ids) s.queue;

@@ -64,6 +64,15 @@ type config = private {
           wrap the probe and reservation searches {e outside} the
           [sched_time] clock, so profiling never pollutes the reported
           scheduling cost. *)
+  net : (Routing.Telemetry.policy * Routing.Telemetry.shape) option;
+      (** Network telemetry ([None]: off, zero cost beyond a branch per
+          job event).  When set, every job start routes a synthetic flow
+          set for the allocation under the policy and every
+          completion/kill retracts it, maintaining incremental
+          per-channel loads and emitting [Net_route] /
+          [Net_congestion_sample] trace events.  A pure observer: it
+          never feeds back into scheduling, and {!Metrics.fingerprint}
+          is unchanged whether it is on or off. *)
 }
 (** Private: construct with {!Config.make} and update with the
     [Config.with_*] functions, so new fields never break construction
@@ -82,11 +91,13 @@ module Config : sig
     ?resilience:resilience ->
     ?sink:Obs.Sink.t ->
     ?prof:Obs.Prof.t ->
+    ?net:Routing.Telemetry.policy * Routing.Telemetry.shape ->
     radix:int ->
     Allocator.t ->
     t
   (** Defaults: scenario [No_speedup], seed 1, window 50, backfilling
-      on, no faults, {!no_resilience}, null sink, no profiling. *)
+      on, no faults, {!no_resilience}, null sink, no profiling, no
+      network telemetry. *)
 
   val with_allocator : Allocator.t -> t -> t
   val with_radix : int -> t -> t
@@ -98,6 +109,9 @@ module Config : sig
   val with_resilience : resilience -> t -> t
   val with_sink : Obs.Sink.t -> t -> t
   val with_prof : Obs.Prof.t option -> t -> t
+
+  val with_net :
+    (Routing.Telemetry.policy * Routing.Telemetry.shape) option -> t -> t
 end
 
 val default_config : Allocator.t -> radix:int -> config
@@ -218,6 +232,11 @@ val fault_log : t -> Trace.Faults.event array
 (** Static trace followed by dynamically injected events, in injection
     order — index [i] is the event tagged [f:<i>]. *)
 
+val net_summary : t -> Routing.Telemetry.summary option
+(** Telemetry summary up to the current clock ([None] when telemetry is
+    off).  Kept out of {!Metrics.t} on purpose: fingerprints must not
+    depend on whether telemetry ran. *)
+
 (** A serializable snapshot of a mid-flight simulation, taken between
     events.  Self-contained: carries the full workload and fault trace
     plus every piece of dynamic state, so restore needs no side files.
@@ -306,7 +325,11 @@ val snapshot : t -> Snapshot.t
     (which drains same-instant passes). *)
 
 val of_snapshot :
-  ?sink:Obs.Sink.t -> ?prof:Obs.Prof.t -> Snapshot.t -> (t, string) result
+  ?sink:Obs.Sink.t ->
+  ?prof:Obs.Prof.t ->
+  ?net:Routing.Telemetry.policy * Routing.Telemetry.shape ->
+  Snapshot.t ->
+  (t, string) result
 (** Rebuild a live simulation from a snapshot: resolve the scheme and
     scenario by name, replay the executed fault prefix against a fresh
     cluster state, re-claim the running allocations (bit-exact — demands
@@ -317,4 +340,8 @@ val of_snapshot :
     The restored run's sink and profiling registry default to off;
     profile spans cover only the post-restore segment (wall-clock is not
     simulation state), while the end-of-run [state/*] and
-    [engine/steps] counters still match the uninterrupted run. *)
+    [engine/steps] counters still match the uninterrupted run.
+    Telemetry state is likewise rebuilt, not restored: routing is a pure
+    function of (policy, topology, allocation), so re-routing the
+    running set reproduces the exact channel loads; the time-weighted
+    summary covers only the observed post-restore window. *)

@@ -26,6 +26,7 @@ type cell = {
   faults : Trace.Faults.t;
   resilience : Simulator.resilience;
   profile : bool;
+  net : (Routing.Telemetry.policy * Routing.Telemetry.shape) option;
 }
 
 (* The fault axis of a cell id.  Fault traces are too big to inline, so
@@ -76,8 +77,8 @@ let cell_id c =
 
 let cell ?label ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
     ?(backfill_window = 50) ?(backfill = true) ?(faults = Trace.Faults.none)
-    ?(resilience = Simulator.no_resilience) ?(profile = false) ~radix allocator
-    workload =
+    ?(resilience = Simulator.no_resilience) ?(profile = false) ?net ~radix
+    allocator workload =
   let label =
     match label with
     | Some l -> l
@@ -99,6 +100,7 @@ let cell ?label ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
       faults;
       resilience;
       profile;
+      net;
     }
   in
   { c with id = cell_id c }
@@ -106,6 +108,7 @@ let cell ?label ?(scenario = Trace.Scenario.No_speedup) ?(scenario_seed = 1)
 type result = {
   metrics : Metrics.t;
   prof : Obs.Prof.t option;
+  net : Routing.Telemetry.summary option;
   wall_s : float;
   restored : bool;
 }
@@ -118,10 +121,12 @@ let run_cell c =
   let cfg =
     Simulator.Config.make ~scenario:c.scenario ~scenario_seed:c.scenario_seed
       ~backfill_window:c.backfill_window ~backfill:c.backfill ~faults:c.faults
-      ~resilience:c.resilience ?prof ~radix:c.radix c.allocator
+      ~resilience:c.resilience ?prof ?net:c.net ~radix:c.radix c.allocator
   in
-  let metrics = Simulator.run cfg c.workload in
-  { metrics; prof; wall_s = Unix.gettimeofday () -. t0; restored = false }
+  let sim = Simulator.start cfg c.workload in
+  let metrics, _ = Simulator.finish sim in
+  let net = Simulator.net_summary sim in
+  { metrics; prof; net; wall_s = Unix.gettimeofday () -. t0; restored = false }
 
 (* ------------------------------------------------------------------ *)
 (* Manifests                                                           *)
@@ -219,6 +224,10 @@ let load_manifest path =
                                   {
                                     metrics;
                                     prof;
+                                    (* Telemetry summaries are not
+                                       journaled — fingerprints do not
+                                       cover them. *)
+                                    net = None;
                                     wall_s = Obs.Json.num f "wall_s";
                                     restored = true;
                                   } )

@@ -34,6 +34,10 @@ type cell = {
   faults : Trace.Faults.t;
   resilience : Simulator.resilience;
   profile : bool;  (** Give the cell its own registry. *)
+  net : (Routing.Telemetry.policy * Routing.Telemetry.shape) option;
+      (** Network telemetry for the cell ([None]: off).  Telemetry is a
+          pure observer — it never changes the metrics fingerprint — so
+          it is deliberately {e not} part of {!cell_id}. *)
 }
 
 val cell_id : cell -> string
@@ -55,6 +59,7 @@ val cell :
   ?faults:Trace.Faults.t ->
   ?resilience:Simulator.resilience ->
   ?profile:bool ->
+  ?net:Routing.Telemetry.policy * Routing.Telemetry.shape ->
   radix:int ->
   Allocator.t ->
   Trace.Workload.t ->
@@ -66,6 +71,10 @@ val cell :
 type result = {
   metrics : Metrics.t;
   prof : Obs.Prof.t option;  (** The cell's registry, if it profiled. *)
+  net : Routing.Telemetry.summary option;
+      (** Telemetry summary, when the cell ran with [net] set.  Not
+          journaled to manifests (fingerprints do not cover it), so
+          restored cells report [None]. *)
   wall_s : float;  (** Wall-clock seconds for this cell alone. *)
   restored : bool;
       (** [true]: resurrected from a manifest row instead of re-run;

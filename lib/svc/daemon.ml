@@ -330,6 +330,47 @@ let exec st c line =
               ]
           in
           send st c (Protocol.ok_reply ~fields rid)
+      | Protocol.Stats ->
+          (* Operational introspection: everything here is either a
+             [Prof] counter the reactor already maintains or read off
+             the live state, so the op is read-only and un-journaled —
+             safe to poll from monitoring at any rate. *)
+          let wal_segments =
+            match Sys.readdir st.opts.dir with
+            | exception Sys_error _ -> 0
+            | names ->
+                Array.fold_left
+                  (fun n name ->
+                    if
+                      String.length name > 4
+                      && String.sub name 0 4 = "wal-"
+                      && Filename.check_suffix name ".jsonl"
+                    then n + 1
+                    else n)
+                  0 names
+          in
+          let counter = Obs.Prof.counter st.prof in
+          let fields =
+            [
+              ("uptime_s", Obs.Json.Num (Unix.gettimeofday () -. st.wall_base));
+              ("clock", Obs.Json.Num (Core.now st.core));
+              ("applied", num_i (counter "svc/applied"));
+              ("requests", num_i (counter "svc/requests"));
+              ("duplicates", num_i (counter "svc/duplicates"));
+              ("wal_next", num_i (Wal.next_seq st.wal));
+              ("wal_segment_start", num_i (Wal.segment_start st.wal));
+              ("wal_segments", num_i wal_segments);
+              ("checkpoints", num_i (List.length (checkpoints st.opts.dir)));
+              ("checkpoints_written", num_i (counter "svc/checkpoints"));
+              ("last_ckpt_seq", num_i st.last_ckpt_seq);
+              ("queue", num_i (Queue.length st.queue));
+              ("clients", num_i (List.length st.clients));
+              ("shed", num_i (counter "svc/shed"));
+              ("malformed", num_i (counter "svc/malformed"));
+              ("slow_disconnects", num_i (counter "svc/slow_disconnects"));
+            ]
+          in
+          send st c (Protocol.ok_reply ~fields rid)
       | Protocol.Advance { upto } -> (
           match st.opts.time_scale with
           | Some _ -> invalid "advance is for logical-clock daemons"

@@ -19,6 +19,7 @@ type request =
   | Advance of { upto : float }
   | Drain
   | Status
+  | Stats
   | Ping
   | Shutdown
   | Crash of { point : string }
@@ -92,6 +93,7 @@ let request_of_fields fields =
   | "advance" -> Ok (Advance { upto = finite "to" (Obs.Json.num fields "to") })
   | "drain" -> Ok Drain
   | "status" -> Ok Status
+  | "stats" -> Ok Stats
   | "ping" -> Ok Ping
   | "shutdown" -> Ok Shutdown
   | "crash" ->

@@ -8,8 +8,10 @@
 
     Ops: [submit] (size, runtime, [est_runtime]?, [bw]?, [id]?), [cancel] (id),
     [fail]/[repair] (target, index — names as in fault-script files),
-    [advance] (to — logical mode only), [drain], [status], [ping],
-    [shutdown], [crash] (test hook, gated by the daemon).
+    [advance] (to — logical mode only), [drain], [status], [stats]
+    (operational counters: uptime, ops applied, WAL/checkpoint state,
+    queue depth, shed and disconnect tallies), [ping], [shutdown],
+    [crash] (test hook, gated by the daemon).
 
     Replies: [{"ok":1,...}] or
     [{"ok":0,"error":<code>,"message":...,"retry_after":<s>?}]. *)
@@ -27,6 +29,7 @@ type request =
   | Advance of { upto : float }
   | Drain
   | Status
+  | Stats  (** Operational counters; read-only, never journaled. *)
   | Ping
   | Shutdown
   | Crash of { point : string }

@@ -30,6 +30,7 @@ let () =
       ("rearrange", Test_rearrange.suite);
       ("partition-routing", Test_partition_routing.suite);
       ("congestion", Test_congestion.suite);
+      ("telemetry", Test_telemetry.suite);
       ("fwd", Test_fwd.suite);
       ("greedy", Test_greedy.suite);
       ("necessity", Test_necessity.suite);
