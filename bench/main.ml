@@ -439,7 +439,7 @@ let micro () =
     groups
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_0005.json: machine-readable perf trajectory across PRs.       *)
+(* BENCH_0006.json: machine-readable perf trajectory across PRs.       *)
 (* ------------------------------------------------------------------ *)
 
 (* Emits allocator micro-latencies (mean try_alloc on a busy radix-24
@@ -455,11 +455,16 @@ let micro () =
    telemetry (peak/mean channel load, shared channels, interfered
    flows, pigeonhole lower bound) plus the telemetry on/off overhead
    and per-event route/retract span costs, so regressions show up as
-   a diff of this file rather than a human re-reading bench output.  Traces are truncated in default mode to
+   a diff of this file rather than a human re-reading bench output.
+   New this revision: a "molding" section racing moldable Jigsaw
+   against rigid on every Table 3 trace (with live telemetry, so the
+   interference-free headline is re-checked under molding) plus a
+   shrink-vs-kill fault recovery comparison, each with built-in
+   regression guards.  Traces are truncated in default mode to
    keep the target in the ~minute range; REPRO_FULL=1 uses paper
    scale.  BENCH_SCALE=N overrides the scale section's large radix. *)
 
-let bench_json_file = "BENCH_0005.json"
+let bench_json_file = "BENCH_0006.json"
 
 let bench_json () =
   section (Printf.sprintf "%s (machine-readable perf trajectory)" bench_json_file);
@@ -735,6 +740,101 @@ let bench_json () =
     in
     (off, ratios, prof)
   in
+  (* The molding section: moldable Jigsaw (every job free to run
+     anywhere in [pref/2, 2*pref]) raced against rigid on the Table 3
+     traces, telemetry live.  Three regression guards encode the PR's
+     claims: sized admission plus the grow pass may never cost
+     utilization relative to rigid; Jigsaw allocations stay
+     interference-free even as they shrink and grow mid-run; and
+     shrink recovery must lose strictly less node-time to a fault
+     than kill + resubmit does. *)
+  let molding_rows =
+    Format.printf "  molding: moldable vs rigid Jigsaw, %d traces@."
+      (List.length entries);
+    List.map
+      (fun (e : Trace.Presets.entry) ->
+        let rigid = run_sim e Sched.Allocator.jigsaw in
+        let wm = Trace.Workload.moldable e.workload in
+        let r =
+          Sched.Sweep.run_cell
+            (Sched.Sweep.cell
+               ~net:(Routing.Telemetry.Jigsaw, net_shape_for e)
+               ~radix:e.cluster_radix Sched.Allocator.jigsaw wm)
+        in
+        let mold = r.Sched.Sweep.metrics in
+        let s = Option.get r.Sched.Sweep.net in
+        if mold.avg_utilization +. 1e-9 < rigid.avg_utilization then
+          failwith
+            (Printf.sprintf
+               "molding regression: Jigsaw moldable utilization %.4f under \
+                rigid %.4f on %s"
+               mold.avg_utilization rigid.avg_utilization
+               wm.Trace.Workload.name);
+        if s.sm_peak_interfered <> 0 then
+          failwith
+            (Printf.sprintf
+               "molding regression: %d interfered flows on moldable %s \
+                (Jigsaw must stay interference-free while resizing)"
+               s.sm_peak_interfered wm.Trace.Workload.name);
+        ( wm.Trace.Workload.name,
+          Trace.Workload.num_jobs wm,
+          rigid.avg_utilization,
+          mold.avg_utilization,
+          mold.grown,
+          s ))
+      entries
+  in
+  let shrink_recovery =
+    let e = List.hd entries in
+    let wm = Trace.Workload.moldable e.workload in
+    let makespan = (run_sim e Sched.Allocator.jigsaw).makespan in
+    (* All three node faults land at the same mid-run instant, when the
+       two runs' states are still identical: the policies then face the
+       same victims with the same elapsed work, and the comparison is
+       pure recovery policy.  (Staggered faults would diverge the
+       schedules, so later faults would hit different jobs and the
+       lost-work totals would compare different accidents, not the two
+       policies.) *)
+    let faults =
+      Trace.Faults.scripted
+        (List.map
+           (fun node ->
+             {
+               Trace.Faults.time = 0.5 *. makespan;
+               kind = Trace.Faults.Fail;
+               target = Trace.Faults.Node node;
+             })
+           [ 3; 501; 900 ])
+    in
+    let run shrink =
+      let resilience =
+        {
+          Sched.Simulator.requeue = true;
+          resubmit_delay = 30.0;
+          max_retries = 2;
+          charge_lost_work = true;
+          shrink;
+        }
+      in
+      Sched.Simulator.run
+        (Sched.Simulator.Config.make ~faults ~resilience
+           ~radix:e.cluster_radix Sched.Allocator.jigsaw)
+        wm
+    in
+    let with_shrink = run true and with_kill = run false in
+    Format.printf
+      "  shrink recovery on %s: %.0f node-s lost shrinking vs %.0f killing@."
+      wm.Trace.Workload.name with_shrink.lost_node_time
+      with_kill.lost_node_time;
+    if with_shrink.lost_node_time >= with_kill.lost_node_time then
+      failwith
+        (Printf.sprintf
+           "shrink regression: in-place shrink lost %.0f node-s, kill + \
+            resubmit lost %.0f on %s"
+           with_shrink.lost_node_time with_kill.lost_node_time
+           wm.Trace.Workload.name);
+    (wm.Trace.Workload.name, with_shrink, with_kill)
+  in
   (* The sweep section: the full preset x scheme grid (45 cells at this
      scale) timed end-to-end at 1/2/4/8 domains.  Fingerprints of every
      cell must match the serial run bit-for-bit — the merge is
@@ -777,7 +877,7 @@ let bench_json () =
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"bench_id\": \"BENCH_0005\",\n";
+  out "  \"bench_id\": \"BENCH_0006\",\n";
   out "  \"repro_scale\": \"%s\",\n" (if full then "full" else "default");
   out "  \"host_domains\": %d,\n" host_domains;
   out "  \"micro_try_alloc\": {\n";
@@ -886,15 +986,38 @@ let bench_json () =
    out "      ],\n";
    out "      \"route_span\": %s,\n" (span_json "net/route" p);
    out "      \"retract_span\": %s }\n" (span_json "net/retract" p));
+  out "  },\n";
+  out "  \"molding\": {\n";
+  out "    \"scheme\": \"Jigsaw\",\n";
+  out "    \"bounds\": { \"min_frac\": 0.5, \"max_frac\": 2.0 },\n";
+  out "    \"rows\": [\n";
+  List.iteri
+    (fun i (trace, jobs, rigid_u, mold_u, grown,
+            (s : Routing.Telemetry.summary)) ->
+      out
+        "      { \"trace\": %S, \"jobs\": %d, \"rigid_utilization\": %.6f, \"moldable_utilization\": %.6f, \"grown\": %d, \"routed_flows\": %d, \"peak_interfered\": %d }%s\n"
+        trace jobs rigid_u mold_u grown s.sm_routed_flows
+        s.sm_peak_interfered
+        (if i = List.length molding_rows - 1 then "" else ","))
+    molding_rows;
+  out "    ],\n";
+  (let trace, (s : Sched.Metrics.t), (k : Sched.Metrics.t) =
+     shrink_recovery
+   in
+   out
+     "    \"shrink_recovery\": { \"trace\": %S, \"node_faults\": 3, \"shrink\": { \"lost_node_time\": %.1f, \"shrunk\": %d, \"interrupted\": %d }, \"kill\": { \"lost_node_time\": %.1f, \"interrupted\": %d, \"requeued\": %d } }\n"
+     trace s.lost_node_time s.shrunk s.interrupted k.lost_node_time
+     k.interrupted k.requeued);
   out "  }\n}\n";
   close_out oc;
   Format.printf
-    "wrote %s (%d micro rows, %d scale rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles, %d net rows)@."
+    "wrote %s (%d micro rows, %d scale rows, %d bitset rows, %d sweep runs, %d trace rows, %d profiles, %d net rows, %d molding rows)@."
     bench_json_file (List.length micro_rows) (List.length scale_rows)
     (List.length bitset_rows) (List.length sweep_runs)
     (List.length trace_rows)
     (List.length profile_rows)
     (List.length net_rows)
+    (List.length molding_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                  *)

@@ -132,8 +132,9 @@ let parse_pair what spec =
       Format.eprintf "bad %s spec %S (want TARGET,INDEX)@." what spec;
       exit 1
 
-let run sock retries at rid ping status stats advance submit cancel fail_t
-    repair_t play full jobs drain fingerprint shutdown crash =
+let run sock retries at rid ping status stats advance submit min_size max_size
+    resize cancel fail_t repair_t play full jobs drain fingerprint shutdown
+    crash =
   let c = { fd = None } in
   let failed = ref false in
   let at_fields = match at with None -> [] | Some t -> [ num_field "at" t ] in
@@ -222,12 +223,44 @@ let run sock retries at rid ping status stats advance submit cancel fail_t
               "bad --submit spec %S (want SIZE,RUNTIME[,EST[,BW]])@." spec;
             exit 1
       in
-      ignore (send (str_field "op" "submit" :: fields)));
+      (* Moldable bounds ride on the v2 protocol; rigid submissions keep
+         the v1 wire shape so old daemons still accept them. *)
+      let molding =
+        (match min_size with
+        | None -> []
+        | Some n -> [ num_field "min" (float_of_int n) ])
+        @
+        match max_size with
+        | None -> []
+        | Some n -> [ num_field "max" (float_of_int n) ]
+      in
+      let version =
+        if molding = [] then [] else [ num_field "version" 2.0 ]
+      in
+      ignore (send ((str_field "op" "submit" :: fields) @ molding @ version)));
   (match cancel with
   | None -> ()
   | Some id ->
       ignore
         (send [ str_field "op" "cancel"; num_field "id" (float_of_int id) ]));
+  (match resize with
+  | None -> ()
+  | Some spec -> (
+      match
+        String.split_on_char ',' spec |> List.map int_of_string_opt
+      with
+      | [ Some id; Some size ] ->
+          ignore
+            (send
+               [
+                 str_field "op" "resize";
+                 num_field "id" (float_of_int id);
+                 num_field "size" (float_of_int size);
+                 num_field "version" 2.0;
+               ])
+      | _ ->
+          Format.eprintf "bad --resize spec %S (want JOB,SIZE)@." spec;
+          exit 1));
   let fault op spec =
     let target, index = parse_pair op spec in
     match int_of_string_opt index with
@@ -308,6 +341,22 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "submit" ] ~docv:"SPEC"
            ~doc:"Submit a job: SIZE,RUNTIME[,EST[,BW]].")
   in
+  let min_size =
+    Arg.(value & opt (some int) None & info [ "min" ] ~docv:"N"
+           ~doc:"With --submit: moldable lower bound — the job accepts any \
+                 granted size in [N, --max] and prefers SIZE. Sent as a v2 \
+                 protocol request.")
+  in
+  let max_size =
+    Arg.(value & opt (some int) None & info [ "max" ] ~docv:"N"
+           ~doc:"With --submit: moldable upper bound (default: SIZE).")
+  in
+  let resize =
+    Arg.(value & opt (some string) None & info [ "resize" ] ~docv:"JOB,SIZE"
+           ~doc:"Mold a running moldable job to SIZE nodes in place. The \
+                 reply reports the engine's verdict: resized (with the \
+                 granted size) or refused (with the reason).")
+  in
   let cancel =
     Arg.(value & opt (some int) None & info [ "cancel" ] ~docv:"ID")
   in
@@ -350,8 +399,8 @@ let cmd =
   let term =
     Term.(
       const run $ sock $ retries $ at $ rid $ ping $ status $ stats $ advance
-      $ submit $ cancel $ fail_t $ repair_t $ play $ full $ jobs $ drain
-      $ fingerprint $ shutdown $ crash)
+      $ submit $ min_size $ max_size $ resize $ cancel $ fail_t $ repair_t
+      $ play $ full $ jobs $ drain $ fingerprint $ shutdown $ crash)
   in
   Cmd.v
     (Cmd.info "jigsaw-client" ~version:"1.0.0"

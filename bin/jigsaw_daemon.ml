@@ -110,15 +110,7 @@ let run socket dir preset full sched radix scenario seed window no_backfill
       | Error m -> fail "%s" m
       | Ok _ -> ());
       let resilience =
-        match requeue with
-        | None -> { Sched.Simulator.no_resilience with charge_lost_work }
-        | Some n ->
-            {
-              Sched.Simulator.requeue = true;
-              resubmit_delay;
-              max_retries = n;
-              charge_lost_work;
-            }
+        Cli_common.resilience ~requeue ~resubmit_delay ~charge_lost_work
       in
       Some
         {
@@ -205,11 +197,14 @@ let cmd =
            ~doc:"Plain FIFO: disable EASY backfilling (fresh dir only).")
   in
   let requeue =
-    Arg.(value & opt (some int) None & info [ "requeue" ] ~docv:"N"
-           ~doc:"Resubmit jobs killed by faults, at most N times each.")
+    Cli_common.requeue_arg
+      ~doc:"Fault-recovery policy: N (resubmit killed jobs at most N times \
+            each), 'shrink' (moldable victims shed their failed nodes in \
+            place), or 'shrink:N' (both)."
   in
   let resubmit_delay =
-    Arg.(value & opt float 0.0 & info [ "resubmit-delay" ] ~docv:"SECONDS")
+    Cli_common.resubmit_delay_arg
+      ~doc:"Delay between a fault killing a job and its resubmission."
   in
   let charge_lost_work =
     Arg.(value & flag & info [ "charge-lost-work" ])

@@ -77,9 +77,9 @@ let run_restored ~path ~checkpoint_every ~checkpoint_out ~json ~fingerprint
 
 let run preset swf radix sched scenario seed window truncate jobs sweep full
     scale table2 series mtbf mttr fault_seed fault_trace fault_horizon requeue
-    resubmit_delay charge_lost_work trace_out trace_format profile json
-    fingerprint series_out checkpoint_every checkpoint_out restore resume_sweep
-    net_telemetry net_routing net_flows =
+    resubmit_delay charge_lost_work moldable trace_out trace_format profile
+    json fingerprint series_out checkpoint_every checkpoint_out restore
+    resume_sweep net_telemetry net_routing net_flows =
   let net =
     if not net_telemetry then None
     else
@@ -123,15 +123,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
         exit 1
   in
   let resilience =
-    match requeue with
-    | None -> { Sched.Simulator.no_resilience with charge_lost_work }
-    | Some max_retries ->
-        {
-          Sched.Simulator.requeue = true;
-          resubmit_delay;
-          max_retries;
-          charge_lost_work;
-        }
+    Cli_common.resilience ~requeue ~resubmit_delay ~charge_lost_work
   in
   (* Fault events are topology-specific, so the sweep regenerates them
      per entry; scripted traces cannot follow a cluster change. *)
@@ -165,7 +157,10 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
     | _ -> Trace.Faults.none
   in
   let truncated (w : Trace.Workload.t) =
-    match truncate with Some n -> Trace.Workload.truncate w n | None -> w
+    let w =
+      match truncate with Some n -> Trace.Workload.truncate w n | None -> w
+    in
+    Cli_common.apply_moldable moldable w
   in
   let mk_cell (entry : Trace.Presets.entry) alloc =
     let workload = truncated entry.workload in
@@ -174,11 +169,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
       ~faults:(faults_for entry workload)
       ~resilience ~profile ?net ~radix:entry.cluster_radix alloc workload
   in
-  if scale && full then begin
-    Format.eprintf
-      "--scale runs the radix-48 tier (its own job counts); drop --full@.";
-    exit 1
-  end;
+  Cli_common.check_scale_full ~action:"runs" scale full;
   let entries =
     if sweep then begin
       if preset <> None || swf <> None then begin
@@ -191,14 +182,10 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
       let entry =
         match (preset, swf) with
         | Some name, None -> (
-            match Trace.Presets.by_name ~full name with
-            | Some e -> e
-            | None ->
-                Format.eprintf "unknown trace %s; known: %s@." name
-                  (String.concat ", "
-                     (List.map
-                        (fun (e : Trace.Presets.entry) -> e.workload.name)
-                        (Trace.Presets.all ~full @ Trace.Presets.scale_all ())));
+            match Cli_common.preset_entry ~full name with
+            | Ok e -> e
+            | Error m ->
+                Format.eprintf "%s@." m;
                 exit 1)
         | None, Some path -> (
             match
@@ -265,11 +252,7 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
       if not (Trace.Faults.is_empty faults) then
         Format.printf "faults: %d events%s@."
           (Trace.Faults.num_events faults)
-          (match requeue with
-          | Some n ->
-              Printf.sprintf "; requeue up to %d times after %.0fs" n
-                resubmit_delay
-          | None -> "; no requeue (killed jobs are abandoned)");
+          (Cli_common.describe_requeue ~resubmit_delay requeue);
       Format.printf "@."
     end
   end;
@@ -335,14 +318,14 @@ let run preset swf radix sched scenario seed window truncate jobs sweep full
            append to a single trace file; the per-run [Run_meta] event
            delimits them (jigsaw-trace splits on it). *)
         let trace_fmt =
-          match trace_format with
-          | None -> None
-          | Some s -> (
-              match Obs.Sink.format_of_name s with
-              | Some f -> Some f
-              | None ->
-                  Format.eprintf "unknown trace format %s (jsonl|csv)@." s;
-                  exit 1)
+          match
+            Cli_common.parse_format ~flag:"trace format" ~allow_auto:false
+              trace_format
+          with
+          | Ok f -> f
+          | Error m ->
+              Format.eprintf "%s@." m;
+              exit 1
         in
         let fmt =
           match trace_fmt with
@@ -521,16 +504,15 @@ let cmd =
                  with --jobs for a parallel sweep.")
   in
   let full =
-    Arg.(value & flag & info [ "full" ]
-           ~doc:"Use paper-scale preset traces (slow).")
+    Cli_common.full_arg ~doc:"Use paper-scale preset traces (slow)."
   in
   let scale =
-    Arg.(value & flag & info [ "scale" ]
-           ~doc:"Use the radix-48 scale tier: the nine workload families \
-                 re-targeted at a 27648-node cluster (names carry an @48 \
-                 suffix, e.g. Synth-16\\@48), for measuring allocator cost \
-                 at large radix. With --sweep, runs the 45-cell scale grid; \
-                 incompatible with --full.")
+    Cli_common.scale_arg
+      ~doc:"Use the radix-48 scale tier: the nine workload families \
+            re-targeted at a 27648-node cluster (names carry an @48 \
+            suffix, e.g. Synth-16\\@48), for measuring allocator cost \
+            at large radix. With --sweep, runs the 45-cell scale grid; \
+            incompatible with --full."
   in
   let table2 =
     Arg.(value & flag & info [ "table2" ]
@@ -568,18 +550,31 @@ let cmd =
                  (default: last arrival + twice the longest runtime request).")
   in
   let requeue =
-    Arg.(value & opt (some int) None & info [ "requeue" ] ~docv:"RETRIES"
-           ~doc:"Resubmit jobs killed by a fault, up to RETRIES times each; \
-                 without this flag killed jobs are abandoned.")
+    Cli_common.requeue_arg
+      ~doc:"Fault-recovery policy for killed jobs: RETRIES (resubmit each \
+            victim up to RETRIES times), 'shrink' (moldable victims shed \
+            only their failed nodes and keep running; others are \
+            abandoned), or 'shrink:RETRIES' (shrink when possible, \
+            resubmit the rest). Without this flag killed jobs are \
+            abandoned."
   in
   let resubmit_delay =
-    Arg.(value & opt float 0.0 & info [ "resubmit-delay" ] ~docv:"SECONDS"
-           ~doc:"Delay between a fault killing a job and its resubmission.")
+    Cli_common.resubmit_delay_arg
+      ~doc:"Delay between a fault killing a job and its resubmission."
   in
   let charge_lost_work =
     Arg.(value & opt bool true & info [ "charge-lost-work" ] ~docv:"BOOL"
            ~doc:"Count every killed attempt's node-seconds as lost work \
                  (false: only jobs abandoned for good are charged).")
+  in
+  let moldable =
+    Cli_common.moldable_arg
+      ~doc:"Make every job moldable around its rigid request: granted \
+            sizes may range over [ceil(MIN*size), floor(MAX*size)] \
+            (default 0.5,2.0) with the rigid size preferred, and \
+            runtimes scale work-conservingly with the granted size. \
+            Trace names gain a '+m' suffix, so cell ids and checkpoints \
+            never collide with rigid runs."
   in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -678,7 +673,7 @@ let cmd =
       const run $ preset $ swf $ radix $ sched $ scenario $ seed $ window
       $ truncate $ jobs $ sweep $ full $ scale $ table2 $ series $ mtbf $ mttr
       $ fault_seed $ fault_trace $ fault_horizon $ requeue $ resubmit_delay
-      $ charge_lost_work $ trace_out $ trace_format $ profile $ json
+      $ charge_lost_work $ moldable $ trace_out $ trace_format $ profile $ json
       $ fingerprint $ series_out $ checkpoint_every $ checkpoint_out $ restore
       $ resume_sweep $ net_telemetry $ net_routing $ net_flows)
   in

@@ -12,14 +12,11 @@ open Cmdliner
 
 let run file format timeline =
   let format =
-    match format with
-    | None | Some "auto" -> None
-    | Some s -> (
-        match Obs.Sink.format_of_name s with
-        | Some f -> Some f
-        | None ->
-            Format.eprintf "unknown format %s (auto|jsonl|csv)@." s;
-            exit 1)
+    match Cli_common.parse_format ~flag:"format" ~allow_auto:true format with
+    | Ok f -> f
+    | Error m ->
+        Format.eprintf "%s@." m;
+        exit 1
   in
   match Obs.Reader.load ?format file with
   | Error m ->

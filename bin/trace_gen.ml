@@ -9,11 +9,7 @@
 open Cmdliner
 
 let generate preset all out dir full scale analyze =
-  (if scale && full then begin
-     Format.eprintf
-       "--scale exports the radix-48 tier (its own job counts); drop --full@.";
-     exit 1
-   end);
+  Cli_common.check_scale_full ~action:"exports" scale full;
   let entries =
     if all then
       if scale then Trace.Presets.scale_all () else Trace.Presets.all ~full
@@ -23,10 +19,10 @@ let generate preset all out dir full scale analyze =
           Format.eprintf "one of --trace or --all is required@.";
           exit 1
       | Some name -> (
-          match Trace.Presets.by_name ~full name with
-          | Some e -> [ e ]
-          | None ->
-              Format.eprintf "unknown trace %s@." name;
+          match Cli_common.preset_entry ~full name with
+          | Ok e -> [ e ]
+          | Error m ->
+              Format.eprintf "%s@." m;
               exit 1)
   in
   List.iter
@@ -62,14 +58,12 @@ let cmd =
     Arg.(value & opt dir "." & info [ "dir" ] ~docv:"DIR"
            ~doc:"Output directory (with --all).")
   in
-  let full =
-    Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale job counts.")
-  in
+  let full = Cli_common.full_arg ~doc:"Paper-scale job counts." in
   let scale =
-    Arg.(value & flag & info [ "scale" ]
-           ~doc:"Export the radix-48 scale tier (names end in \\@48; with \
-                 --all, exports all nine scale traces). Incompatible with \
-                 --full.")
+    Cli_common.scale_arg
+      ~doc:"Export the radix-48 scale tier (names end in \\@48; with \
+            --all, exports all nine scale traces). Incompatible with \
+            --full."
   in
   let analyze =
     Arg.(value & flag & info [ "analyze" ]

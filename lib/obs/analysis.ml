@@ -111,7 +111,8 @@ let of_run (run : Reader.run) =
          retract for, so they must not close it either. *)
       (match (e.payload, !open_fault) with
       | ( ( Event.Fail _ | Event.Kill _ | Event.Requeue _ | Event.Abandon _
-          | Event.Net_route _ | Event.Net_congestion_sample _ ),
+          | Event.Shrink_recover _ | Event.Net_route _
+          | Event.Net_congestion_sample _ ),
           _ ) ->
           ()
       | _, Some _ -> close_fault ()
@@ -165,6 +166,9 @@ let of_run (run : Reader.run) =
           | _ -> ())
       | Event.Requeue _ -> incr requeues
       | Event.Abandon { job; _ } -> (builder job).b_abandoned <- true
+      (* Resizes change a grant, not a job's fate; the per-job timeline
+         and fault association are unaffected. *)
+      | Event.Resize _ | Event.Shrink_recover _ -> ()
       | Event.Net_route { job; retract; flows; interfered; _ } ->
           if retract then incr net_retracts else incr net_routes;
           let fl, pk =

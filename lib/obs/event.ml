@@ -59,6 +59,13 @@ type payload =
   | Kill of { job : int; attempt : int; lost : float }
   | Requeue of { job : int; attempt : int; resume_at : float }
   | Abandon of { job : int; attempt : int }
+  | Resize of { job : int; from_size : int; to_size : int; new_end : float }
+  | Shrink_recover of {
+      job : int;
+      attempt : int;
+      from_size : int;
+      to_size : int;
+    }
   | Net_route of {
       job : int;
       retract : bool;
@@ -115,6 +122,8 @@ let kind_name = function
   | Kill _ -> "kill"
   | Requeue _ -> "requeue"
   | Abandon _ -> "abandon"
+  | Resize _ -> "resize"
+  | Shrink_recover _ -> "shrink_recover"
   | Net_route { retract = false; _ } -> "net_route"
   | Net_route { retract = true; _ } -> "net_retract"
   | Net_congestion_sample _ -> "net_sample"
@@ -133,6 +142,8 @@ let job_id = function
   | Kill { job; _ }
   | Requeue { job; _ }
   | Abandon { job; _ }
+  | Resize { job; _ }
+  | Shrink_recover { job; _ }
   | Net_route { job; _ } ->
       Some job
 
@@ -205,6 +216,20 @@ let json_fields e =
   | Requeue { job; attempt; resume_at } ->
       [ ("job", n job); ("attempt", n attempt); ("resume_at", f resume_at) ]
   | Abandon { job; attempt } -> [ ("job", n job); ("attempt", n attempt) ]
+  | Resize { job; from_size; to_size; new_end } ->
+      [
+        ("job", n job);
+        ("from", n from_size);
+        ("to", n to_size);
+        ("new_end", f new_end);
+      ]
+  | Shrink_recover { job; attempt; from_size; to_size } ->
+      [
+        ("job", n job);
+        ("attempt", n attempt);
+        ("from", n from_size);
+        ("to", n to_size);
+      ]
   | Net_route { job; retract = _; flows; channels; interfered } ->
       [
         ("job", n job);
@@ -310,6 +335,22 @@ let of_json_fields fields =
             resume_at = Json.num fields "resume_at";
           }
     | "abandon" -> Abandon { job = job (); attempt = Json.int fields "attempt" }
+    | "resize" ->
+        Resize
+          {
+            job = job ();
+            from_size = Json.int fields "from";
+            to_size = Json.int fields "to";
+            new_end = Json.num fields "new_end";
+          }
+    | "shrink_recover" ->
+        Shrink_recover
+          {
+            job = job ();
+            attempt = Json.int fields "attempt";
+            from_size = Json.int fields "from";
+            to_size = Json.int fields "to";
+          }
     | ("net_route" | "net_retract") as k ->
         Net_route
           {
@@ -383,6 +424,10 @@ let to_csv b e =
     | Requeue { job; attempt; resume_at } ->
         row ~job ~a:(float_of_int attempt) ~b:resume_at ()
     | Abandon { job; attempt } -> row ~job ~a:(float_of_int attempt) ()
+    | Resize { job; from_size; to_size; new_end } ->
+        row ~job ~counts:(from_size, to_size, 0) ~a:new_end ()
+    | Shrink_recover { job; attempt; from_size; to_size } ->
+        row ~job ~counts:(from_size, to_size, 0) ~a:(float_of_int attempt) ()
     | Net_route { job; retract = _; flows; channels; interfered } ->
         row ~job ~counts:(flows, channels, interfered) ()
     | Net_congestion_sample
@@ -490,6 +535,12 @@ let of_csv line =
         | "requeue" ->
             Requeue { job = job (); attempt = a_i (); resume_at = b_f () }
         | "abandon" -> Abandon { job = job (); attempt = a_i () }
+        | "resize" ->
+            let from_size, to_size, _ = counts () in
+            Resize { job = job (); from_size; to_size; new_end = a_f () }
+        | "shrink_recover" ->
+            let from_size, to_size, _ = counts () in
+            Shrink_recover { job = job (); attempt = a_i (); from_size; to_size }
         | "net_route" | "net_retract" ->
             let flows, channels, interfered = counts () in
             Net_route

@@ -78,6 +78,20 @@ type payload =
       (** [lost]: node-seconds of the killed attempt. *)
   | Requeue of { job : int; attempt : int; resume_at : float }
   | Abandon of { job : int; attempt : int }
+  | Resize of { job : int; from_size : int; to_size : int; new_end : float }
+      (** A running moldable job's grant changed in place — an idle-time
+          grow or an accepted online resize.  [new_end] is the scheduler's
+          new estimated completion after compressing the remaining work
+          onto [to_size] nodes. *)
+  | Shrink_recover of {
+      job : int;
+      attempt : int;
+      from_size : int;
+      to_size : int;
+    }
+      (** Fault recovery by molding: the job lost [from_size - to_size]
+          nodes to a fault and kept running on the survivors — no kill,
+          no lost work ([resilience.shrink]). *)
   | Net_route of {
       job : int;
       retract : bool;

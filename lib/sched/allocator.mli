@@ -16,6 +16,35 @@ type verdict =
           (LC/LC+S under the paper's §5.3 timeout stand-in); feasibility
           is unknown, so this must never be cached. *)
 
+(** Verdict of a size-negotiating probe ({!type-t.probe_sized}). *)
+type sized_verdict =
+  | Sized of { granted : int; alloc : Fattree.Alloc.t }
+      (** A claimable allocation for [granted] nodes, the largest
+          feasible size in the job's [min_size, pref] range (always
+          [alloc.size = granted]; exactly [job.size] for rigid jobs). *)
+  | Sized_no_fit
+      (** Definitively infeasible even at the job's minimum size.
+          Monotone under claims exactly like {!No_fit}, with the memo
+          key at [Trace.Job.min_size]. *)
+  | Sized_gave_up
+      (** A search budget ran out somewhere along the failing path;
+          feasibility at the minimum is unknown — never cached. *)
+
+(** Verdict of {!type-t.try_resize}. *)
+type resize_verdict =
+  | Resized of Fattree.Alloc.t
+      (** A {e replacement} allocation at the target size.  The caller
+          owns the swap: release the current allocation, then claim the
+          replacement.  Shrinks keep every cable and drop failed nodes
+          first; partition-native grows only extend onto free nodes of
+          leaves whose uplinks the job already owns, so isolation is
+          preserved by construction. *)
+  | No_resize
+      (** The target size is not reachable: not enough healthy nodes to
+          keep (shrink), no room to grow, or the current allocation
+          holds failed resources that a swap could not legally
+          re-claim. *)
+
 type t = {
   name : string;
   isolating : bool;
@@ -32,9 +61,49 @@ type t = {
       (** Pure probe; must not mutate the state. *)
   probe : Fattree.State.t -> Trace.Job.t -> verdict;
       (** Like [try_alloc] with failure provenance.  [try_alloc] is
-          always [probe] with both failure verdicts collapsed to
-          [None]. *)
+          always [probe] with both failure verdicts collapsed to [None]
+          — enforced by a qcheck property over every scheme, not just
+          prose. *)
+  probe_sized : Fattree.State.t -> Trace.Job.t -> sized_verdict;
+      (** Size-negotiating probe.  Rigid jobs behave exactly like
+          {!field-probe}; moldable jobs are probed at their preference
+          first, then (on failure) at their minimum — whose definitive
+          failure alone justifies [Sized_no_fit] — and finally the
+          largest feasible size in between is binary-searched.  Pure in
+          the same sense as [try_alloc]. *)
+  try_resize :
+    Fattree.State.t ->
+    Trace.Job.t ->
+    current:Fattree.Alloc.t ->
+    target:int ->
+    resize_verdict;
+      (** Propose a replacement for [current] (which must be claimed in
+          the state) at [target] nodes.  Shrinks are in-place for every
+          scheme.  Grows are native for the partition schemes
+          (Jigsaw/LC/LC+S: within the partition's own cables, never
+          migrating) and derived for the rest (re-probe at the target
+          size, which may relocate the job).  The derived grow briefly
+          releases [current] on the live state and restores it before
+          returning — observable only through the state's operation
+          counters. *)
 }
+
+val make :
+  name:string ->
+  isolating:bool ->
+  ?budgeted:bool ->
+  ?try_resize:
+    (Fattree.State.t ->
+    Trace.Job.t ->
+    current:Fattree.Alloc.t ->
+    target:int ->
+    resize_verdict) ->
+  (Fattree.State.t -> Trace.Job.t -> verdict) ->
+  t
+(** [make ~name ~isolating probe] derives [try_alloc] (failure verdicts
+    collapsed), [probe_sized] (preference/minimum/binary-search molding)
+    and — unless a native one is supplied — [try_resize] from the probe,
+    so a new scheme gets the full sized API for free. *)
 
 val baseline : t
 (** Traditional unconstrained scheduling (nodes only, links shared). *)

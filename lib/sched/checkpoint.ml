@@ -13,7 +13,13 @@
 
 open Simulator.Snapshot
 
-let version = 1
+(* Version 2 (moldable jobs): job rows may carry "min"/"max" size-spec
+   fields, run rows an "epoch" (resize count), and the header a "shrink"
+   resilience flag — each written only when it differs from the rigid
+   default, so a v2 file of a rigid run is byte-identical to v1 apart
+   from the version number.  The loader accepts both versions. *)
+let version = 2
+let oldest_readable_version = 1
 let magic = "jigsaw-checkpoint"
 
 (* ------------------------------------------------------------------ *)
@@ -71,6 +77,9 @@ let save ?(meta = []) ~path (s : Simulator.Snapshot.t) =
       ("resubmit_delay", num r.Simulator.resubmit_delay);
       ("max_retries", int_ r.Simulator.max_retries);
       ("charge_lost_work", bool_ r.Simulator.charge_lost_work);
+    ]
+    @ (if r.Simulator.shrink then [ ("shrink", bool_ true) ] else [])
+    @ [
       ("jobs", int_ (Array.length s.jobs));
       ("faults", int_ (Array.length s.faults));
       ("events", int_ (Array.length s.events));
@@ -82,15 +91,20 @@ let save ?(meta = []) ~path (s : Simulator.Snapshot.t) =
   Array.iter
     (fun (j : Trace.Job.t) ->
       line
-        [
-          ("record", str "job");
-          ("id", int_ j.id);
-          ("size", int_ j.size);
-          ("runtime", num j.runtime);
-          ("est", num j.est_runtime);
-          ("arrival", num j.arrival);
-          ("bw", num j.bw_class);
-        ])
+        ([
+           ("record", str "job");
+           ("id", int_ j.id);
+           ("size", int_ j.size);
+           ("runtime", num j.runtime);
+           ("est", num j.est_runtime);
+           ("arrival", num j.arrival);
+           ("bw", num j.bw_class);
+         ]
+        @
+        match j.spec with
+        | Trace.Job.Rigid _ -> []
+        | Trace.Job.Moldable { min_size; max_size; pref = _ } ->
+            [ ("min", int_ min_size); ("max", int_ max_size) ]))
     s.jobs;
   Array.iter
     (fun (e : Trace.Faults.event) ->
@@ -134,19 +148,22 @@ let save ?(meta = []) ~path (s : Simulator.Snapshot.t) =
   Array.iter
     (fun (rj : running_job) ->
       line
-        [
-          ("record", str "run");
-          ("id", int_ rj.rs_job);
-          ("attempt", int_ rj.rs_attempt);
-          ("start", num rj.rs_start);
-          ("end", num rj.rs_end);
-          ("est_end", num rj.rs_est_end);
-          ("size", int_ rj.rs_size);
-          ("bw", num rj.rs_bw);
-          ("nodes", str (ints_str rj.rs_nodes));
-          ("leaf", str (ints_str rj.rs_leaf_cables));
-          ("l2", str (ints_str rj.rs_l2_cables));
-        ])
+        ([
+           ("record", str "run");
+           ("id", int_ rj.rs_job);
+           ("attempt", int_ rj.rs_attempt);
+         ]
+        @ (if rj.rs_epoch > 0 then [ ("epoch", int_ rj.rs_epoch) ] else [])
+        @ [
+            ("start", num rj.rs_start);
+            ("end", num rj.rs_end);
+            ("est_end", num rj.rs_est_end);
+            ("size", int_ rj.rs_size);
+            ("bw", num rj.rs_bw);
+            ("nodes", str (ints_str rj.rs_nodes));
+            ("leaf", str (ints_str rj.rs_leaf_cables));
+            ("l2", str (ints_str rj.rs_l2_cables));
+          ]))
     s.running;
   Array.iter
     (fun (f : finished_job) ->
@@ -186,6 +203,8 @@ let save ?(meta = []) ~path (s : Simulator.Snapshot.t) =
        ("requeued", int_ s.requeued);
        ("abandoned", int_ s.abandoned);
        ("lost_node_time", num s.lost_node_time);
+       ("shrunk", int_ s.shrunk);
+       ("grown", int_ s.grown);
        ("started_total", int_ s.started_total);
        ("cancelled", int_ s.cancelled);
        ("st_claims", int_ s.st_claims);
@@ -324,9 +343,9 @@ let load_ext ~path =
     if jstr header "record" <> magic then
       fail "%s: not a checkpoint file (bad magic)" path;
     let v = jint header "version" in
-    if v <> version then
-      fail "%s: unsupported checkpoint version %d (this build reads %d)" path v
-        version;
+    if v < oldest_readable_version || v > version then
+      fail "%s: unsupported checkpoint version %d (this build reads %d-%d)"
+        path v oldest_readable_version version;
     let jobs = ref [] and faults = ref [] and events = ref [] in
     let running = ref [] and finished = ref [] and samples = ref [] in
     let engine = ref None and acc = ref None in
@@ -336,10 +355,23 @@ let load_ext ~path =
       (fun f ->
         match jstr f "record" with
         | "job" ->
+            let size = jint f "size" in
+            let spec =
+              (* v1 rows (and v2 rigid rows) carry no size-spec fields. *)
+              if Obs.Json.mem f "min" then
+                Trace.Job.Moldable
+                  {
+                    min_size = jint f "min";
+                    max_size = jint f "max";
+                    pref = size;
+                  }
+              else Trace.Job.Rigid size
+            in
             jobs :=
               {
                 Trace.Job.id = jint f "id";
-                size = jint f "size";
+                size;
+                spec;
                 runtime = jnum f "runtime";
                 est_runtime = jnum f "est";
                 arrival = jnum f "arrival";
@@ -380,6 +412,7 @@ let load_ext ~path =
               {
                 rs_job = jint f "id";
                 rs_attempt = jint f "attempt";
+                rs_epoch = (if Obs.Json.mem f "epoch" then jint f "epoch" else 0);
                 rs_start = jnum f "start";
                 rs_end = jnum f "end";
                 rs_est_end = jnum f "est_end";
@@ -434,6 +467,8 @@ let load_ext ~path =
             resubmit_delay = jnum header "resubmit_delay";
             max_retries = jint header "max_retries";
             charge_lost_work = jint header "charge_lost_work" <> 0;
+            shrink =
+              Obs.Json.mem header "shrink" && jint header "shrink" <> 0;
           };
         trace_name = jstr header "trace";
         system_nodes = jint header "system_nodes";
@@ -469,6 +504,9 @@ let load_ext ~path =
         requeued = jint acc "requeued";
         abandoned = jint acc "abandoned";
         lost_node_time = jnum acc "lost_node_time";
+        (* Absent in version-1 files: molding did not exist. *)
+        shrunk = (if Obs.Json.mem acc "shrunk" then jint acc "shrunk" else 0);
+        grown = (if Obs.Json.mem acc "grown" then jint acc "grown" else 0);
         started_total = jint acc "started_total";
         (* Absent in pre-daemon checkpoint files: no cancellations. *)
         cancelled =

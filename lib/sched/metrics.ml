@@ -26,6 +26,8 @@ type t = {
   requeued : int;
   abandoned : int;
   lost_node_time : float;
+  shrunk : int;
+  grown : int;
   healthy_fraction : float;
   util_vs_healthy : float;
   series : (float * float) array;
@@ -85,6 +87,12 @@ let json_fields m =
       i "requeued" m.requeued;
       i "abandoned" m.abandoned;
       n "lost_node_time" m.lost_node_time;
+    ]
+  (* The molding counters appear only when molding actually happened, so
+     every pre-molding row (and its fingerprint) is byte-identical. *)
+  @ (if m.shrunk > 0 then [ i "shrunk" m.shrunk ] else [])
+  @ (if m.grown > 0 then [ i "grown" m.grown ] else [])
+  @ [
       n "healthy_fraction" m.healthy_fraction;
       n "util_vs_healthy" m.util_vs_healthy;
       i "series_points" (Array.length m.series);
@@ -197,6 +205,8 @@ let of_json ~series fields =
               requeued = int "requeued";
               abandoned = int "abandoned";
               lost_node_time = num "lost_node_time";
+              shrunk = (if Obs.Json.mem fields "shrunk" then int "shrunk" else 0);
+              grown = (if Obs.Json.mem fields "grown" then int "grown" else 0);
               healthy_fraction = num "healthy_fraction";
               util_vs_healthy = num "util_vs_healthy";
               series;
@@ -225,6 +235,8 @@ let pp_row ppf m =
       (100.0 *. m.healthy_fraction)
       (100.0 *. m.util_vs_healthy)
       m.interrupted m.requeued m.abandoned m.lost_node_time;
+  if m.shrunk > 0 || m.grown > 0 then
+    Format.fprintf ppf " | resized: shrunk=%d grown=%d" m.shrunk m.grown;
   (* A wedged queue is a result, not a footnote: jobs neither ran nor
      were rejected, and no other number accounts for them. *)
   if m.stuck_pending > 0 then

@@ -59,6 +59,16 @@ type t = {
       (** Node-seconds of killed work ("lost node-hours" in the trace's
           time unit).  With [charge_lost_work = false], only abandoning
           kills are charged. *)
+  shrunk : int;
+      (** Fault recoveries by in-place shrink (the [resilience.shrink]
+          policy): moldable jobs that lost nodes but kept running on the
+          survivors instead of being killed.  Serialized (and printed)
+          only when non-zero, so pre-molding rows and fingerprints are
+          byte-identical. *)
+  grown : int;
+      (** Idle-capacity grows of running moldable jobs (end-of-pass grow
+          on an empty queue plus accepted online resizes upward).  Same
+          only-when-non-zero serialization rule as [shrunk]. *)
   healthy_fraction : float;
       (** Time-weighted fraction of nodes not failed over the steady
           window; 1.0 on a healthy machine. *)

@@ -3,7 +3,9 @@ open Fattree
 (* What happens to a job whose partition loses a resource to a fault:
    the attempt is killed (its work is lost) and the job is either
    resubmitted after [resubmit_delay] — at most [max_retries] times —
-   or abandoned. *)
+   or abandoned.  With [shrink] set, a moldable job that only lost
+   nodes (no cables) and can still meet its minimum size is resized in
+   place instead — no work is lost and no kill is counted. *)
 type resilience = {
   requeue : bool;
   resubmit_delay : float;
@@ -11,10 +13,17 @@ type resilience = {
   charge_lost_work : bool;
       (* true: every killed attempt's node-seconds count as lost work;
          false: only abandoning kills are charged. *)
+  shrink : bool;
 }
 
 let no_resilience =
-  { requeue = false; resubmit_delay = 0.0; max_retries = 0; charge_lost_work = true }
+  {
+    requeue = false;
+    resubmit_delay = 0.0;
+    max_retries = 0;
+    charge_lost_work = true;
+    shrink = false;
+  }
 
 type config = {
   allocator : Allocator.t;
@@ -68,11 +77,12 @@ let default_config allocator ~radix = Config.make ~radix allocator
 
 type running = {
   r_job : Trace.Job.t;
-  r_alloc : Alloc.t;
+  r_alloc : Alloc.t; (* [r_alloc.size] is the granted size *)
   r_start : float;
   r_end : float; (* actual completion *)
   r_est_end : float; (* what the scheduler believes: start + user estimate *)
   r_attempt : int; (* 0 for the first run, +1 per requeue *)
+  r_epoch : int; (* +1 per in-place resize of this attempt *)
 }
 
 type sim = {
@@ -119,6 +129,8 @@ type sim = {
   mutable requeued : int;
   mutable abandoned : int;
   mutable lost_node_time : float;
+  mutable shrunk : int; (* fault recoveries by in-place shrink *)
+  mutable grown : int; (* idle-capacity grows of moldable jobs *)
   (* observability *)
   mutable started_total : int; (* jobs started, for Pass_end deltas *)
   mutable reserved : (int * float) option; (* live head reservation *)
@@ -150,15 +162,25 @@ let record sim =
       Fattree.State.failed_node_count sim.st )
     :: sim.samples
 
-let job_runtime sim (j : Trace.Job.t) =
-  if sim.cfg.allocator.isolating then
-    Trace.Scenario.isolated_runtime sim.cfg.scenario ~seed:sim.cfg.scenario_seed j
-  else j.runtime
+(* The base runtime (and the scenario speedup draw) is always computed
+   at the job's nominal size, then scaled work-conservingly by the
+   granted size — so a moldable job's behaviour is a deterministic
+   function of (job, granted), not of the molding history. *)
+let job_runtime sim (j : Trace.Job.t) ~granted =
+  let base =
+    if sim.cfg.allocator.isolating then
+      Trace.Scenario.isolated_runtime sim.cfg.scenario
+        ~seed:sim.cfg.scenario_seed j
+    else j.runtime
+  in
+  Trace.Job.scale_runtime j ~granted base
 
 (* What the scheduler plans with: the user's wall-time request.  It never
    shrinks with the isolation scenario (users do not re-estimate), so all
-   reservation and backfill decisions stay conservative. *)
-let job_estimate (j : Trace.Job.t) = j.est_runtime
+   reservation and backfill decisions stay conservative — but it does
+   stretch with a smaller grant, or the estimate would undershoot. *)
+let job_estimate (j : Trace.Job.t) ~granted =
+  Trace.Job.scale_runtime j ~granted j.est_runtime
 
 let timed sim f =
   let t0 = Unix.gettimeofday () in
@@ -268,6 +290,15 @@ let net_retract sim job =
    each: the probe state's arrays are bit-identical to a fresh clone's
    (same blit), so verdicts and fingerprints are unchanged. *)
 let reservation (alloc : Allocator.t) ~scratch ~running ~job =
+  (* Size-negotiating probe with failure provenance collapsed: for rigid
+     jobs this is exactly [try_alloc], so pre-molding reservations are
+     unchanged; a moldable head reserves the largest grant its
+     [min_size, pref] range admits at each candidate instant. *)
+  let try_sized st j =
+    match alloc.Allocator.probe_sized st j with
+    | Allocator.Sized { alloc = a; _ } -> Some a
+    | Allocator.Sized_no_fit | Allocator.Sized_gave_up -> None
+  in
   let completions =
     List.sort (fun (a, _) (b, _) -> compare a b) running |> Array.of_list
   in
@@ -294,7 +325,7 @@ let reservation (alloc : Allocator.t) ~scratch ~running ~job =
       for i = 0 to k do
         List.iter (fun a -> State.release probe a) (snd groups.(i))
       done;
-      alloc.try_alloc probe job
+      try_sized probe job
     in
     match attempt (g - 1) with
     | None -> None
@@ -320,7 +351,7 @@ let reservation (alloc : Allocator.t) ~scratch ~running ~job =
       if k >= g then None
       else begin
         List.iter (fun a -> State.release probe a) (snd groups.(k));
-        match alloc.try_alloc probe job with
+        match try_sized probe job with
         | Some a -> Some (fst groups.(k), a)
         | None -> walk (k + 1)
       end
@@ -338,15 +369,18 @@ let probe_memo sim (j : Trace.Job.t) =
     Hashtbl.reset sim.nofit;
     sim.nofit_release_gen <- rg
   end;
-  let key = (j.size, j.bw_class) in
+  (* The sized probe's only definitive failure is infeasibility at the
+     job's minimum size, so that is the memo key — for rigid jobs it
+     equals [j.size] and the memo behaves exactly as before. *)
+  let key = (Trace.Job.min_size j, j.bw_class) in
   if Hashtbl.mem sim.nofit key then (Obs.Event.Memo_hit, None)
   else
-    match sim.cfg.allocator.probe sim.st j with
-    | Allocator.Alloc a -> (Obs.Event.Fit, Some a)
-    | Allocator.No_fit ->
+    match sim.cfg.allocator.probe_sized sim.st j with
+    | Allocator.Sized { alloc = a; granted = _ } -> (Obs.Event.Fit, Some a)
+    | Allocator.Sized_no_fit ->
         Hashtbl.replace sim.nofit key ();
         (Obs.Event.Infeasible, None)
-    | Allocator.Gave_up -> (Obs.Event.Exhausted, None)
+    | Allocator.Sized_gave_up -> (Obs.Event.Exhausted, None)
 
 (* The instrumented probe: the memoized search runs under both clocks
    (the metric's [sched_clock] inside, the profiling span outside, so
@@ -391,14 +425,19 @@ let probe_job sim ~ctx (j : Trace.Job.t) =
 let rec start_job sim ~ctx (j : Trace.Job.t) (alloc : Alloc.t) =
   State.claim_exn ~validate:false sim.st alloc;
   let now = Sim.Engine.now sim.engine in
-  let dur = job_runtime sim j in
+  (* [alloc.size] is the granted size — the sized probe may have molded
+     the job below its nominal request.  For rigid jobs it equals
+     [j.size], so everything below reduces to the pre-molding code. *)
+  let granted = alloc.Alloc.size in
+  let dur = job_runtime sim j ~granted in
   let r_end = now +. dur in
+  let est_end = now +. job_estimate j ~granted in
   let attempt = Option.value (Hashtbl.find_opt sim.kills j.id) ~default:0 in
   Hashtbl.replace sim.running j.id
     { r_job = j; r_alloc = alloc; r_start = now; r_end;
-      r_est_end = now +. job_estimate j; r_attempt = attempt };
+      r_est_end = est_end; r_attempt = attempt; r_epoch = 0 };
   sim.alloc_busy <- sim.alloc_busy + Array.length alloc.nodes;
-  sim.req_busy <- sim.req_busy + j.size;
+  sim.req_busy <- sim.req_busy + granted;
   sim.last_start_time <- now;
   sim.started_total <- sim.started_total + 1;
   if sim.first_start_time < 0.0 then sim.first_start_time <- now;
@@ -419,26 +458,29 @@ let rec start_job sim ~ctx (j : Trace.Job.t) (alloc : Alloc.t) =
           nodes = Array.length alloc.nodes;
           leaf_cables = Array.length alloc.leaf_cables;
           l2_cables = Array.length alloc.l2_cables;
-          est_end = now +. job_estimate j;
+          est_end;
           attempt;
         });
   net_install sim alloc;
   (* The attempt number guards against a stale completion: a killed and
-     requeued job must not be finished by its first attempt's event. *)
+     requeued job must not be finished by its first attempt's event.
+     Likewise the epoch (suffixed only when non-zero, so pre-resize tags
+     are byte-identical): a resized attempt must not be finished by its
+     pre-resize completion event. *)
   Sim.Engine.schedule sim.engine ~time:r_end ~priority:0
     ~tag:(Printf.sprintf "c:%d:%d" j.id attempt)
-    (fun _ -> complete_job sim j.id ~attempt);
+    (fun _ -> complete_job sim j.id ~attempt ~epoch:0);
   record sim
 
-and complete_job sim id ~attempt =
+and complete_job sim id ~attempt ~epoch =
   match Hashtbl.find_opt sim.running id with
   | None -> ()
-  | Some r when r.r_attempt <> attempt -> ()
+  | Some r when r.r_attempt <> attempt || r.r_epoch <> epoch -> ()
   | Some r ->
       Hashtbl.remove sim.running id;
       State.release sim.st r.r_alloc;
       sim.alloc_busy <- sim.alloc_busy - Array.length r.r_alloc.nodes;
-      sim.req_busy <- sim.req_busy - r.r_job.size;
+      sim.req_busy <- sim.req_busy - r.r_alloc.Alloc.size;
       sim.finished <-
         { Metrics.job = r.r_job; start_time = r.r_start; end_time = r.r_end }
         :: sim.finished;
@@ -452,6 +494,117 @@ and complete_job sim id ~attempt =
       net_retract sim id;
       record sim;
       request_pass sim
+
+(* Swap a running job's allocation for a replacement at a new granted
+   size (the two-step release/claim the resize verdicts are specified
+   against), compressing the remaining work onto the new node count:
+   remaining node-seconds are conserved, so the time left scales by
+   [old/new].  The epoch bump strands the superseded completion event —
+   its guard in [complete_job] drops it — and a fresh one is scheduled
+   under the epoch-suffixed tag, which checkpoints serialize like any
+   other pending event. *)
+and swap_alloc sim (r : running) (new_alloc : Alloc.t) =
+  let now = Sim.Engine.now sim.engine in
+  State.release sim.st r.r_alloc;
+  State.claim_exn ~validate:false sim.st new_alloc;
+  sim.alloc_busy <-
+    sim.alloc_busy - Array.length r.r_alloc.nodes + Array.length new_alloc.nodes;
+  sim.req_busy <- sim.req_busy - r.r_alloc.Alloc.size + new_alloc.Alloc.size;
+  let scale t =
+    now
+    +. (t -. now)
+       *. float_of_int r.r_alloc.Alloc.size
+       /. float_of_int new_alloc.Alloc.size
+  in
+  let r' =
+    {
+      r with
+      r_alloc = new_alloc;
+      r_end = scale r.r_end;
+      r_est_end = scale r.r_est_end;
+      r_epoch = r.r_epoch + 1;
+    }
+  in
+  Hashtbl.replace sim.running r.r_job.id r';
+  net_retract sim r.r_job.id;
+  net_install sim new_alloc;
+  Sim.Engine.schedule sim.engine ~time:r'.r_end ~priority:0
+    ~tag:(Printf.sprintf "c:%d:%d:%d" r.r_job.id r.r_attempt r'.r_epoch)
+    (fun _ -> complete_job sim r.r_job.id ~attempt:r.r_attempt ~epoch:r'.r_epoch);
+  record sim;
+  r'
+
+(* Molding up: when the queue has fully drained, offer idle capacity to
+   the running moldable jobs (in job-id order, for determinism) that
+   were granted less than their maximum.  Growth only ever uses
+   resources no queued job is waiting for — the pass runs strictly on an
+   empty queue — and each job takes the largest feasible target in
+   (granted, max], found by binary search on the resize probe. *)
+and grow_pass sim =
+  let candidates =
+    Hashtbl.fold
+      (fun _ r acc ->
+        if
+          Trace.Job.is_moldable r.r_job
+          && r.r_alloc.Alloc.size < Trace.Job.max_size r.r_job
+        then r :: acc
+        else acc)
+      sim.running []
+    |> List.sort (fun a b -> compare a.r_job.id b.r_job.id)
+  in
+  List.iter
+    (fun r0 ->
+      (* Re-read: an earlier grow in this pass (derived re-probe grows
+         can relocate) may have consumed the nodes this one planned on,
+         and the job may even have completed meanwhile (it cannot — no
+         time passes — but the lookup also drops any stale [r0]). *)
+      match Hashtbl.find_opt sim.running r0.r_job.id with
+      | None -> ()
+      | Some r when r.r_epoch <> r0.r_epoch -> ()
+      | Some r ->
+          let cur = r.r_alloc.Alloc.size in
+          let try_target target =
+            match
+              sim.cfg.allocator.try_resize sim.st r.r_job ~current:r.r_alloc
+                ~target
+            with
+            | Allocator.Resized a -> Some a
+            | Allocator.No_resize -> None
+          in
+          let upper = Trace.Job.max_size r.r_job in
+          let best =
+            match try_target upper with
+            | Some a -> Some (upper, a)
+            | None ->
+                (* Largest feasible target in (cur, upper): grow
+                   feasibility is antitone in the target for every
+                   bundled resize path, so binary search applies. *)
+                let lo = ref cur and hi = ref upper in
+                let best = ref None in
+                while !hi - !lo > 1 do
+                  let mid = (!lo + !hi) / 2 in
+                  match try_target mid with
+                  | Some a ->
+                      lo := mid;
+                      best := Some (mid, a)
+                  | None -> hi := mid
+                done;
+                !best
+          in
+          match best with
+          | None -> ()
+          | Some (target, new_alloc) ->
+              let r' = swap_alloc sim r new_alloc in
+              sim.grown <- sim.grown + 1;
+              emit sim (fun () ->
+                  Obs.Event.Resize
+                    {
+                      job = r.r_job.id;
+                      from_size = cur;
+                      to_size = target;
+                      new_end = r'.r_est_end;
+                    }))
+    candidates
 
 and request_pass sim =
   if not sim.pass_scheduled then begin
@@ -539,14 +692,19 @@ and run_pass sim =
         | None -> Some j)
   in
   match drain_head () with
-  | None -> ()
+  | None ->
+      (* Queue fully drained: no job is waiting on the idle capacity, so
+         offer it to the running moldable jobs.  A no-op on rigid
+         traces. *)
+      grow_pass sim
   | Some head when not sim.cfg.backfill ->
       (* Plain FIFO: the head simply waits for resources.  Oversized
          requests must still be rejected, or they would wedge the queue
          forever. *)
       if sim.first_blocked_time < 0.0 then
         sim.first_blocked_time <- Sim.Engine.now sim.engine;
-      if head.size > Fattree.Topology.num_nodes (State.topo sim.st) then begin
+      if Trace.Job.min_size head > Fattree.Topology.num_nodes (State.topo sim.st)
+      then begin
         ignore (Queue.pop sim.pending_ids);
         Hashtbl.remove sim.pending head.id;
         sim.rejected <- sim.rejected + 1;
@@ -559,7 +717,8 @@ and run_pass sim =
       (* Phase 2: reservation for the head... *)
       match timed sim (fun () -> compute_reservation sim head) with
       | None
-        when head.size > Fattree.Topology.num_nodes (State.topo sim.st)
+        when Trace.Job.min_size head
+             > Fattree.Topology.num_nodes (State.topo sim.st)
              || (not (State.has_failures sim.st))
              || sim.pending_repairs = 0 ->
           (* Definitively impossible: the job exceeds nameplate capacity,
@@ -641,12 +800,15 @@ and run_pass sim =
                  leak an allocation, so the guard is cheap insurance. *)
               if
                 Hashtbl.mem sim.pending j.id
-                && State.total_free_nodes sim.st >= j.size
+                && State.total_free_nodes sim.st >= Trace.Job.min_size j
               then begin
                 match probe_job sim ~ctx:Obs.Event.Backfill j with
                 | Some alloc ->
                     let now = Sim.Engine.now sim.engine in
-                    let fits_before = now +. job_estimate j <= res_time in
+                    let fits_before =
+                      now +. job_estimate j ~granted:alloc.Alloc.size
+                      <= res_time
+                    in
                     if fits_before || disjoint_from_reservation alloc then begin
                       Hashtbl.remove sim.pending j.id;
                       start_job sim ~ctx:Obs.Event.Backfill j alloc
@@ -677,7 +839,7 @@ let kill_job sim (r : running) =
   Hashtbl.remove sim.running r.r_job.id;
   State.release sim.st r.r_alloc;
   sim.alloc_busy <- sim.alloc_busy - Array.length r.r_alloc.nodes;
-  sim.req_busy <- sim.req_busy - r.r_job.size;
+  sim.req_busy <- sim.req_busy - r.r_alloc.Alloc.size;
   sim.interrupted <- sim.interrupted + 1;
   let now = Sim.Engine.now sim.engine in
   let kills =
@@ -687,16 +849,14 @@ let kill_job sim (r : running) =
   let requeue =
     sim.cfg.resilience.requeue && kills <= sim.cfg.resilience.max_retries
   in
+  (* The work lost is what the granted nodes actually computed: under
+     work-conserving molding a shrunk job burns [granted] node-seconds
+     per second, not its nominal request.  Equal for rigid jobs. *)
+  let lost = (now -. r.r_start) *. float_of_int r.r_alloc.Alloc.size in
   if sim.cfg.resilience.charge_lost_work || not requeue then
-    sim.lost_node_time <-
-      sim.lost_node_time +. ((now -. r.r_start) *. float_of_int r.r_job.size);
+    sim.lost_node_time <- sim.lost_node_time +. lost;
   emit sim (fun () ->
-      Obs.Event.Kill
-        {
-          job = r.r_job.id;
-          attempt = r.r_attempt;
-          lost = (now -. r.r_start) *. float_of_int r.r_job.size;
-        });
+      Obs.Event.Kill { job = r.r_job.id; attempt = r.r_attempt; lost });
   net_retract sim r.r_job.id;
   if requeue then begin
     sim.requeued <- sim.requeued + 1;
@@ -712,6 +872,53 @@ let kill_job sim (r : running) =
     emit sim (fun () ->
         Obs.Event.Abandon { job = r.r_job.id; attempt = r.r_attempt })
   end
+
+(* Fault recovery by molding (the [resilience.shrink] policy): a
+   moldable victim that only lost nodes — every cable intact — and can
+   still meet its minimum size retracts exactly the failed nodes' share
+   and compresses the remaining work onto the survivors.  No work is
+   lost and no kill/requeue/retry is consumed.  Anything else (cable
+   hit, would drop below [min_size], rigid job, allocator refuses) falls
+   back to the ordinary kill path. *)
+let shrink_or_kill sim (r : running) =
+  let alloc = r.r_alloc in
+  let failed_nodes =
+    Array.fold_left
+      (fun acc nd -> if State.node_failed sim.st nd then acc + 1 else acc)
+      0 alloc.Alloc.nodes
+  in
+  let cables_ok =
+    Array.for_all
+      (fun c -> not (State.leaf_cable_failed sim.st c))
+      alloc.Alloc.leaf_cables
+    && Array.for_all
+         (fun c -> not (State.l2_cable_failed sim.st c))
+         alloc.Alloc.l2_cables
+  in
+  let target = alloc.Alloc.size - failed_nodes in
+  if
+    not
+      (sim.cfg.resilience.shrink
+      && Trace.Job.is_moldable r.r_job
+      && cables_ok && failed_nodes > 0
+      && target >= Trace.Job.min_size r.r_job)
+  then kill_job sim r
+  else
+    match
+      sim.cfg.allocator.try_resize sim.st r.r_job ~current:alloc ~target
+    with
+    | Allocator.No_resize -> kill_job sim r
+    | Allocator.Resized new_alloc ->
+        sim.shrunk <- sim.shrunk + 1;
+        emit sim (fun () ->
+            Obs.Event.Shrink_recover
+              {
+                job = r.r_job.id;
+                attempt = r.r_attempt;
+                from_size = alloc.Alloc.size;
+                to_size = new_alloc.Alloc.size;
+              });
+        ignore (swap_alloc sim r new_alloc)
 
 let fault_event sim (e : Trace.Faults.event) =
   match e.kind with
@@ -785,10 +992,11 @@ let fault_event sim (e : Trace.Faults.event) =
           |> List.sort (fun a b -> compare a.r_job.id b.r_job.id)
         end
       in
-      List.iter (kill_job sim) victims;
+      List.iter (shrink_or_kill sim) victims;
       record sim;
       (* Kills released healthy resources; the fault alone only removed
-         some, so a pass is useful only after a kill. *)
+         some, so a pass is useful only after a kill (a shrink recovery
+         frees nothing healthy, but a pass is still harmless). *)
       if victims <> [] then request_pass sim
 
 (* ---- online operations (daemon front-end) -------------------------- *)
@@ -842,6 +1050,50 @@ let cancel sim id =
     request_pass sim;
     Cancelled
   end
+
+type resize_outcome = Resized_to of int | Resize_refused of string
+
+(* Online resize of a running moldable job to an explicit size within
+   its declared [min_size, max_size] range.  A refusal is a legitimate
+   reply, not corruption: the outcome is a deterministic function of the
+   simulation state and the arguments, so a WAL replay reproduces it. *)
+let resize sim id ~size =
+  let refuse fmt = Printf.ksprintf (fun m -> Resize_refused m) fmt in
+  if not (Hashtbl.mem sim.jobs_by_id id) then refuse "unknown job %d" id
+  else
+    match Hashtbl.find_opt sim.running id with
+    | None -> refuse "job %d is not running" id
+    | Some r when not (Trace.Job.is_moldable r.r_job) ->
+        refuse "job %d is rigid" id
+    | Some r
+      when size < Trace.Job.min_size r.r_job
+           || size > Trace.Job.max_size r.r_job ->
+        refuse "size %d outside job %d's moldable range [%d, %d]" size id
+          (Trace.Job.min_size r.r_job)
+          (Trace.Job.max_size r.r_job)
+    | Some r when size = r.r_alloc.Alloc.size -> Resized_to size
+    | Some r -> (
+        match
+          sim.cfg.allocator.try_resize sim.st r.r_job ~current:r.r_alloc
+            ~target:size
+        with
+        | Allocator.No_resize ->
+            refuse "no feasible allocation for job %d at size %d" id size
+        | Allocator.Resized new_alloc ->
+            let from_size = r.r_alloc.Alloc.size in
+            let r' = swap_alloc sim r new_alloc in
+            emit sim (fun () ->
+                Obs.Event.Resize
+                  {
+                    job = id;
+                    from_size;
+                    to_size = new_alloc.Alloc.size;
+                    new_end = r'.r_est_end;
+                  });
+            (* A shrink released healthy nodes the queue may be waiting
+               for; a grow consumed some — either way the pass is due. *)
+            request_pass sim;
+            Resized_to new_alloc.Alloc.size)
 
 let inject_fault sim (e : Trace.Faults.event) =
   if e.time < Sim.Engine.now sim.engine then
@@ -922,6 +1174,8 @@ let start cfg (w : Trace.Workload.t) =
       requeued = 0;
       abandoned = 0;
       lost_node_time = 0.0;
+      shrunk = 0;
+      grown = 0;
       started_total = 0;
       reserved = None;
       scratch = None;
@@ -1085,6 +1339,8 @@ let finish sim =
       requeued = sim.requeued;
       abandoned = sim.abandoned;
       lost_node_time = sim.lost_node_time;
+      shrunk = sim.shrunk;
+      grown = sim.grown;
       healthy_fraction;
       util_vs_healthy;
       series =
@@ -1108,10 +1364,11 @@ module Snapshot = struct
   type running_job = {
     rs_job : int;
     rs_attempt : int;
+    rs_epoch : int;  (** 0 unless the attempt was resized in place. *)
     rs_start : float;
     rs_end : float;
     rs_est_end : float;
-    rs_size : int;
+    rs_size : int;  (** The granted size ([r_alloc.size]). *)
     rs_bw : float;
     rs_nodes : int array;
     rs_leaf_cables : int array;
@@ -1163,6 +1420,8 @@ module Snapshot = struct
     requeued : int;
     abandoned : int;
     lost_node_time : float;
+    shrunk : int;
+    grown : int;
     started_total : int;
     cancelled : int;
     (* state operation counters *)
@@ -1200,6 +1459,7 @@ let snapshot sim : Snapshot.t =
         {
           Snapshot.rs_job = r.r_job.id;
           rs_attempt = r.r_attempt;
+          rs_epoch = r.r_epoch;
           rs_start = r.r_start;
           rs_end = r.r_end;
           rs_est_end = r.r_est_end;
@@ -1276,6 +1536,8 @@ let snapshot sim : Snapshot.t =
     requeued = sim.requeued;
     abandoned = sim.abandoned;
     lost_node_time = sim.lost_node_time;
+    shrunk = sim.shrunk;
+    grown = sim.grown;
     started_total = sim.started_total;
     cancelled = sim.cancelled;
     st_claims = State.claim_count sim.st;
@@ -1387,6 +1649,7 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof ?net (s : Snapshot.t) =
             r_end = r.rs_end;
             r_est_end = r.rs_est_end;
             r_attempt = r.rs_attempt;
+            r_epoch = r.rs_epoch;
           })
       s.running;
     (* Overwrite the op tallies so generations (and hence the no-fit
@@ -1444,6 +1707,8 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof ?net (s : Snapshot.t) =
         requeued = s.requeued;
         abandoned = s.abandoned;
         lost_node_time = s.lost_node_time;
+        shrunk = s.shrunk;
+        grown = s.grown;
         started_total = s.started_total;
         reserved = s.reserved;
         scratch = None;
@@ -1476,7 +1741,12 @@ let of_snapshot ?(sink = Obs.Sink.null) ?prof ?net (s : Snapshot.t) =
               fun _ -> arrive sim j
           | [ "c"; id; attempt ] ->
               let id = int_of_string id and attempt = int_of_string attempt in
-              fun _ -> complete_job sim id ~attempt
+              fun _ -> complete_job sim id ~attempt ~epoch:0
+          | [ "c"; id; attempt; epoch ] ->
+              let id = int_of_string id
+              and attempt = int_of_string attempt
+              and epoch = int_of_string epoch in
+              fun _ -> complete_job sim id ~attempt ~epoch
           | [ "f"; idx ] ->
               let i = int_of_string idx in
               if i < 0 || i >= Array.length fault_arr then

@@ -37,10 +37,22 @@ type resilience = {
   charge_lost_work : bool;
       (** [true]: every killed attempt's node-seconds count into
           [Metrics.lost_node_time]; [false]: only abandoning kills. *)
+  shrink : bool;
+      (** Recover moldable victims by molding instead of killing: a
+          running moldable job that lost only nodes (no cables) to a
+          fault and can still meet its [min_size] is shrunk in place via
+          the allocator's [try_resize] — the failed nodes' share is
+          retracted, the remaining work is compressed onto the
+          survivors, and nothing counts as interrupted, requeued or
+          lost.  Jobs the shrink cannot save (cable hit, below minimum,
+          rigid) fall back to the ordinary kill/requeue path.  Inert on
+          rigid traces: fingerprints are bit-identical with it on or
+          off. *)
 }
 
 val no_resilience : resilience
-(** No requeue, zero delay, zero retries, charge everything. *)
+(** No requeue, zero delay, zero retries, charge everything, no shrink
+    recovery. *)
 
 type config = private {
   allocator : Allocator.t;
@@ -213,6 +225,23 @@ val cancel : t -> int -> cancel_outcome
     rejected, abandoned or not yet arrived — a cancel never kills a
     running allocation. *)
 
+type resize_outcome =
+  | Resized_to of int  (** The new granted size (echoes the request). *)
+  | Resize_refused of string
+      (** Why not: unknown/not-running/rigid job, size outside the
+          declared range, or no feasible allocation at the target.  A
+          legitimate reply, not an error — the caller's request was
+          well-formed, the cluster just cannot honour it. *)
+
+val resize : t -> int -> size:int -> resize_outcome
+(** Resize a {e running} moldable job to an explicit size within its
+    declared [min_size, max_size] range, through the allocator's
+    [try_resize] (in-place shrink for every scheme; partition-native or
+    re-probing grow).  Applies immediately at the current clock and
+    requests a scheduling pass (a shrink frees nodes the queue may
+    want).  Deterministic, like the other online operations, so WAL
+    replay reproduces the outcome. *)
+
 val inject_fault : t -> Trace.Faults.event -> (unit, string) result
 (** Append a fail/repair event to the live fault history and schedule
     it.  [Error] on a time before the clock or an out-of-range target.
@@ -251,17 +280,24 @@ module Snapshot : sig
     ev_tag : string;
   }
   (** One pending engine event, serialized logically: the tag names the
-      closure (["a:<job>"] arrival, ["c:<job>:<attempt>"] completion,
-      ["f:<index>"] fault event) and the exact sequence number preserves
-      same-instant FIFO tie-breaking across the restore. *)
+      closure (["a:<job>"] arrival, ["c:<job>:<attempt>"] completion —
+      with an extra [":<epoch>"] part once the attempt has been resized
+      in place — ["f:<index>"] fault event) and the exact sequence
+      number preserves same-instant FIFO tie-breaking across the
+      restore. *)
 
   type running_job = {
     rs_job : int;
     rs_attempt : int;
+    rs_epoch : int;
+        (** In-place resizes applied to this attempt (0 before any);
+            completion events carry the epoch they were scheduled under,
+            so a superseded completion is dropped exactly like a stale
+            attempt's. *)
     rs_start : float;
     rs_end : float;
     rs_est_end : float;
-    rs_size : int;
+    rs_size : int;  (** The {e granted} size ([alloc.size]). *)
     rs_bw : float;
     rs_nodes : int array;
     rs_leaf_cables : int array;
@@ -309,6 +345,8 @@ module Snapshot : sig
     requeued : int;
     abandoned : int;
     lost_node_time : float;
+    shrunk : int;
+    grown : int;
     started_total : int;
     cancelled : int;
     st_claims : int;

@@ -51,6 +51,10 @@ let fault_tag ~faults ~resilience =
       (Printf.sprintf "%b %.17g %d %b" r.Simulator.requeue
          r.Simulator.resubmit_delay r.Simulator.max_retries
          r.Simulator.charge_lost_work);
+    (* Appended only when set, so every pre-existing tag (and thus cell
+       id, manifest key and baseline fingerprint listing) is unchanged
+       for runs that never enable shrink recovery. *)
+    if r.Simulator.shrink then Buffer.add_string b " shrink";
     String.sub (Digest.to_hex (Digest.string (Buffer.contents b))) 0 8
   end
 

@@ -44,6 +44,9 @@ let params_to_fields p =
     ("resubmit_delay", Obs.Json.Num p.resilience.resubmit_delay);
     ("max_retries", num_i p.resilience.max_retries);
     ("charge_lost_work", num_b p.resilience.charge_lost_work);
+  ]
+  @ (if p.resilience.shrink then [ ("shrink", num_b true) ] else [])
+  @ [
     ("trace_name", Obs.Json.Str p.trace_name);
     ("system_nodes", num_i p.system_nodes);
   ]
@@ -64,6 +67,10 @@ let params_of_fields fields =
             resubmit_delay = Obs.Json.num fields "resubmit_delay";
             max_retries = Obs.Json.int fields "max_retries";
             charge_lost_work = Obs.Json.int fields "charge_lost_work" <> 0;
+            (* Absent in configs written before molding existed. *)
+            shrink =
+              Obs.Json.mem fields "shrink"
+              && Obs.Json.int fields "shrink" <> 0;
           };
         trace_name = Obs.Json.str fields "trace_name";
         system_nodes = Obs.Json.int fields "system_nodes";
@@ -193,6 +200,7 @@ let checkpoint t ~path =
 type op =
   | Submit of Trace.Job.t  (* arrival = the op's stamp *)
   | Cancel of int
+  | Resize of int * int  (* job id, requested granted size *)
   | Fault of Trace.Faults.event  (* time = the op's stamp *)
   | Drain
 
@@ -205,23 +213,44 @@ let admit t ~stamp (req : Protocol.request) =
   | Some _ -> Error "simulation already drained"
   | None -> (
       match req with
-      | Protocol.Submit { id; size; runtime; est_runtime; bw_class } -> (
+      | Protocol.Submit
+          { id; size; min_size; max_size; runtime; est_runtime; bw_class }
+        -> (
           let id =
             match id with
             | Some i -> i
             | None -> t.next_job_id
+          in
+          let spec =
+            match (min_size, max_size) with
+            | None, None -> None  (* classical rigid submission *)
+            | _ ->
+                Some
+                  (Trace.Job.Moldable
+                     {
+                       min_size = Option.value ~default:size min_size;
+                       max_size = Option.value ~default:size max_size;
+                       pref = size;
+                     })
           in
           if id < 0 then Error "job id must be non-negative"
           else if Sched.Simulator.known_job t.sim id then
             Error (Printf.sprintf "duplicate job id %d" id)
           else
             match
-              Trace.Job.v ~arrival:stamp ?bw_class ?est_runtime ~id ~size
-                ~runtime ()
+              Trace.Job.v ~arrival:stamp ?bw_class ?est_runtime ?spec ~id
+                ~size ~runtime ()
             with
             | j -> Ok (Submit j)
             | exception Invalid_argument m -> Error m)
       | Protocol.Cancel { id } -> Ok (Cancel id)
+      | Protocol.Resize { id; size } ->
+          (* Whether the engine will grant the resize depends on the
+             state at apply time; the verdict is part of the reply, not
+             of admission.  Both verdicts are deterministic, so WAL
+             replay reproduces them. *)
+          if size <= 0 then Error "size must be positive"
+          else Ok (Resize (id, size))
       | Protocol.Fault { kind; target } -> (
           match Trace.Faults.resources t.topo target with
           | exception Invalid_argument m -> Error m
@@ -252,14 +281,23 @@ let fields_of_op ~stamp ~rid op =
   | Submit j ->
       ("op", Obs.Json.Str "submit")
       :: envelope
-           [
-             ("id", num_i j.id);
-             ("size", num_i j.size);
-             ("runtime", Obs.Json.Num j.runtime);
-             ("est", Obs.Json.Num j.est_runtime);
-             ("bw", Obs.Json.Num j.bw_class);
-           ]
+           ([
+              ("id", num_i j.id);
+              ("size", num_i j.size);
+            ]
+           @ (match j.spec with
+             | Trace.Job.Rigid _ -> []  (* keep rigid entries v1-shaped *)
+             | Trace.Job.Moldable { min_size; max_size; _ } ->
+                 [ ("min", num_i min_size); ("max", num_i max_size) ])
+           @ [
+               ("runtime", Obs.Json.Num j.runtime);
+               ("est", Obs.Json.Num j.est_runtime);
+               ("bw", Obs.Json.Num j.bw_class);
+             ])
   | Cancel id -> ("op", Obs.Json.Str "cancel") :: envelope [ ("id", num_i id) ]
+  | Resize (id, size) ->
+      ("op", Obs.Json.Str "resize")
+      :: envelope [ ("id", num_i id); ("size", num_i size) ]
   | Fault e ->
       ( "op",
         Obs.Json.Str
@@ -282,18 +320,42 @@ let op_of_fields fields =
     in
     match Obs.Json.str fields "op" with
     | "submit" -> (
+        let size = Obs.Json.int fields "size" in
+        let spec =
+          if Obs.Json.mem fields "min" || Obs.Json.mem fields "max" then
+            Some
+              (Trace.Job.Moldable
+                 {
+                   min_size =
+                     (if Obs.Json.mem fields "min" then
+                        Obs.Json.int fields "min"
+                      else size);
+                   max_size =
+                     (if Obs.Json.mem fields "max" then
+                        Obs.Json.int fields "max"
+                      else size);
+                   pref = size;
+                 })
+          else None
+        in
         match
           Trace.Job.v ~arrival:stamp
             ~bw_class:(Obs.Json.num fields "bw")
             ~est_runtime:(Obs.Json.num fields "est")
+            ?spec
             ~id:(Obs.Json.int fields "id")
-            ~size:(Obs.Json.int fields "size")
+            ~size
             ~runtime:(Obs.Json.num fields "runtime")
             ()
         with
         | j -> Ok (stamp, rid, Submit j)
         | exception Invalid_argument m -> Error ("bad submit entry: " ^ m))
     | "cancel" -> Ok (stamp, rid, Cancel (Obs.Json.int fields "id"))
+    | "resize" ->
+        Ok
+          ( stamp,
+            rid,
+            Resize (Obs.Json.int fields "id", Obs.Json.int fields "size") )
     | ("fail" | "repair") as op -> (
         match
           Trace.Faults.target_of_name
@@ -334,6 +396,15 @@ let apply t ~seq ~rid ~stamp op =
           | Sched.Simulator.Unknown_job -> "unknown-job"
         in
         [ ("outcome", Obs.Json.Str outcome) ]
+    | Resize (id, size) -> (
+        match Sched.Simulator.resize sim id ~size with
+        | Sched.Simulator.Resized_to n ->
+            [ ("outcome", Obs.Json.Str "resized"); ("size", num_i n) ]
+        | Sched.Simulator.Resize_refused m ->
+            [
+              ("outcome", Obs.Json.Str "refused");
+              ("reason", Obs.Json.Str m);
+            ])
     | Fault e ->
         (match Sched.Simulator.inject_fault sim e with
         | Ok () -> ()

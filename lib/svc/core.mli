@@ -68,6 +68,11 @@ val metrics : t -> Sched.Metrics.t option
 type op =
   | Submit of Trace.Job.t  (** Arrival = the op's stamp. *)
   | Cancel of int
+  | Resize of int * int
+      (** Job id, requested granted size.  Journaled even when the
+          engine refuses (rigid job, out of range, no room): the verdict
+          depends on apply-time state, is deterministic given it, and so
+          replays identically. *)
   | Fault of Trace.Faults.event  (** Time = the op's stamp. *)
   | Drain
 

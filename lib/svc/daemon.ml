@@ -309,7 +309,7 @@ let exec st c line =
   | Error (code, msg) ->
       Obs.Prof.incr st.prof "svc/malformed";
       send st c (Protocol.error_reply ~rid:None code msg)
-  | Ok { rid; at; req } -> (
+  | Ok { rid; at; version = _; req } -> (
       let invalid msg = send st c (Protocol.error_reply ~rid Protocol.Invalid msg) in
       match req with
       | Protocol.Ping ->
@@ -396,8 +396,8 @@ let exec st c line =
             Unix.putenv "JIGSAW_SVC_CRASH" point;
             send st c (Protocol.ok_reply rid)
           end
-      | Protocol.Submit _ | Protocol.Cancel _ | Protocol.Fault _
-      | Protocol.Drain -> (
+      | Protocol.Submit _ | Protocol.Cancel _ | Protocol.Resize _
+      | Protocol.Fault _ | Protocol.Drain -> (
           (* Journaled ops. *)
           match rid with
           | Some r when Core.find_rid st.core r <> None ->

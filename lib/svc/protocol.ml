@@ -10,11 +10,14 @@ type request =
   | Submit of {
       id : int option;  (** Daemon assigns the next id when absent. *)
       size : int;
+      min_size : int option;  (** Moldable lower bound; absent = rigid. *)
+      max_size : int option;  (** Moldable upper bound; absent = rigid. *)
       runtime : float;
       est_runtime : float option;
       bw_class : float option;
     }
   | Cancel of { id : int }
+  | Resize of { id : int; size : int }
   | Fault of { kind : Trace.Faults.kind; target : Trace.Faults.target }
   | Advance of { upto : float }
   | Drain
@@ -24,7 +27,18 @@ type request =
   | Shutdown
   | Crash of { point : string }
 
-type envelope = { rid : string option; at : float option; req : request }
+type envelope = {
+  rid : string option;
+  at : float option;
+  version : int;
+  req : request;
+}
+
+(* Version 1 is the pre-molding wire format; version 2 adds the
+   [version] field itself, [min]/[max] on submit and the [resize] op.
+   A request with no [version] field is a v1 client and is always
+   accepted — v2 is a strict superset. *)
+let current_version = 2
 
 type error_code =
   | Parse_failed  (** Not a flat JSON line. *)
@@ -71,6 +85,8 @@ let request_of_fields fields =
              {
                id = opt_int fields "id";
                size;
+               min_size = opt_int fields "min";
+               max_size = opt_int fields "max";
                runtime;
                est_runtime =
                  Option.map (finite "est_runtime")
@@ -78,6 +94,10 @@ let request_of_fields fields =
                bw_class = Option.map (finite "bw") (opt_num fields "bw");
              })
   | "cancel" -> Ok (Cancel { id = Obs.Json.int fields "id" })
+  | "resize" ->
+      let size = Obs.Json.int fields "size" in
+      if size <= 0 then Error "size must be positive"
+      else Ok (Resize { id = Obs.Json.int fields "id"; size })
   | "fail" | "repair" -> (
       let op = Obs.Json.str fields "op" in
       let kind =
@@ -105,15 +125,28 @@ let request_of_line line =
   | exception Obs.Json.Parse_error m -> Error (Parse_failed, m)
   | fields -> (
       let rid = try opt_str fields "rid" with Obs.Json.Parse_error _ -> None in
-      match request_of_fields fields with
-      | Ok req -> (
-          (* [rid]/[at] validated after op dispatch so a malformed
-             envelope still reports against the right request. *)
-          match Option.map (finite "at") (opt_num fields "at") with
-          | at -> Ok { rid; at; req }
-          | exception Obs.Json.Parse_error m -> Error (Bad_request, m))
-      | Error m -> Error (Bad_request, m)
-      | exception Obs.Json.Parse_error m -> Error (Bad_request, m))
+      (* Version gates op dispatch: a client speaking a newer protocol
+         may use ops this daemon has never heard of, and "upgrade the
+         daemon" is the actionable error, not "unknown op". *)
+      match opt_int fields "version" with
+      | Some v when v < 1 || v > current_version ->
+          Error
+            ( Bad_request,
+              Printf.sprintf
+                "unsupported protocol version %d (daemon speaks 1..%d)" v
+                current_version )
+      | exception Obs.Json.Parse_error m -> Error (Bad_request, m)
+      | version -> (
+          let version = Option.value ~default:1 version in
+          match request_of_fields fields with
+          | Ok req -> (
+              (* [rid]/[at] validated after op dispatch so a malformed
+                 envelope still reports against the right request. *)
+              match Option.map (finite "at") (opt_num fields "at") with
+              | at -> Ok { rid; at; version; req }
+              | exception Obs.Json.Parse_error m -> Error (Bad_request, m))
+          | Error m -> Error (Bad_request, m)
+          | exception Obs.Json.Parse_error m -> Error (Bad_request, m)))
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)

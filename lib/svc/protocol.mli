@@ -6,7 +6,16 @@
     (logical timestamp; ignored in wall-clock mode).  Parsing is total —
     {!request_of_line} never raises, whatever the bytes.
 
-    Ops: [submit] (size, runtime, [est_runtime]?, [bw]?, [id]?), [cancel] (id),
+    Requests may also carry a ["version"] field naming the protocol
+    version the client speaks.  Absent means version 1 (the pre-molding
+    wire format) and is always accepted; version 2 adds [min]/[max] on
+    submit and the [resize] op.  A version outside [1..current_version]
+    is rejected with [Bad_request] before op dispatch, so newer clients
+    get "upgrade the daemon" rather than "unknown op".
+
+    Ops: [submit] (size, runtime, [est_runtime]?, [bw]?, [id]?, and
+    [min]/[max] for a moldable request), [cancel] (id),
+    [resize] (id, size — molds a running moldable job in place),
     [fail]/[repair] (target, index — names as in fault-script files),
     [advance] (to — logical mode only), [drain], [status], [stats]
     (operational counters: uptime, ops applied, WAL/checkpoint state,
@@ -20,11 +29,18 @@ type request =
   | Submit of {
       id : int option;  (** Daemon assigns the next id when absent. *)
       size : int;
+      min_size : int option;  (** Moldable lower bound; absent = rigid. *)
+      max_size : int option;  (** Moldable upper bound; absent = rigid. *)
       runtime : float;
       est_runtime : float option;
       bw_class : float option;  (** LC+S bandwidth class, default 0.25. *)
     }
   | Cancel of { id : int }
+  | Resize of { id : int; size : int }
+      (** Mold a running moldable job to [size] nodes in place.  The
+          reply reports the engine's verdict — a refusal (rigid job, out
+          of range, no room to grow) is an ordinary reply, not an
+          error. *)
   | Fault of { kind : Trace.Faults.kind; target : Trace.Faults.target }
   | Advance of { upto : float }
   | Drain
@@ -34,7 +50,15 @@ type request =
   | Shutdown
   | Crash of { point : string }
 
-type envelope = { rid : string option; at : float option; req : request }
+type envelope = {
+  rid : string option;
+  at : float option;
+  version : int;  (** Protocol version claimed by the client; 1 if absent. *)
+  req : request;
+}
+
+val current_version : int
+(** The newest protocol version this daemon speaks (2). *)
 
 type error_code =
   | Parse_failed  (** Not a flat JSON line. *)

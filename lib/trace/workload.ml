@@ -48,6 +48,23 @@ let truncate t n =
   let n = min n (Array.length t.jobs) in
   create ~name:t.name ~system_nodes:t.system_nodes (Array.sub t.jobs 0 n)
 
+let moldable ?(min_frac = 0.5) ?(max_frac = 2.0) t =
+  if min_frac <= 0.0 || min_frac > 1.0 then
+    invalid_arg "Workload.moldable: min_frac must be in (0, 1]";
+  if max_frac < 1.0 then
+    invalid_arg "Workload.moldable: max_frac must be >= 1";
+  create ~name:(t.name ^ "+m") ~system_nodes:t.system_nodes
+    (Array.map
+       (fun (j : Job.t) ->
+         let min_size =
+           max 1 (int_of_float (ceil (float_of_int j.size *. min_frac)))
+         in
+         let max_size =
+           max j.size (int_of_float (floor (float_of_int j.size *. max_frac)))
+         in
+         { j with spec = Job.Moldable { min_size; max_size; pref = j.size } })
+       t.jobs)
+
 type summary = {
   s_name : string;
   s_system_nodes : int;

@@ -37,6 +37,14 @@ val inflate_estimates : t -> float -> t
     [f * runtime] ([f >= 1]).  Models the loose wall-time requests real
     users submit; used by the estimate-accuracy ablation. *)
 
+val moldable : ?min_frac:float -> ?max_frac:float -> t -> t
+(** [moldable w] makes every job moldable around its rigid request:
+    [min_size = ceil (min_frac * size)] (default 0.5), [max_size =
+    floor (max_frac * size)] (default 2.0, clamped to at least [size]),
+    [pref = size].  The name gains a ["+m"] suffix so sweep cell ids
+    (and checkpoint/WAL trace names) never collide with the rigid
+    trace's. *)
+
 (** One row of the paper's Table 1. *)
 type summary = {
   s_name : string;

@@ -41,6 +41,7 @@ let () =
       ("allocators", Test_allocators.suite);
       ("simulator", Test_simulator.suite);
       ("resilience", Test_resilience.suite);
+      ("molding", Test_molding.suite);
       ("metrics", Test_metrics.suite);
       ("perf", Test_perf.suite);
       ("reproduction", Test_reproduction.suite);

@@ -16,6 +16,7 @@ let requeue_policy =
     resubmit_delay = 30.0;
     max_retries = 2;
     charge_lost_work = true;
+    shrink = false;
   }
 
 (* A fail/repair pair wide enough that checkpoint times strictly

@@ -138,7 +138,7 @@ let rich_workload () =
   in
   let resilience =
     { Sched.Simulator.requeue = true; resubmit_delay = 5.0; max_retries = 3;
-      charge_lost_work = true }
+      charge_lost_work = true; shrink = false }
   in
   (workload jobs, faults, resilience)
 
@@ -247,7 +247,7 @@ let test_null_sink_all_schemes_under_faults () =
   in
   let resilience =
     { Sched.Simulator.requeue = true; resubmit_delay = 30.0; max_retries = 2;
-      charge_lost_work = true }
+      charge_lost_work = true; shrink = false }
   in
   List.iter
     (fun alloc ->

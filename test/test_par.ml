@@ -218,6 +218,7 @@ let test_sweep_faulty_matches_serial () =
       resubmit_delay = 30.0;
       max_retries = 2;
       charge_lost_work = true;
+      shrink = false;
     }
   in
   let cells =

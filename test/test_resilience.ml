@@ -22,6 +22,7 @@ let requeue ?(resubmit_delay = 0.0) max_retries =
     resubmit_delay;
     max_retries;
     charge_lost_work = true;
+    shrink = false;
   }
 
 (* ------------------------------------------------------------------ *)

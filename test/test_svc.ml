@@ -20,6 +20,7 @@ let requeue_policy =
     resubmit_delay = 30.0;
     max_retries = 2;
     charge_lost_work = true;
+    shrink = false;
   }
 
 let params ?(scheme = "Jigsaw") ?(faulty = false) () =
@@ -267,6 +268,52 @@ let test_protocol_typed_errors () =
   | Ok { rid = Some "r1"; req = Svc.Protocol.Ping; _ } -> ()
   | _ -> Alcotest.fail "ping did not parse"
 
+let test_protocol_versioning () =
+  let ok line =
+    match Svc.Protocol.request_of_line line with
+    | Ok e -> e
+    | Error (_, m) -> Alcotest.failf "rejected %S: %s" line m
+  in
+  (* Requests from pre-versioning clients carry no version field and
+     must keep parsing as v1 forever. *)
+  Alcotest.(check int) "absent version = v1" 1 (ok "{\"op\":\"ping\"}").version;
+  Alcotest.(check int) "current version accepted" Svc.Protocol.current_version
+    (ok
+       (Printf.sprintf "{\"op\":\"ping\",\"version\":%d}"
+          Svc.Protocol.current_version))
+      .version;
+  (match
+     Svc.Protocol.request_of_line
+       "{\"op\":\"resize\",\"id\":3,\"size\":16,\"version\":2}"
+   with
+  | Ok { req = Svc.Protocol.Resize { id = 3; size = 16 }; version = 2; _ } ->
+      ()
+  | _ -> Alcotest.fail "resize did not parse");
+  (match
+     Svc.Protocol.request_of_line
+       "{\"op\":\"submit\",\"size\":8,\"min\":4,\"max\":16,\"runtime\":10,\
+        \"version\":2}"
+   with
+  | Ok { req = Svc.Protocol.Submit { min_size = Some 4; max_size = Some 16; _ };
+         _ } ->
+      ()
+  | _ -> Alcotest.fail "moldable submit did not parse");
+  let err line =
+    match Svc.Protocol.request_of_line line with
+    | Error (code, m) -> (Svc.Protocol.error_code_name code, m)
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  (* A speaker from the future is told about the version mismatch, not
+     given a misleading unknown-op error for whatever op it used. *)
+  let code, m = err "{\"op\":\"frobnicate\",\"version\":3}" in
+  Alcotest.(check string) "future version refused" "bad-request" code;
+  Alcotest.(check bool) "refusal names the version gap" true
+    (String.length m >= 11 && String.sub m 0 11 = "unsupported");
+  let code, _ = err "{\"op\":\"ping\",\"version\":0}" in
+  Alcotest.(check string) "version 0 refused" "bad-request" code;
+  let code, _ = err "{\"op\":\"resize\",\"id\":3,\"size\":0,\"version\":2}" in
+  Alcotest.(check string) "non-positive resize size" "bad-request" code
+
 (* ------------------------------------------------------------------ *)
 (* Op scripts: the deterministic workload every recovery test replays   *)
 (* ------------------------------------------------------------------ *)
@@ -276,6 +323,14 @@ let submit_of (j : Trace.Job.t) =
     {
       id = None;
       size = j.size;
+      min_size =
+        (match j.spec with
+        | Trace.Job.Rigid _ -> None
+        | Trace.Job.Moldable { min_size; _ } -> Some min_size);
+      max_size =
+        (match j.spec with
+        | Trace.Job.Rigid _ -> None
+        | Trace.Job.Moldable { max_size; _ } -> Some max_size);
       runtime = j.runtime;
       est_runtime = Some j.est_runtime;
       bw_class = Some j.bw_class;
@@ -429,6 +484,52 @@ let test_crash_every_point () =
       List.iter
         (fun count -> crash_trial ~p ~ops ~ckpt_every:4 ~point ~count ~expected)
         [ 1; 3 ])
+    crash_points
+
+(* Resize ops through the journaled path: moldable submissions, one
+   resize the engine grants, one it refuses (unknown job).  Both are
+   journaled — a refusal is a deterministic verdict, not an error — so
+   recovery from a kill -9 landing on either must replay to the
+   uncrashed fingerprint. *)
+let test_resize_crash_recovery () =
+  let p = params ~faulty:true () in
+  let w =
+    Trace.Workload.moldable
+      (Trace.Synthetic.synth ~mean_size:16 ~n_jobs:10 ~seed:42 ~max_size:128)
+  in
+  let submits =
+    Array.to_list
+      (Array.mapi (fun i j -> (float_of_int i *. 40.0, submit_of j)) w.jobs)
+  in
+  let resizes =
+    [
+      (90.0,
+       Svc.Protocol.Resize { id = 0; size = Trace.Job.min_size w.jobs.(0) });
+      (130.0, Svc.Protocol.Resize { id = 999; size = 4 });
+    ]
+  in
+  let ops =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (submits @ resizes)
+    @ [ (500.0, Svc.Protocol.Drain) ]
+  in
+  let resize_counts =
+    List.mapi (fun i (_, op) -> (i, op)) ops
+    |> List.filter (fun (_, op) ->
+           match op with Svc.Protocol.Resize _ -> true | _ -> false)
+    |> List.map (fun (i, _) -> i + 1)
+  in
+  let expected = reference_fingerprint ~p ~ops ~ckpt_every:3 in
+  List.iter
+    (fun point ->
+      let counts =
+        if point = "ckpt-post-save" then [ 1; 2 ] else resize_counts
+      in
+      List.iter
+        (fun count ->
+          crash_trial ~p ~ops ~ckpt_every:3 ~point ~count ~expected)
+        counts)
     crash_points
 
 let test_crash_random_all_schemes () =
@@ -743,10 +844,13 @@ let suite =
     Alcotest.test_case "protocol fuzz never raises" `Quick test_protocol_fuzz;
     Alcotest.test_case "protocol typed errors" `Quick
       test_protocol_typed_errors;
+    Alcotest.test_case "protocol versioning" `Quick test_protocol_versioning;
     Alcotest.test_case "core replay equivalence (all schemes)" `Quick
       test_core_replay_equivalence;
     Alcotest.test_case "crash at every point (jigsaw, faulty)" `Quick
       test_crash_every_point;
+    Alcotest.test_case "resize ops survive crash recovery" `Quick
+      test_resize_crash_recovery;
     Alcotest.test_case "random crashes, all schemes" `Slow
       test_crash_random_all_schemes;
     Alcotest.test_case "corrupt checkpoint fallback" `Quick
